@@ -1,0 +1,466 @@
+package polar
+
+// Benchmark harness: one testing.B benchmark per table and figure of
+// the paper's evaluation (§V), plus micro-benchmarks of the runtime
+// primitives and ablation benches for the design choices of DESIGN.md
+// §4. The full reports (the text renderings recorded in EXPERIMENTS.md)
+// come from `go run ./cmd/polarbench`; these benches time the same code
+// paths under the standard Go benchmarking harness:
+//
+//	BenchmarkTableI     TaintClass analysis per app
+//	BenchmarkFigure6    SPEC mini-apps, baseline vs POLaR sub-benches
+//	BenchmarkTableII    JS suites aggregate (via Figure 7 kernels)
+//	BenchmarkTableIII   hardened runs with counter collection
+//	BenchmarkTableIV    CVE-input taint discovery
+//	BenchmarkFigure7    per-suite JS kernels, baseline vs POLaR
+//	BenchmarkSecurity   exploit scenarios
+//	BenchmarkAblation*  cache / dedup / copy-rerand / dummy ablations
+//	BenchmarkRuntime*   olr_malloc/olr_getptr/olr_memcpy primitives
+
+import (
+	"fmt"
+	"testing"
+
+	"polar/internal/core"
+	"polar/internal/exploit"
+	"polar/internal/instrument"
+	"polar/internal/ir"
+	"polar/internal/layout"
+	"polar/internal/taint"
+	"polar/internal/vm"
+	"polar/internal/workload"
+)
+
+// prepared caches instrumented modules per workload for the benches.
+type prepared struct {
+	w   *workload.Workload
+	ins *instrument.Result
+}
+
+func prepare(b *testing.B, w *workload.Workload) prepared {
+	b.Helper()
+	ins, err := instrument.Apply(w.Module, nil)
+	if err != nil {
+		b.Fatalf("%s: %v", w.Name, err)
+	}
+	return prepared{w: w, ins: ins}
+}
+
+func (p prepared) runBaseline(b *testing.B) {
+	b.Helper()
+	v, err := vm.New(ir.Clone(p.w.Module), vm.WithInput(p.w.Input))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := v.Run(p.w.Args...); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func (p prepared) runHardened(b *testing.B, seed int64) *core.Runtime {
+	b.Helper()
+	v, err := vm.New(ir.Clone(p.ins.Module), vm.WithInput(p.w.Input))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt := core.New(p.ins.Table, core.DefaultConfig(seed))
+	rt.Attach(v)
+	if _, err := v.Run(p.w.Args...); err != nil {
+		b.Fatal(err)
+	}
+	return rt
+}
+
+// BenchmarkFigure6 times every SPEC mini-app in both configurations;
+// the default/polar ratio per app is the Fig. 6 bar.
+func BenchmarkFigure6(b *testing.B) {
+	for _, w := range workload.SPECFig6() {
+		p := prepare(b, w)
+		b.Run(w.Name+"/default", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p.runBaseline(b)
+			}
+		})
+		b.Run(w.Name+"/polar", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p.runHardened(b, int64(i)+1)
+			}
+		})
+	}
+}
+
+// BenchmarkTableI times the TaintClass analysis (canonical input, no
+// fuzzing — the fuzzed variant is cmd/polarbench -only table1).
+func BenchmarkTableI(b *testing.B) {
+	for _, w := range workload.All() {
+		w := w
+		b.Run(w.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := taint.AnalyzeOne(w.Module, w.Input, taint.RunOptions{IgnoreRunErrors: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Count() != len(w.ExpectedTainted) {
+					b.Fatalf("tainted count %d != expected %d", rep.Count(), len(w.ExpectedTainted))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTableII times one representative kernel per JS suite in both
+// configurations (all 67 run under BenchmarkFigure7).
+func BenchmarkTableII(b *testing.B) {
+	picks := map[string]bool{
+		"stanford-crypto-aes": true, "3d-cube": true, "splay": true, "n-body.c": true,
+	}
+	for _, k := range workload.JSBenchmarks() {
+		if !picks[k.Name] {
+			continue
+		}
+		w := &workload.Workload{Name: k.Name, Module: k.Module, Input: k.Input}
+		p := prepare(b, w)
+		b.Run(k.Suite+"/"+k.Name+"/default", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p.runBaseline(b)
+			}
+		})
+		b.Run(k.Suite+"/"+k.Name+"/polar", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p.runHardened(b, int64(i)+1)
+			}
+		})
+	}
+}
+
+// BenchmarkTableIII runs each SPEC app hardened and reports the Table
+// III counters as benchmark metrics.
+func BenchmarkTableIII(b *testing.B) {
+	for _, w := range workload.SPECFig6() {
+		p := prepare(b, w)
+		b.Run(w.Name, func(b *testing.B) {
+			var st core.Stats
+			for i := 0; i < b.N; i++ {
+				rt := p.runHardened(b, int64(i)+1)
+				st = rt.Stats()
+			}
+			b.ReportMetric(float64(st.Allocs), "allocs")
+			b.ReportMetric(float64(st.MemberAccess), "member-accesses")
+			b.ReportMetric(float64(st.CacheHits), "cache-hits")
+			b.ReportMetric(float64(st.Memcpys), "memcpys")
+		})
+	}
+}
+
+// BenchmarkTableIV times per-CVE exploit-object discovery.
+func BenchmarkTableIV(b *testing.B) {
+	png := workload.LibPNG()
+	for _, c := range workload.LibPNGCVECases() {
+		c := c
+		b.Run("CVE-"+c.CVE, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := taint.AnalyzeOne(png.Module, c.Input, taint.RunOptions{IgnoreRunErrors: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				got := make(map[string]bool)
+				for _, n := range rep.TaintedClasses() {
+					got[n] = true
+				}
+				for _, want := range c.ExpectedObjects {
+					if !got[want] {
+						b.Fatalf("CVE-%s: %s not discovered", c.CVE, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure7 times every JS kernel in both configurations,
+// grouped by suite exactly as the figure's four panels.
+func BenchmarkFigure7(b *testing.B) {
+	for _, k := range workload.JSBenchmarks() {
+		w := &workload.Workload{Name: k.Name, Module: k.Module, Input: k.Input}
+		p := prepare(b, w)
+		b.Run(k.Suite+"/"+k.Name+"/default", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p.runBaseline(b)
+			}
+		})
+		b.Run(k.Suite+"/"+k.Name+"/polar", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p.runHardened(b, int64(i)+1)
+			}
+		})
+	}
+}
+
+// BenchmarkSecurity runs the §III/§V.C attack scenarios; success and
+// detection rates are reported as metrics.
+func BenchmarkSecurity(b *testing.B) {
+	type runner struct {
+		name string
+		fn   func(exploit.Defense, int, int64) (exploit.Result, error)
+	}
+	for _, sc := range []runner{
+		{"uaf", exploit.RunUAF},
+		{"typeconfusion", exploit.RunTypeConfusion},
+		{"overflow", exploit.RunOverflow},
+	} {
+		for _, def := range exploit.AllDefenses() {
+			sc, def := sc, def
+			b.Run(fmt.Sprintf("%s/%s", sc.name, def), func(b *testing.B) {
+				var last exploit.Result
+				for i := 0; i < b.N; i++ {
+					res, err := sc.fn(def, 50, int64(i)*977+13)
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = res
+				}
+				b.ReportMetric(100*last.SuccessRate(), "success%")
+				b.ReportMetric(100*last.DetectionRate(), "detected%")
+			})
+		}
+	}
+}
+
+// ablationCase is one runtime-configuration variant applied to one
+// profile-representative app.
+func benchAblation(b *testing.B, app string, mod func(*core.Config)) {
+	w, err := workload.ByName(app)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ins, err := instrument.Apply(w.Module, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig(int64(i) + 1)
+		mod(&cfg)
+		v, err := vm.New(ir.Clone(ins.Module), vm.WithInput(w.Input))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rt := core.New(ins.Table, cfg)
+		rt.Attach(v)
+		if _, err := v.Run(w.Args...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationCache isolates the §V.B offset-lookup cache on the
+// member-access-bound app.
+func BenchmarkAblationCache(b *testing.B) {
+	b.Run("mcf/cache-on", func(b *testing.B) { benchAblation(b, "429.mcf", func(c *core.Config) {}) })
+	b.Run("mcf/cache-off", func(b *testing.B) {
+		benchAblation(b, "429.mcf", func(c *core.Config) { c.CacheSize = -1 })
+	})
+}
+
+// BenchmarkAblationCopyRerand isolates §IV.A.2 copy re-randomization on
+// the memcpy-bound app.
+func BenchmarkAblationCopyRerand(b *testing.B) {
+	b.Run("h264ref/rerand-on", func(b *testing.B) { benchAblation(b, "464.h264ref", func(c *core.Config) {}) })
+	b.Run("h264ref/rerand-off", func(b *testing.B) {
+		benchAblation(b, "464.h264ref", func(c *core.Config) { c.RerandomizeOnCopy = false })
+	})
+}
+
+// BenchmarkAblationDummies isolates dummy-member cost on the
+// allocation-bound app.
+func BenchmarkAblationDummies(b *testing.B) {
+	set := func(min, max int, traps bool) func(*core.Config) {
+		return func(c *core.Config) {
+			c.Layout.MinDummies, c.Layout.MaxDummies, c.Layout.BoobyTraps = min, max, traps
+		}
+	}
+	b.Run("sjeng/dummies-0", func(b *testing.B) { benchAblation(b, "458.sjeng", set(0, 0, false)) })
+	b.Run("sjeng/dummies-default", func(b *testing.B) { benchAblation(b, "458.sjeng", set(1, 2, true)) })
+	b.Run("sjeng/dummies-4", func(b *testing.B) { benchAblation(b, "458.sjeng", set(3, 4, true)) })
+}
+
+// BenchmarkAblationMode compares full vs cache-line-bounded permutation.
+func BenchmarkAblationMode(b *testing.B) {
+	b.Run("sjeng/full", func(b *testing.B) { benchAblation(b, "458.sjeng", func(c *core.Config) {}) })
+	b.Run("sjeng/cacheline", func(b *testing.B) {
+		benchAblation(b, "458.sjeng", func(c *core.Config) { c.Layout.Mode = layout.ModeCacheLine })
+	})
+}
+
+// --- runtime primitive micro-benchmarks ---
+
+func microModule() (*ir.Module, *ir.StructType) {
+	m := ir.NewModule("micro")
+	st := m.MustStruct(ir.NewStruct("Obj",
+		ir.Field{Name: "vt", Type: ir.Fptr},
+		ir.Field{Name: "a", Type: ir.I64},
+		ir.Field{Name: "b", Type: ir.I64},
+		ir.Field{Name: "c", Type: ir.I32},
+		ir.Field{Name: "d", Type: ir.I32},
+	))
+	return m, st
+}
+
+// BenchmarkRuntimeMalloc measures olr_malloc (layout generation, dedup,
+// metadata registration, trap arming) against plain allocation.
+func BenchmarkRuntimeMalloc(b *testing.B) {
+	build := func(instrumented bool) (*vm.VM, error) {
+		m, st := microModule()
+		bd := ir.NewFunc(m, "main", ir.I64, ir.Param{Name: "n", Type: ir.I64})
+		bd.CountedLoop("l", bd.ParamReg(0), func(i ir.Value) {
+			p := bd.Alloc(st)
+			bd.Free(p)
+		})
+		bd.Ret(ir.Const(0))
+		if !instrumented {
+			return vm.New(m)
+		}
+		ins, err := instrument.Apply(m, nil)
+		if err != nil {
+			return nil, err
+		}
+		v, err := vm.New(ins.Module)
+		if err != nil {
+			return nil, err
+		}
+		core.New(ins.Table, core.DefaultConfig(1)).Attach(v)
+		return v, nil
+	}
+	for _, mode := range []struct {
+		name string
+		inst bool
+	}{{"plain", false}, {"polar", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			v, err := build(mode.inst)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			if _, err := v.Run(int64(b.N)); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkRuntimeGetptr measures the member-access path (cache-hit
+// steady state, plus the cache-disabled slow path) against the plain
+// static fieldptr — the micro-level view of the §V.B cache ablation.
+func BenchmarkRuntimeGetptr(b *testing.B) {
+	build := func(instrumented bool, cacheSize int) (*vm.VM, error) {
+		m, st := microModule()
+		bd := ir.NewFunc(m, "main", ir.I64, ir.Param{Name: "n", Type: ir.I64})
+		p := bd.Alloc(st)
+		bd.Store(ir.I64, ir.Const(0), bd.FieldPtrName(st, p, "a"))
+		bd.CountedLoop("l", bd.ParamReg(0), func(i ir.Value) {
+			f := bd.FieldPtrName(st, p, "a")
+			v := bd.Load(ir.I64, f)
+			bd.Store(ir.I64, bd.Bin(ir.BinAdd, v, ir.Const(1)), f)
+		})
+		bd.Ret(bd.Load(ir.I64, bd.FieldPtrName(st, p, "a")))
+		if !instrumented {
+			return vm.New(m)
+		}
+		ins, err := instrument.Apply(m, nil)
+		if err != nil {
+			return nil, err
+		}
+		v, err := vm.New(ins.Module)
+		if err != nil {
+			return nil, err
+		}
+		cfg := core.DefaultConfig(1)
+		cfg.CacheSize = cacheSize
+		core.New(ins.Table, cfg).Attach(v)
+		return v, nil
+	}
+	for _, mode := range []struct {
+		name  string
+		inst  bool
+		cache int
+	}{{"plain", false, 0}, {"polar", true, 0}, {"polar-nocache", true, -1}} {
+		b.Run(mode.name, func(b *testing.B) {
+			v, err := build(mode.inst, mode.cache)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			if _, err := v.Run(int64(b.N)); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkRuntimeMemcpy measures the object-copy path (member-wise
+// remap + re-randomization) against a raw copy.
+func BenchmarkRuntimeMemcpy(b *testing.B) {
+	build := func(instrumented bool) (*vm.VM, error) {
+		m, st := microModule()
+		bd := ir.NewFunc(m, "main", ir.I64, ir.Param{Name: "n", Type: ir.I64})
+		p := bd.Alloc(st)
+		q := bd.Alloc(st)
+		for i := range st.Fields {
+			bd.Store(ir.I64, ir.Const(int64(i)), bd.FieldPtr(st, p, i))
+		}
+		bd.CountedLoop("l", bd.ParamReg(0), func(i ir.Value) {
+			bd.Memcpy(q, p, ir.Const(int64(st.Size())))
+		})
+		bd.Ret(ir.Const(0))
+		if !instrumented {
+			return vm.New(m)
+		}
+		ins, err := instrument.Apply(m, nil)
+		if err != nil {
+			return nil, err
+		}
+		v, err := vm.New(ins.Module)
+		if err != nil {
+			return nil, err
+		}
+		core.New(ins.Table, core.DefaultConfig(1)).Attach(v)
+		return v, nil
+	}
+	for _, mode := range []struct {
+		name string
+		inst bool
+	}{{"plain", false}, {"polar", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			v, err := build(mode.inst)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			if _, err := v.Run(int64(b.N)); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkLayoutGenerate isolates layout generation itself.
+func BenchmarkLayoutGenerate(b *testing.B) {
+	fields := []layout.FieldInfo{
+		{Size: 8, Align: 8, IsFptr: true},
+		{Size: 8, Align: 8}, {Size: 8, Align: 8},
+		{Size: 4, Align: 4}, {Size: 4, Align: 4}, {Size: 2, Align: 2},
+	}
+	for _, mode := range []layout.Mode{layout.ModeFull, layout.ModeCacheLine, layout.ModeIdentity} {
+		mode := mode
+		b.Run(mode.String(), func(b *testing.B) {
+			cfg := layout.DefaultConfig()
+			cfg.Mode = mode
+			rng := newTestRand(7)
+			for i := 0; i < b.N; i++ {
+				if _, err := layout.Generate(fields, cfg, rng); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

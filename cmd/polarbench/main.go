@@ -1,0 +1,142 @@
+// Command polarbench regenerates every table and figure of the paper's
+// evaluation (§V) plus the security case studies and the design-choice
+// ablations.
+//
+// Usage:
+//
+//	polarbench [-reps n] [-trials n] [-fuzz n] [-only table1,fig6,...]
+//	           [-seed n] [-format text|csv]
+//
+// Experiments: table1, table2, table3, table4, fig6, fig7, security,
+// ablation. Default runs all of them. The text format is what
+// EXPERIMENTS.md records; csv is plotting-ready.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"polar/internal/evalrun"
+)
+
+func main() {
+	reps := flag.Int("reps", 5, "timing repetitions per configuration (interleaved min taken)")
+	trials := flag.Int("trials", 200, "trials per security-scenario cell")
+	fuzzIters := flag.Int("fuzz", 300, "fuzzing iterations per app for Table I")
+	only := flag.String("only", "", "comma-separated subset of experiments")
+	seed := flag.Int64("seed", 11, "experiment seed")
+	format := flag.String("format", "text", "output format: text or csv")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, k := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(k)] = true
+		}
+	}
+	sel := func(k string) bool { return len(want) == 0 || want[k] }
+	csv := *format == "csv"
+	if *format != "text" && *format != "csv" {
+		fmt.Fprintf(os.Stderr, "polarbench: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+
+	if err := run(sel, csv, *reps, *trials, *fuzzIters, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "polarbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(sel func(string) bool, csv bool, reps, trials, fuzzIters int, seed int64) error {
+	if sel("table1") {
+		rows, err := evalrun.TableI(fuzzIters, seed)
+		if err != nil {
+			return err
+		}
+		if csv {
+			fmt.Print(evalrun.CSVTableI(rows))
+		} else {
+			fmt.Println(evalrun.RenderTableI(rows))
+		}
+	}
+	if sel("fig6") {
+		rows, err := evalrun.Figure6(reps, seed)
+		if err != nil {
+			return err
+		}
+		if csv {
+			fmt.Print(evalrun.CSVFigure6(rows))
+		} else {
+			fmt.Println(evalrun.RenderFigure6(rows))
+		}
+	}
+	var jsRows []evalrun.JSRow
+	if sel("table2") || sel("fig7") {
+		var err error
+		if jsRows, err = evalrun.Figure7(reps, seed); err != nil {
+			return err
+		}
+	}
+	if sel("table2") {
+		agg := evalrun.TableII(jsRows)
+		if csv {
+			fmt.Print(evalrun.CSVTableII(agg))
+		} else {
+			fmt.Println(evalrun.RenderTableII(agg))
+		}
+	}
+	if sel("table3") {
+		rows, err := evalrun.TableIII(seed)
+		if err != nil {
+			return err
+		}
+		if csv {
+			fmt.Print(evalrun.CSVTableIII(rows))
+		} else {
+			fmt.Println(evalrun.RenderTableIII(rows))
+		}
+	}
+	if sel("table4") {
+		rows, err := evalrun.TableIV()
+		if err != nil {
+			return err
+		}
+		if csv {
+			fmt.Print(evalrun.CSVTableIV(rows))
+		} else {
+			fmt.Println(evalrun.RenderTableIV(rows))
+		}
+	}
+	if sel("fig7") {
+		if csv {
+			fmt.Print(evalrun.CSVFigure7(jsRows))
+		} else {
+			fmt.Println(evalrun.RenderFigure7(jsRows))
+		}
+	}
+	if sel("security") {
+		rep, err := evalrun.Security(trials, seed)
+		if err != nil {
+			return err
+		}
+		if csv {
+			fmt.Print(evalrun.CSVSecurity(rep))
+		} else {
+			fmt.Println(rep.Render())
+		}
+	}
+	if sel("ablation") {
+		rows, err := evalrun.Ablation(reps, seed)
+		if err != nil {
+			return err
+		}
+		if csv {
+			fmt.Print(evalrun.CSVAblation(rows))
+		} else {
+			fmt.Println(evalrun.RenderAblation(rows))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+// Command polarstat prints static statistics for an IR module or a
+// built-in workload: per-class randomization entropy and
+// instrumentation surface, function sizes and the opcode mix.
+//
+// Usage:
+//
+//	polarstat program.ir
+//	polarstat -workload 458.sjeng
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"polar"
+	"polar/internal/irstat"
+	"polar/internal/layout"
+	"polar/internal/workload"
+)
+
+func main() {
+	wl := flag.String("workload", "", "analyze a built-in workload by name")
+	flag.Parse()
+	if err := run(*wl); err != nil {
+		fmt.Fprintln(os.Stderr, "polarstat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(wl string) error {
+	var m *polar.Module
+	switch {
+	case wl != "":
+		w, err := workload.ByName(wl)
+		if err != nil {
+			return err
+		}
+		m = w.Module
+	case flag.NArg() == 1:
+		src, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			return err
+		}
+		if m, err = polar.Parse(string(src)); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("give -workload NAME or an IR file")
+	}
+	fmt.Print(irstat.Analyze(m, layout.DefaultConfig()).Render())
+	return nil
+}

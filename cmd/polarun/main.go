@@ -1,0 +1,96 @@
+// Command polarun executes an IR program on the POLaR virtual machine.
+//
+// Usage:
+//
+//	polarun [-hardened] [-input file] [-seed n] [-stats] program.ir [args...]
+//
+// Plain modules run on the bare VM; pass -hardened for modules produced
+// by polarc (the POLaR runtime is attached and the class table
+// recomputed from the declarations). The program's printed output goes
+// to stdout and @main's return value becomes a "result: N" line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"polar"
+)
+
+func main() {
+	hardened := flag.Bool("hardened", false, "attach the POLaR runtime (for polarc output)")
+	inputPath := flag.String("input", "", "file whose bytes become the untrusted program input")
+	seed := flag.Int64("seed", 1, "randomization seed for the POLaR runtime")
+	stats := flag.Bool("stats", false, "print runtime counters to stderr")
+	warn := flag.Bool("warn", false, "count violations instead of aborting")
+	trace := flag.Int("trace", 0, "trace the first N executed instructions to stderr")
+	policyPath := flag.String("policy", "", "apply a policy file's per-class tuning (with -hardened)")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: polarun [-hardened] [-input file] [-seed n] program.ir [args...]")
+		os.Exit(2)
+	}
+	if err := run(*hardened, *inputPath, *seed, *stats, *warn, *trace, *policyPath); err != nil {
+		fmt.Fprintln(os.Stderr, "polarun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(hardened bool, inputPath string, seed int64, stats, warn bool, trace int, policyPath string) error {
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	m, err := polar.Parse(string(src))
+	if err != nil {
+		return err
+	}
+	var input []byte
+	if inputPath != "" {
+		if input, err = os.ReadFile(inputPath); err != nil {
+			return err
+		}
+	}
+	var args []int64
+	for _, a := range flag.Args()[1:] {
+		v, err := strconv.ParseInt(a, 0, 64)
+		if err != nil {
+			return fmt.Errorf("bad argument %q: %w", a, err)
+		}
+		args = append(args, v)
+	}
+
+	opts := []polar.Option{polar.WithSeed(seed), polar.WithInput(input), polar.WithArgs(args...)}
+	if warn {
+		opts = append(opts, polar.WithWarnPolicy())
+	}
+	if trace > 0 {
+		opts = append(opts, polar.WithTrace(os.Stderr, trace))
+	}
+	if policyPath != "" {
+		pol, err := polar.LoadPolicy(policyPath)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, polar.WithPolicy(pol))
+	}
+	var res *polar.Result
+	if hardened {
+		res, err = polar.RunHardened(&polar.Hardened{Module: m}, opts...)
+	} else {
+		res, err = polar.Run(m, opts...)
+	}
+	if err != nil {
+		return err
+	}
+	os.Stdout.Write(res.Output)
+	fmt.Printf("result: %d\n", res.Value)
+	if stats && hardened {
+		s := res.Runtime
+		fmt.Fprintf(os.Stderr, "allocs=%d frees=%d memcpys=%d member=%d cachehit=%d violations=%v\n",
+			s.Allocs, s.Frees, s.Memcpys, s.MemberAccess, s.CacheHits, s.Violations)
+	}
+	return nil
+}

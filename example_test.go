@@ -1,0 +1,95 @@
+package polar_test
+
+import (
+	"fmt"
+	"log"
+
+	"polar"
+)
+
+// Example demonstrates the full Fig. 3 pipeline on the paper's running
+// People example: taint analysis picks the target, hardening rewrites
+// the accesses, and the hardened program behaves identically while
+// every allocation carries its own layout.
+func Example() {
+	src := `
+module "doc"
+
+struct %People { fptr vtable; i32 age; i32 height; }
+
+global @in 16
+
+func @main() i64 {
+entry:
+  %r0 = call @input_len()
+  call @input_read(@in, 0, %r0)
+  %r1 = alloc %People
+  %r2 = load i8, @in
+  %r3 = fieldptr %People, %r1, 2
+  store i32 %r2, %r3
+  %r4 = load i32, %r3
+  %r5 = mul %r4, 10
+  free %r1
+  ret %r5
+}
+`
+	m, err := polar.Parse(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	input := []byte{17}
+
+	rep, err := polar.AnalyzeTaint(m, [][]byte{input})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("tainted classes:", rep.TaintedClasses())
+
+	h, err := polar.Harden(m, rep.TaintedClasses())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rewrote %d alloc, %d accesses, %d free\n",
+		h.RewrittenAllocs, h.RewrittenAccesses, h.RewrittenFrees)
+
+	res, err := polar.RunHardened(h, polar.WithInput(input), polar.WithSeed(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("result:", res.Value)
+	fmt.Println("randomized allocations:", res.Runtime.Allocs)
+	// Output:
+	// tainted classes: [People]
+	// rewrote 1 alloc, 1 accesses, 1 free
+	// result: 170
+	// randomized allocations: 1
+}
+
+// ExampleRunHardened_violation shows how an attack symptom surfaces: a
+// dangling member access is flagged as a use-after-free violation.
+func ExampleRunHardened_violation() {
+	src := `
+module "uafdoc"
+struct %S { i64 x; i64 y; }
+func @main() i64 {
+entry:
+  %r0 = alloc %S
+  free %r0
+  %r1 = fieldptr %S, %r0, 1
+  %r2 = load i64, %r1
+  ret %r2
+}
+`
+	m, err := polar.Parse(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h, err := polar.Harden(m, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, err = polar.RunHardened(h, polar.WithSeed(1))
+	fmt.Println(err)
+	// Output:
+	// @main.entry: polar: use-after-free detected at 0x40000000 (class S)
+}

@@ -1,0 +1,3 @@
+module polar
+
+go 1.22

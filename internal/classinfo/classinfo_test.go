@@ -1,0 +1,144 @@
+package classinfo
+
+import (
+	"testing"
+
+	"polar/internal/ir"
+)
+
+func fixtureStruct() *ir.StructType {
+	return ir.NewStruct("Widget",
+		ir.Field{Name: "vt", Type: ir.Fptr},
+		ir.Field{Name: "n", Type: ir.I32},
+		ir.Field{Name: "next", Type: ir.PtrTo(ir.I64)},
+		ir.Field{Name: "raw", Type: ir.Raw},
+		ir.Field{Name: "f", Type: ir.F64},
+	)
+}
+
+func TestExtractMemberKinds(t *testing.T) {
+	c := Extract(fixtureStruct())
+	wantKinds := []MemberKind{KindFuncPointer, KindData, KindPointer, KindPointer, KindData}
+	for i, w := range wantKinds {
+		if c.Members[i].Kind != w {
+			t.Errorf("member %d kind = %v, want %v", i, c.Members[i].Kind, w)
+		}
+	}
+	if fp := c.FuncPointerFields(); len(fp) != 1 || fp[0] != 0 {
+		t.Errorf("FuncPointerFields = %v", fp)
+	}
+	if c.StaticSize() != c.Struct.Size() {
+		t.Errorf("StaticSize mismatch")
+	}
+	for i, m := range c.Members {
+		if m.StaticOffset != c.Struct.Offset(i) {
+			t.Errorf("member %d static offset %d != %d", i, m.StaticOffset, c.Struct.Offset(i))
+		}
+	}
+}
+
+func TestHashSensitivity(t *testing.T) {
+	base := fixtureStruct()
+	renamedField := ir.NewStruct("Widget",
+		ir.Field{Name: "vtbl", Type: ir.Fptr},
+		ir.Field{Name: "n", Type: ir.I32},
+		ir.Field{Name: "next", Type: ir.PtrTo(ir.I64)},
+		ir.Field{Name: "raw", Type: ir.Raw},
+		ir.Field{Name: "f", Type: ir.F64},
+	)
+	widened := ir.NewStruct("Widget",
+		ir.Field{Name: "vt", Type: ir.Fptr},
+		ir.Field{Name: "n", Type: ir.I64}, // i32 -> i64
+		ir.Field{Name: "next", Type: ir.PtrTo(ir.I64)},
+		ir.Field{Name: "raw", Type: ir.Raw},
+		ir.Field{Name: "f", Type: ir.F64},
+	)
+	if HashOf(base) == HashOf(renamedField) {
+		t.Error("field rename did not change hash")
+	}
+	if HashOf(base) == HashOf(widened) {
+		t.Error("field type change did not change hash")
+	}
+	if HashOf(base) != HashOf(fixtureStruct()) {
+		t.Error("identical declarations hash differently")
+	}
+}
+
+func TestTableLookups(t *testing.T) {
+	st := fixtureStruct()
+	other := ir.NewStruct("Other", ir.Field{Name: "x", Type: ir.I64})
+	tbl := NewTable(st, other)
+	if tbl.Len() != 2 {
+		t.Fatalf("len = %d", tbl.Len())
+	}
+	c, ok := tbl.ByName("Widget")
+	if !ok || c.Name() != "Widget" {
+		t.Fatalf("ByName failed: %v %v", c, ok)
+	}
+	c2, ok := tbl.ByHash(c.Hash)
+	if !ok || c2 != c {
+		t.Fatal("ByHash failed")
+	}
+	if !tbl.Has(st) || tbl.Has(ir.NewStruct("Ghost")) {
+		t.Error("Has misbehaves")
+	}
+	classes := tbl.Classes()
+	if len(classes) != 2 || classes[0].Name() != "Other" || classes[1].Name() != "Widget" {
+		t.Errorf("Classes() order: %v", []string{classes[0].Name(), classes[1].Name()})
+	}
+}
+
+func TestFromModuleTargets(t *testing.T) {
+	m := ir.NewModule("t")
+	m.MustStruct(fixtureStruct())
+	m.MustStruct(ir.NewStruct("B", ir.Field{Name: "x", Type: ir.I8}))
+
+	all, err := FromModule(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.Len() != 2 {
+		t.Errorf("nil targets: len = %d, want 2", all.Len())
+	}
+	one, err := FromModule(m, []string{"B"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Len() != 1 {
+		t.Errorf("explicit target: len = %d, want 1", one.Len())
+	}
+	if _, err := FromModule(m, []string{"Nope"}); err == nil {
+		t.Error("unknown target accepted")
+	}
+	none, err := FromModule(m, []string{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none.Len() != 0 {
+		t.Errorf("empty targets: len = %d, want 0", none.Len())
+	}
+}
+
+func TestEmbedAndRecoverClassTable(t *testing.T) {
+	m := ir.NewModule("t")
+	st := m.MustStruct(fixtureStruct())
+	tbl := NewTable(st)
+	tbl.EmbedInModule(m)
+	if len(m.ClassTable) != 1 || m.ClassTable[0].Struct != st {
+		t.Fatalf("embed produced %+v", m.ClassTable)
+	}
+	back := TableFromModuleClassTable(m)
+	if back.Len() != 1 {
+		t.Fatal("recovered table empty")
+	}
+	c, ok := back.ByHash(m.ClassTable[0].Hash)
+	if !ok || c.Name() != "Widget" {
+		t.Fatal("recovered table lookup failed")
+	}
+}
+
+func TestMemberKindString(t *testing.T) {
+	if KindData.String() != "data" || KindPointer.String() != "ptr" || KindFuncPointer.String() != "fptr" {
+		t.Error("MemberKind strings wrong")
+	}
+}

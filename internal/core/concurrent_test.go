@@ -1,0 +1,53 @@
+package core_test
+
+import (
+	"sync"
+	"testing"
+
+	"polar/internal/core"
+	"polar/internal/instrument"
+	"polar/internal/ir"
+	"polar/internal/vm"
+)
+
+// TestConcurrentVMsShareHardenedModule runs many VMs in parallel, each
+// with its own runtime, over one shared hardened module — the
+// deployment shape of a forking server. Modules and class tables are
+// read-only after instrumentation, so clones of the module (VM-local
+// state) plus per-VM runtimes must be race-free and produce identical
+// results for identical seeds.
+func TestConcurrentVMsShareHardenedModule(t *testing.T) {
+	m := buildPeopleModule(t)
+	ins, err := instrument.Apply(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 16
+	results := make([]int64, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			v, err := vm.New(ir.Clone(ins.Module))
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			rt := core.New(ins.Table, core.DefaultConfig(int64(w)+1))
+			rt.Attach(v)
+			results[w], errs[w] = v.Run()
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			t.Fatalf("worker %d: %v", w, errs[w])
+		}
+		if results[w] != 59 {
+			t.Fatalf("worker %d: result %d, want 59", w, results[w])
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"polar/internal/layout"
+)
+
+func genLayout(t testing.TB, seed int64) *layout.Layout {
+	t.Helper()
+	fields := []layout.FieldInfo{
+		{Size: 8, Align: 8, IsFptr: true},
+		{Size: 8, Align: 8},
+		{Size: 4, Align: 4},
+	}
+	l, err := layout.Generate(fields, layout.DefaultConfig(), rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestMetaStoreRegisterLookupFree(t *testing.T) {
+	s := NewMetaStore()
+	l := genLayout(t, 1)
+	m, old := s.Register(0x1000, 42, l, l.TotalSize)
+	if old != nil {
+		t.Fatal("fresh base reported an old record")
+	}
+	got, ok := s.Lookup(0x1000)
+	if !ok || got != m || got.ClassHash != 42 {
+		t.Fatalf("lookup = %+v %v", got, ok)
+	}
+	if s.LiveCount() != 1 {
+		t.Fatalf("live = %d", s.LiveCount())
+	}
+	s.MarkFreed(0x1000)
+	ghost, ok := s.Lookup(0x1000)
+	if !ok || !ghost.Freed {
+		t.Fatal("ghost record missing after MarkFreed")
+	}
+	if s.LiveCount() != 0 {
+		t.Fatalf("live after free = %d", s.LiveCount())
+	}
+	// Re-registration replaces the ghost and reports it.
+	l2 := genLayout(t, 2)
+	_, old = s.Register(0x1000, 43, l2, l2.TotalSize)
+	if old == nil || !old.Freed {
+		t.Fatal("re-registration did not surface the ghost")
+	}
+	st := s.Stats()
+	if st.Registered != 2 || st.Retired != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestMetaStoreDrop(t *testing.T) {
+	s := NewMetaStore()
+	l := genLayout(t, 1)
+	s.Register(0x2000, 1, l, l.TotalSize)
+	s.Drop(0x2000)
+	if _, ok := s.Lookup(0x2000); ok {
+		t.Fatal("dropped record still present")
+	}
+}
+
+func TestLayoutInterning(t *testing.T) {
+	s := NewMetaStore()
+	// The same layout content must intern to one canonical instance.
+	a := genLayout(t, 7)
+	b := genLayout(t, 7) // same seed => same content, distinct pointer
+	if a == b {
+		t.Fatal("fixture broken: same pointer")
+	}
+	ca := s.Intern(99, a)
+	cb := s.Intern(99, b)
+	if ca != cb {
+		t.Fatal("equal layouts not deduplicated")
+	}
+	st := s.Stats()
+	if st.LayoutsUnique != 1 || st.LayoutsShared != 1 {
+		t.Fatalf("dedup stats = %+v", st)
+	}
+	// Same layout under a different class hash is a separate entry
+	// (classes never share metadata records).
+	cc := s.Intern(100, genLayout(t, 7))
+	if cc == ca {
+		t.Fatal("layouts shared across classes")
+	}
+}
+
+// TestInternQuick: intern many random layouts; the canonical instance
+// always compares Equal to the input, and interning is idempotent.
+func TestInternQuick(t *testing.T) {
+	s := NewMetaStore()
+	prop := func(seed int64, class uint8) bool {
+		l := genLayout(t, seed%50)
+		c := s.Intern(uint64(class%4), l)
+		if !c.Equal(l) {
+			return false
+		}
+		return s.Intern(uint64(class%4), l) == c
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOffsetCacheBasics(t *testing.T) {
+	c := newOffsetCache(64)
+	if _, hit := c.get(0x1000, 5, 0); hit {
+		t.Fatal("empty cache hit")
+	}
+	c.put(0x1000, 5, 0, 24)
+	off, hit := c.get(0x1000, 5, 0)
+	if !hit || off != 24 {
+		t.Fatalf("get = %d %v", off, hit)
+	}
+	// Different class hash (type-confused access) must miss.
+	if _, hit := c.get(0x1000, 6, 0); hit {
+		t.Fatal("confused class hit the cache")
+	}
+	// Different field must miss.
+	if _, hit := c.get(0x1000, 5, 1); hit {
+		t.Fatal("wrong field hit the cache")
+	}
+	c.invalidate(0x1000, 4)
+	if _, hit := c.get(0x1000, 5, 0); hit {
+		t.Fatal("invalidated entry still hit")
+	}
+	if c.hits != 1 || c.misses != 4 {
+		t.Fatalf("counters = %d/%d", c.hits, c.misses)
+	}
+}
+
+func TestOffsetCacheDisabled(t *testing.T) {
+	c := newOffsetCache(0)
+	c.put(1, 2, 3, 4)
+	if _, hit := c.get(1, 2, 3); hit {
+		t.Fatal("disabled cache hit")
+	}
+	c.invalidate(1, 8) // must not panic
+}
+
+// TestOffsetCacheQuick: whatever was last put for (base, class, field)
+// is what get returns, across random collisions.
+func TestOffsetCacheQuick(t *testing.T) {
+	c := newOffsetCache(16) // tiny: force collisions
+	shadow := make(map[[3]uint64]int32)
+	prop := func(baseSel, fieldSel uint8, off int32) bool {
+		base := uint64(baseSel%8)*16 + 0x1000
+		field := int(fieldSel % 4)
+		key := [3]uint64{base, 7, uint64(field)}
+		c.put(base, 7, field, off)
+		shadow[key] = off
+		got, hit := c.get(base, 7, field)
+		// A hit must return the shadow value; a miss is allowed (another
+		// key may have evicted the slot).
+		if hit && got != shadow[key] {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestViolationErrorShape(t *testing.T) {
+	v := &Violation{Kind: ViolationTrap, Addr: 0xdead, Class: "X"}
+	if v.Error() == "" {
+		t.Fatal("empty error message")
+	}
+	for _, k := range []ViolationKind{ViolationTrap, ViolationUAF, ViolationDoubleFree, ViolationBadFree, ViolationBadClass, ViolationTypeConfusion} {
+		if k.String() == "?" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+}

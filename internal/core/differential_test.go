@@ -1,0 +1,184 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"polar/internal/core"
+	"polar/internal/instrument"
+	"polar/internal/ir"
+	"polar/internal/vm"
+)
+
+// TestDifferentialRandomPrograms is the strongest compatibility check:
+// generate random (but well-defined) object-manipulating programs and
+// assert the hardened execution returns exactly the baseline result.
+// Programs allocate objects of random classes, write random fields with
+// known values, read them back into a checksum, occasionally copy one
+// object over another of the same class, and free a random subset.
+func TestDifferentialRandomPrograms(t *testing.T) {
+	prop := func(seed int64) bool {
+		m, err := buildRandomProgram(seed)
+		if err != nil {
+			t.Logf("seed %d: build: %v", seed, err)
+			return false
+		}
+		base, err := vm.New(ir.Clone(m))
+		if err != nil {
+			t.Logf("seed %d: vm: %v", seed, err)
+			return false
+		}
+		want, err := base.Run()
+		if err != nil {
+			t.Logf("seed %d: baseline: %v", seed, err)
+			return false
+		}
+		for _, rtSeed := range []int64{seed + 1, seed + 2} {
+			ins, err := instrument.Apply(m, nil)
+			if err != nil {
+				t.Logf("seed %d: instrument: %v", seed, err)
+				return false
+			}
+			v, err := vm.New(ins.Module)
+			if err != nil {
+				return false
+			}
+			rt := core.New(ins.Table, core.DefaultConfig(rtSeed))
+			rt.Attach(v)
+			got, err := v.Run()
+			if err != nil {
+				t.Logf("seed %d rt %d: hardened: %v", seed, rtSeed, err)
+				return false
+			}
+			if got != want {
+				t.Logf("seed %d rt %d: got %d want %d", seed, rtSeed, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// buildRandomProgram emits a random straight-line object workout.
+func buildRandomProgram(seed int64) (*ir.Module, error) {
+	rng := rand.New(rand.NewSource(seed))
+	m := ir.NewModule(fmt.Sprintf("rand%d", seed))
+
+	// Random class set.
+	nClasses := 1 + rng.Intn(3)
+	classes := make([]*ir.StructType, nClasses)
+	scalarPool := []ir.Type{ir.I8, ir.I16, ir.I32, ir.I64}
+	for c := range classes {
+		nf := 1 + rng.Intn(6)
+		fields := make([]ir.Field, nf)
+		for f := range fields {
+			ty := scalarPool[rng.Intn(len(scalarPool))]
+			if rng.Intn(8) == 0 {
+				ty = ir.Fptr
+			}
+			fields[f] = ir.Field{Name: fmt.Sprintf("f%d", f), Type: ty}
+		}
+		classes[c] = m.MustStruct(ir.NewStruct(fmt.Sprintf("C%d", c), fields...))
+	}
+
+	b := ir.NewFunc(m, "main", ir.I64)
+	acc := b.Local(ir.I64)
+	b.Store(ir.I64, ir.Const(0), acc)
+	mix := func(v ir.Value) {
+		cur := b.Load(ir.I64, acc)
+		b.Store(ir.I64, b.Bin(ir.BinXor, b.Bin(ir.BinMul, cur, ir.Const(1099511628211)), v), acc)
+	}
+
+	type obj struct {
+		reg     ir.Value
+		class   *ir.StructType
+		written map[int]bool
+		freed   bool
+	}
+	var objs []*obj
+	alive := func() []*obj {
+		var out []*obj
+		for _, o := range objs {
+			if !o.freed {
+				out = append(out, o)
+			}
+		}
+		return out
+	}
+
+	nOps := 10 + rng.Intn(40)
+	for op := 0; op < nOps; op++ {
+		switch rng.Intn(6) {
+		case 0, 1: // alloc
+			st := classes[rng.Intn(len(classes))]
+			p := b.Alloc(st)
+			o := &obj{reg: p, class: st, written: map[int]bool{}}
+			// Initialize every field deterministically so copies and
+			// reads are always defined.
+			for fi, f := range st.Fields {
+				val := int64(rng.Intn(120)) // small: survives i8 sign
+				b.Store(storeType(f.Type), ir.Const(val), b.FieldPtr(st, p, fi))
+				o.written[fi] = true
+			}
+			objs = append(objs, o)
+		case 2: // store a random field
+			live := alive()
+			if len(live) == 0 {
+				continue
+			}
+			o := live[rng.Intn(len(live))]
+			fi := rng.Intn(len(o.class.Fields))
+			ty := storeType(o.class.Fields[fi].Type)
+			b.Store(ty, ir.Const(int64(rng.Intn(120))), b.FieldPtr(o.class, o.reg, fi))
+			o.written[fi] = true
+		case 3: // load a written field into the checksum
+			live := alive()
+			if len(live) == 0 {
+				continue
+			}
+			o := live[rng.Intn(len(live))]
+			fi := rng.Intn(len(o.class.Fields))
+			if !o.written[fi] {
+				continue
+			}
+			ty := storeType(o.class.Fields[fi].Type)
+			mix(b.Load(ty, b.FieldPtr(o.class, o.reg, fi)))
+		case 4: // copy between two same-class objects
+			live := alive()
+			if len(live) < 2 {
+				continue
+			}
+			a := live[rng.Intn(len(live))]
+			c := live[rng.Intn(len(live))]
+			if a == c || a.class != c.class {
+				continue
+			}
+			b.Memcpy(c.reg, a.reg, ir.Const(int64(a.class.Size())))
+			for fi := range a.written {
+				c.written[fi] = a.written[fi]
+			}
+		case 5: // free
+			live := alive()
+			if len(live) == 0 {
+				continue
+			}
+			o := live[rng.Intn(len(live))]
+			b.Free(o.reg)
+			o.freed = true
+		}
+	}
+	b.Ret(b.Load(ir.I64, acc))
+	return m, ir.Validate(m)
+}
+
+func storeType(t ir.Type) ir.Type {
+	if _, isF := t.(ir.FuncPtrType); isF {
+		return ir.I64
+	}
+	return t
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"sync"
+
+	"polar/internal/layout"
+)
+
+// ObjectMeta is the per-object record of Fig. 4: base address → class
+// hash + layout pointer. Freed metadata lingers (as a "ghost") until the
+// chunk is re-registered, which is what lets olr_getptr flag obvious
+// use-after-free attempts.
+type ObjectMeta struct {
+	Base      uint64
+	ClassHash uint64
+	Layout    *layout.Layout
+	Size      int
+	Freed     bool
+
+	// mac is the integrity seal (0 unless Config.MetadataIntegrity).
+	mac uint64
+}
+
+// MetaStats counts metadata-table events.
+type MetaStats struct {
+	Registered    uint64
+	Retired       uint64
+	LayoutsUnique uint64
+	LayoutsShared uint64 // registrations served by the dedup table
+}
+
+// MetaStore is the POLaR object-tracking table plus the layout
+// deduplication table (§V.B: "remove the duplicate metadata when two
+// objects have the same randomized memory layout").
+//
+// The zero value is not usable; call NewMetaStore. Safe for concurrent
+// use.
+type MetaStore struct {
+	mu      sync.Mutex
+	objects map[uint64]*ObjectMeta
+	// dedup buckets layouts by (class hash ^ layout hash); collisions
+	// within a bucket are resolved with Layout.Equal.
+	dedup map[uint64][]*layout.Layout
+	stats MetaStats
+}
+
+// NewMetaStore returns an empty store.
+func NewMetaStore() *MetaStore {
+	return &MetaStore{
+		objects: make(map[uint64]*ObjectMeta),
+		dedup:   make(map[uint64][]*layout.Layout),
+	}
+}
+
+// Intern returns the canonical layout equal to l for the class,
+// registering it if new. The returned layout must be used in place of l
+// so identical layouts share one metadata record.
+func (s *MetaStore) Intern(classHash uint64, l *layout.Layout) *layout.Layout {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := classHash ^ l.Hash()
+	for _, prev := range s.dedup[key] {
+		if prev.Equal(l) {
+			s.stats.LayoutsShared++
+			return prev
+		}
+	}
+	s.dedup[key] = append(s.dedup[key], l)
+	s.stats.LayoutsUnique++
+	return l
+}
+
+// Register installs metadata for a freshly allocated object, replacing
+// any ghost record at the same base. It returns the new record plus the
+// replaced one (nil if none), so callers can invalidate caches covering
+// the old object's fields.
+func (s *MetaStore) Register(base uint64, classHash uint64, l *layout.Layout, size int) (*ObjectMeta, *ObjectMeta) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := s.objects[base]
+	m := &ObjectMeta{Base: base, ClassHash: classHash, Layout: l, Size: size}
+	s.objects[base] = m
+	s.stats.Registered++
+	return m, old
+}
+
+// Lookup returns the metadata at base (live or ghost).
+func (s *MetaStore) Lookup(base uint64) (*ObjectMeta, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.objects[base]
+	return m, ok
+}
+
+// MarkFreed flags the object as freed but keeps the ghost record.
+func (s *MetaStore) MarkFreed(base uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m, ok := s.objects[base]; ok && !m.Freed {
+		m.Freed = true
+		s.stats.Retired++
+	}
+}
+
+// Drop removes metadata entirely (used when ghosts should not linger,
+// e.g. when the VM recycles a chunk for an untracked allocation).
+func (s *MetaStore) Drop(base uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.objects, base)
+}
+
+// LiveCount returns the number of non-freed records (O(n); tests only).
+func (s *MetaStore) LiveCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, m := range s.objects {
+		if !m.Freed {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats returns a snapshot of the counters.
+func (s *MetaStore) Stats() MetaStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}

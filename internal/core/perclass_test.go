@@ -1,0 +1,118 @@
+package core_test
+
+import (
+	"testing"
+
+	"polar/internal/core"
+	"polar/internal/instrument"
+	"polar/internal/ir"
+	"polar/internal/layout"
+	"polar/internal/vm"
+)
+
+// TestPerClassLayoutOverrides checks the §IV.B.1 feedback knob: one
+// class runs with five dummies, another with none, under one runtime.
+func TestPerClassLayoutOverrides(t *testing.T) {
+	m := ir.NewModule("perclass")
+	fat := m.MustStruct(ir.NewStruct("Fat",
+		ir.Field{Name: "a", Type: ir.I64}, ir.Field{Name: "b", Type: ir.I64}))
+	lean := m.MustStruct(ir.NewStruct("Lean",
+		ir.Field{Name: "a", Type: ir.I64}, ir.Field{Name: "b", Type: ir.I64}))
+	b := ir.NewFunc(m, "main", ir.I64)
+	pf := b.Alloc(fat)
+	pl := b.Alloc(lean)
+	b.Store(ir.I64, ir.Const(1), b.FieldPtr(fat, pf, 0))
+	b.Store(ir.I64, ir.Const(2), b.FieldPtr(lean, pl, 0))
+	v1 := b.Load(ir.I64, b.FieldPtr(fat, pf, 0))
+	v2 := b.Load(ir.I64, b.FieldPtr(lean, pl, 0))
+	b.Ret(b.Bin(ir.BinAdd, v1, v2))
+
+	ins, err := instrument.Apply(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fatCls, _ := ins.Table.ByName("Fat")
+	leanCls, _ := ins.Table.ByName("Lean")
+
+	cfg := core.DefaultConfig(5)
+	fatCfg := layout.DefaultConfig()
+	fatCfg.MinDummies, fatCfg.MaxDummies = 5, 5
+	leanCfg := layout.DefaultConfig()
+	leanCfg.MinDummies, leanCfg.MaxDummies = 0, 0
+	leanCfg.BoobyTraps = false
+	cfg.PerClass = map[uint64]layout.Config{
+		fatCls.Hash:  fatCfg,
+		leanCls.Hash: leanCfg,
+	}
+
+	v, err := vm.New(ins.Module)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := core.New(ins.Table, cfg)
+	rt.Attach(v)
+	got, err := v.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Fatalf("result = %d, want 3", got)
+	}
+
+	// Inspect the two live objects' layouts via the metadata store.
+	var fatDummies, leanDummies = -1, -1
+	for _, base := range []uint64{vm.HeapBase, vm.HeapBase + 16, vm.HeapBase + 32, vm.HeapBase + 48, vm.HeapBase + 64, vm.HeapBase + 80, vm.HeapBase + 96} {
+		meta, ok := rt.LookupObject(base)
+		if !ok {
+			continue
+		}
+		switch meta.ClassHash {
+		case fatCls.Hash:
+			fatDummies = meta.Layout.Dummies
+		case leanCls.Hash:
+			leanDummies = meta.Layout.Dummies
+		}
+	}
+	if fatDummies != 5 {
+		t.Errorf("Fat dummies = %d, want 5", fatDummies)
+	}
+	if leanDummies != 0 {
+		t.Errorf("Lean dummies = %d, want 0", leanDummies)
+	}
+}
+
+// TestConfusedMemcpyDetected: copying a live object of one class over a
+// live object of another class is flagged as a type-confused write.
+func TestConfusedMemcpyDetected(t *testing.T) {
+	m := ir.NewModule("cmemcpy")
+	a := m.MustStruct(ir.NewStruct("A",
+		ir.Field{Name: "x", Type: ir.I64}, ir.Field{Name: "y", Type: ir.I64}))
+	bb := m.MustStruct(ir.NewStruct("B",
+		ir.Field{Name: "u", Type: ir.I64}, ir.Field{Name: "v", Type: ir.I64}))
+	b := ir.NewFunc(m, "main", ir.I64)
+	pa := b.Alloc(a)
+	pb := b.Alloc(bb)
+	b.Store(ir.I64, ir.Const(1), b.FieldPtr(a, pa, 0))
+	b.Store(ir.I64, ir.Const(2), b.FieldPtr(bb, pb, 0))
+	b.Memcpy(pb, pa, ir.Const(int64(a.Size()))) // A image over live B
+	b.Ret(ir.Const(0))
+
+	ins, err := instrument.Apply(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := vm.New(ins.Module)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig(6)
+	cfg.Policy = core.PolicyWarn
+	rt := core.New(ins.Table, cfg)
+	rt.Attach(v)
+	if _, err := v.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rt.ViolationCount(core.ViolationTypeConfusion) == 0 {
+		t.Fatal("confused memcpy not flagged")
+	}
+}

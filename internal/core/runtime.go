@@ -1,0 +1,546 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"polar/internal/classinfo"
+	"polar/internal/layout"
+	"polar/internal/vm"
+)
+
+// Config controls the POLaR runtime.
+type Config struct {
+	// Layout is the randomization configuration (mode, dummies, traps).
+	Layout layout.Config
+	// Seed drives per-allocation randomness. Each program execution in
+	// the paper's threat model uses an unpredictable seed; experiments
+	// pin it for reproducibility.
+	Seed int64
+	// Policy selects abort-on-violation vs count-and-continue.
+	Policy Policy
+	// CacheSize is the offset-lookup cache capacity in entries
+	// (rounded up to a power of two); 0 disables the cache. Default 8192.
+	CacheSize int
+	// RerandomizeOnCopy controls whether olr_memcpy gives the duplicate
+	// copy a fresh layout (the paper's default) or clones the source
+	// layout ("could be disabled ... for performance-purposes", §IV.A.2).
+	RerandomizeOnCopy bool
+	// DetectUAF enables ghost-metadata use-after-free detection.
+	DetectUAF bool
+	// MetadataIntegrity seals every metadata record with a keyed MAC
+	// verified on lookup — the §VI.A hardening (see integrity.go).
+	MetadataIntegrity bool
+	// PerClass overrides the layout configuration for individual
+	// classes (keyed by class hash). This is §IV.B.1's feedback loop:
+	// TaintClass reports which members are input-tainted, and POLaR
+	// tunes dummy insertion and booby traps per class accordingly.
+	PerClass map[uint64]layout.Config
+}
+
+// DefaultConfig mirrors the paper's evaluation configuration.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Layout:            layout.DefaultConfig(),
+		Seed:              seed,
+		Policy:            PolicyAbort,
+		CacheSize:         8192,
+		RerandomizeOnCopy: true,
+		DetectUAF:         true,
+	}
+}
+
+// Stats are the runtime counters behind Table III.
+type Stats struct {
+	Allocs       uint64
+	Frees        uint64
+	Memcpys      uint64
+	MemberAccess uint64
+	CacheHits    uint64
+	CacheMisses  uint64
+	Violations   map[ViolationKind]uint64
+	Meta         MetaStats
+}
+
+// Runtime is the POLaR object-tracking runtime attached to one VM.
+// It is not safe for concurrent use (the VM is single-threaded).
+type Runtime struct {
+	cfg    Config
+	table  *classinfo.Table
+	store  *MetaStore
+	cache  *offsetCache
+	rng    *rand.Rand
+	secret uint64
+
+	allocs     uint64
+	frees      uint64
+	memcpys    uint64
+	accesses   uint64
+	violations map[ViolationKind]uint64
+}
+
+// New creates a runtime for the classes in table.
+func New(table *classinfo.Table, cfg Config) *Runtime {
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = 8192
+	}
+	if cfg.CacheSize < 0 {
+		cfg.CacheSize = 0 // explicit disable for ablation
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	return &Runtime{
+		cfg:        cfg,
+		table:      table,
+		store:      NewMetaStore(),
+		cache:      newOffsetCache(cfg.CacheSize),
+		rng:        rng,
+		secret:     rng.Uint64() | 1,
+		violations: make(map[ViolationKind]uint64),
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (r *Runtime) Stats() Stats {
+	s := Stats{
+		Allocs:       r.allocs,
+		Frees:        r.frees,
+		Memcpys:      r.memcpys,
+		MemberAccess: r.accesses,
+		CacheHits:    r.cache.hits,
+		CacheMisses:  r.cache.misses,
+		Violations:   make(map[ViolationKind]uint64, len(r.violations)),
+		Meta:         r.store.Stats(),
+	}
+	for k, v := range r.violations {
+		s.Violations[k] = v
+	}
+	return s
+}
+
+// ViolationCount sums detections of the given kind.
+func (r *Runtime) ViolationCount(kind ViolationKind) uint64 { return r.violations[kind] }
+
+// Store exposes the metadata table (tests, diagnostics).
+func (r *Runtime) Store() *MetaStore { return r.store }
+
+// LookupObject returns the metadata for an object base, if tracked.
+func (r *Runtime) LookupObject(base uint64) (*ObjectMeta, bool) { return r.store.Lookup(base) }
+
+func (r *Runtime) violate(kind ViolationKind, addr uint64, class string) error {
+	r.violations[kind]++
+	if r.cfg.Policy == PolicyAbort {
+		return &Violation{Kind: kind, Addr: addr, Class: class}
+	}
+	return nil
+}
+
+// canary derives the booby-trap value for a trap slot of the object at
+// base. It depends on a per-run secret, so an attacker who can spray
+// bytes cannot forge it without an information leak.
+func (r *Runtime) canary(base uint64, slotOff int) uint64 {
+	x := base ^ r.secret ^ (uint64(slotOff) * 0x9e3779b97f4a7c15)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x
+}
+
+// Attach registers the olr_* ABI on the VM. The class table used is the
+// one embedded in the module if present (hardened binary), else the
+// table given at construction.
+func (r *Runtime) Attach(v *vm.VM) {
+	v.RegisterBuiltin("olr_malloc", func(c *vm.Call) (int64, error) {
+		return r.olrMalloc(c.VM, uint64(c.Arg(0)))
+	})
+	v.RegisterBuiltin("olr_free", func(c *vm.Call) (int64, error) {
+		return 0, r.olrFree(c.VM, uint64(c.Arg(0)))
+	})
+	v.RegisterBuiltin("olr_getptr", func(c *vm.Call) (int64, error) {
+		return r.olrGetptr(uint64(c.Arg(0)), int(c.Arg(1)), uint64(c.Arg(2)))
+	})
+	v.RegisterBuiltin("olr_memcpy", func(c *vm.Call) (int64, error) {
+		return 0, r.olrMemcpy(c.VM, uint64(c.Arg(0)), uint64(c.Arg(1)), int(c.Arg(2)), uint64(c.Arg(3)))
+	})
+	v.RegisterBuiltin("olr_check", func(c *vm.Call) (int64, error) {
+		return r.olrCheck(c.VM, uint64(c.Arg(0)))
+	})
+}
+
+// olrMalloc implements the instrumented allocation site: generate a
+// fresh per-allocation layout, allocate, install canaries, register
+// metadata.
+func (r *Runtime) olrMalloc(v *vm.VM, classHash uint64) (int64, error) {
+	cls, ok := r.table.ByHash(classHash)
+	if !ok {
+		if err := r.violate(ViolationBadClass, 0, fmt.Sprintf("hash %#x", classHash)); err != nil {
+			return 0, err
+		}
+		return 0, nil
+	}
+	l, err := r.generateLayout(cls)
+	if err != nil {
+		return 0, fmt.Errorf("polar: layout for %s: %w", cls.Name(), err)
+	}
+	l = r.store.Intern(classHash, l)
+	base, err := v.Heap.Alloc(l.TotalSize)
+	if err != nil {
+		return 0, err
+	}
+	r.allocs++
+	meta, old := r.store.Register(base, classHash, l, l.TotalSize)
+	r.seal(meta)
+	if old != nil {
+		r.cache.invalidate(base, len(old.Layout.Offsets))
+	}
+	v.TrackObject(base, cls.Struct)
+	if err := r.armTraps(v, base, l); err != nil {
+		return 0, err
+	}
+	return int64(base), nil
+}
+
+func (r *Runtime) generateLayout(cls *classinfo.Class) (*layout.Layout, error) {
+	fields := make([]layout.FieldInfo, len(cls.Members))
+	for i, m := range cls.Members {
+		fields[i] = layout.FieldInfo{Size: m.Size, Align: m.Align, IsFptr: m.Kind == classinfo.KindFuncPointer}
+	}
+	cfg := r.cfg.Layout
+	if over, ok := r.cfg.PerClass[cls.Hash]; ok {
+		cfg = over
+	}
+	return layout.Generate(fields, cfg, r.rng)
+}
+
+// armTraps writes fresh canaries into every trap slot.
+func (r *Runtime) armTraps(v *vm.VM, base uint64, l *layout.Layout) error {
+	for _, s := range l.Slots {
+		if !s.Trap {
+			continue
+		}
+		if err := v.Mem.WriteU(base+uint64(s.Offset), 8, r.canary(base, s.Offset)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkTraps verifies every canary; returns the first corrupted slot
+// offset, or -1.
+func (r *Runtime) checkTraps(v *vm.VM, base uint64, l *layout.Layout) (int, error) {
+	for _, s := range l.Slots {
+		if !s.Trap {
+			continue
+		}
+		got, err := v.Mem.ReadU(base+uint64(s.Offset), 8)
+		if err != nil {
+			return -1, err
+		}
+		if got != r.canary(base, s.Offset) {
+			return s.Offset, nil
+		}
+	}
+	return -1, nil
+}
+
+// olrFree implements the instrumented deallocation site: validate,
+// check traps, retire metadata (keeping a ghost for UAF detection).
+func (r *Runtime) olrFree(v *vm.VM, base uint64) error {
+	meta, ok := r.store.Lookup(base)
+	if !ok {
+		return r.violate(ViolationBadFree, base, "?")
+	}
+	if err := r.verifySeal(meta); err != nil {
+		return err
+	}
+	cls := r.className(meta.ClassHash)
+	if meta.Freed {
+		return r.violate(ViolationDoubleFree, base, cls)
+	}
+	if bad, err := r.checkTraps(v, base, meta.Layout); err != nil {
+		return err
+	} else if bad >= 0 {
+		if verr := r.violate(ViolationTrap, base+uint64(bad), cls); verr != nil {
+			return verr
+		}
+	}
+	r.frees++
+	r.cache.invalidate(base, len(meta.Layout.Offsets))
+	if r.cfg.DetectUAF {
+		r.store.MarkFreed(base)
+		r.seal(meta) // Freed participates in the MAC
+	} else {
+		r.store.Drop(base)
+	}
+	v.UntrackObject(base)
+	return v.Heap.Free(base)
+}
+
+// olrGetptr implements the instrumented member access (Fig. 4's
+// olr_getptr(A, 2)): resolve the randomized offset of field through the
+// metadata, consulting the lookup cache first. The cache is keyed by
+// (base, class, field) and invalidated on free/re-registration, so a
+// hit can only occur for a live, correctly-typed object — the slow path
+// performs the UAF and type-confusion checks.
+func (r *Runtime) olrGetptr(base uint64, field int, classHash uint64) (int64, error) {
+	r.accesses++
+	if off, hit := r.cache.get(base, classHash, field); hit {
+		return int64(base + uint64(off)), nil
+	}
+	meta, ok := r.store.Lookup(base)
+	if ok {
+		if err := r.verifySeal(meta); err != nil {
+			return 0, err
+		}
+	}
+	if ok && r.cfg.DetectUAF && meta.Freed {
+		if err := r.violate(ViolationUAF, base, r.className(meta.ClassHash)); err != nil {
+			return 0, err
+		}
+		// Warn policy: fall through and resolve against the ghost layout,
+		// which is what a real dangling access would touch.
+	}
+	if !ok {
+		// Untracked object (stack/global instance of a randomized class,
+		// or memory the pass could not see allocated): fall back to the
+		// compiler's static layout.
+		cls, found := r.table.ByHash(classHash)
+		if !found {
+			if err := r.violate(ViolationBadClass, base, fmt.Sprintf("hash %#x", classHash)); err != nil {
+				return 0, err
+			}
+			return int64(base), nil
+		}
+		if field < 0 || field >= len(cls.Members) {
+			return 0, fmt.Errorf("polar: field %d out of range for %s", field, cls.Name())
+		}
+		return int64(base + uint64(cls.Members[field].StaticOffset)), nil
+	}
+	if meta.ClassHash != classHash {
+		// The access site was compiled against a different class than
+		// the one recorded at allocation time — a type-confused access.
+		// The metadata of Fig. 4 carries the allocation's class hash, so
+		// this check is one compare on the lookup path.
+		if err := r.violate(ViolationTypeConfusion, base, r.className(meta.ClassHash)); err != nil {
+			return 0, err
+		}
+		// Warn policy: fall through and resolve against the actual
+		// object's randomized layout — the confused read lands on
+		// whatever the allocation's layout put at that member index,
+		// which is the nondeterminism §III.B.2 describes.
+	}
+	if field < 0 || field >= len(meta.Layout.Offsets) {
+		// Confused index beyond the actual object's member count: land
+		// on the object base (defined, harmless) rather than faulting.
+		return int64(base), nil
+	}
+	off, err := meta.Layout.FieldOffset(field)
+	if err != nil {
+		return 0, fmt.Errorf("polar: %s: %w", r.className(meta.ClassHash), err)
+	}
+	// Only well-typed live accesses populate the cache; confused or
+	// dangling resolutions must keep hitting the slow path.
+	if meta.ClassHash == classHash && !meta.Freed {
+		r.cache.put(base, classHash, field, int32(off))
+	}
+	return int64(base + uint64(off)), nil
+}
+
+// olrMemcpy implements the instrumented object copy (§IV.A.2): when the
+// source is a tracked object, the copy is performed member-wise so the
+// destination can carry its own (fresh or cloned) randomized layout.
+func (r *Runtime) olrMemcpy(v *vm.VM, dst, src uint64, n int, classHash uint64) error {
+	r.memcpys++
+	srcMeta, srcTracked := r.store.Lookup(src)
+	if srcTracked {
+		if err := r.verifySeal(srcMeta); err != nil {
+			return err
+		}
+	}
+	if srcTracked && r.cfg.DetectUAF && srcMeta.Freed {
+		if err := r.violate(ViolationUAF, src, r.className(srcMeta.ClassHash)); err != nil {
+			return err
+		}
+	}
+	if !srcTracked {
+		// Raw copy; if the destination is a tracked object we must write
+		// member-wise into its randomized layout from a static-layout
+		// source image.
+		if dstMeta, ok := r.store.Lookup(dst); ok && !dstMeta.Freed {
+			return r.copyStaticToRandom(v, dst, dstMeta, src)
+		}
+		return v.Mem.Copy(dst, src, n)
+	}
+	cls, ok := r.table.ByHash(srcMeta.ClassHash)
+	if !ok {
+		return v.Mem.Copy(dst, src, n)
+	}
+	if bad, err := r.checkTraps(v, src, srcMeta.Layout); err != nil {
+		return err
+	} else if bad >= 0 {
+		if verr := r.violate(ViolationTrap, src+uint64(bad), cls.Name()); verr != nil {
+			return verr
+		}
+	}
+	dstMeta, dstTracked := r.store.Lookup(dst)
+	if dstTracked && !dstMeta.Freed {
+		if dstMeta.ClassHash != srcMeta.ClassHash {
+			// Copying one class's image over a live object of another
+			// class is a type-confused write (§III.A.1 in memcpy form).
+			if err := r.violate(ViolationTypeConfusion, dst, r.className(dstMeta.ClassHash)); err != nil {
+				return err
+			}
+			// Warn policy: perform the raw copy the unprotected program
+			// would have done — clobbering dst's randomized image — and
+			// leave the booby traps to catch the damage later.
+			return v.Mem.Copy(dst, src, n)
+		}
+		// Destination already has its own randomized layout: remap.
+		return r.copyMemberwise(v, dst, dstMeta.Layout, src, srcMeta.Layout, cls)
+	}
+	// Destination is an untracked region (fresh raw chunk, stack or
+	// global). Give it a layout of its own when it is a heap chunk large
+	// enough; otherwise fall back to the static layout so subsequent
+	// accesses still resolve via the static path.
+	if size, live, isChunk := v.Heap.SizeOf(dst); isChunk && live {
+		l, err := r.layoutFitting(cls, srcMeta.Layout, size)
+		if err != nil {
+			return err
+		}
+		if l != nil {
+			l = r.store.Intern(srcMeta.ClassHash, l)
+			dm, old := r.store.Register(dst, srcMeta.ClassHash, l, l.TotalSize)
+			r.seal(dm)
+			if old != nil {
+				r.cache.invalidate(dst, len(old.Layout.Offsets))
+			}
+			v.TrackObject(dst, cls.Struct)
+			if err := r.armTraps(v, dst, l); err != nil {
+				return err
+			}
+			return r.copyMemberwise(v, dst, l, src, srcMeta.Layout, cls)
+		}
+	}
+	return r.copyRandomToStatic(v, dst, src, srcMeta, cls)
+}
+
+// layoutFitting picks the layout for a duplicate copy, no larger than
+// limit. Under RerandomizeOnCopy it generates a fresh layout, degrading
+// the configuration (fewer dummies, no traps, identity) until it fits;
+// otherwise it clones the source layout (the cheaper mode of §IV.A.2).
+// Returns nil if even the identity layout exceeds limit.
+func (r *Runtime) layoutFitting(cls *classinfo.Class, srcLayout *layout.Layout, limit int) (*layout.Layout, error) {
+	if !r.cfg.RerandomizeOnCopy {
+		if srcLayout.TotalSize <= limit {
+			return srcLayout, nil
+		}
+	} else {
+		base := r.cfg.Layout
+		if over, ok := r.cfg.PerClass[cls.Hash]; ok {
+			base = over
+		}
+		noDummies := base
+		noDummies.MinDummies, noDummies.MaxDummies = 0, 0
+		noTraps := noDummies
+		noTraps.BoobyTraps = false
+		for _, cfg := range []layout.Config{base, noDummies, noTraps} {
+			l, err := r.generateLayoutWith(cls, cfg)
+			if err != nil {
+				return nil, err
+			}
+			if l.TotalSize <= limit {
+				return l, nil
+			}
+		}
+	}
+	l, err := r.generateLayoutWith(cls, layout.Config{Mode: layout.ModeIdentity})
+	if err != nil {
+		return nil, err
+	}
+	if l.TotalSize <= limit {
+		return l, nil
+	}
+	return nil, nil
+}
+
+func (r *Runtime) generateLayoutWith(cls *classinfo.Class, cfg layout.Config) (*layout.Layout, error) {
+	fields := make([]layout.FieldInfo, len(cls.Members))
+	for i, m := range cls.Members {
+		fields[i] = layout.FieldInfo{Size: m.Size, Align: m.Align, IsFptr: m.Kind == classinfo.KindFuncPointer}
+	}
+	return layout.Generate(fields, cfg, r.rng)
+}
+
+func (r *Runtime) copyMemberwise(v *vm.VM, dst uint64, dl *layout.Layout, src uint64, sl *layout.Layout, cls *classinfo.Class) error {
+	for i, m := range cls.Members {
+		so, err := sl.FieldOffset(i)
+		if err != nil {
+			return err
+		}
+		do, err := dl.FieldOffset(i)
+		if err != nil {
+			return err
+		}
+		if err := v.Mem.Copy(dst+uint64(do), src+uint64(so), m.Size); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *Runtime) copyRandomToStatic(v *vm.VM, dst, src uint64, srcMeta *ObjectMeta, cls *classinfo.Class) error {
+	for i, m := range cls.Members {
+		so, err := srcMeta.Layout.FieldOffset(i)
+		if err != nil {
+			return err
+		}
+		if err := v.Mem.Copy(dst+uint64(m.StaticOffset), src+uint64(so), m.Size); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *Runtime) copyStaticToRandom(v *vm.VM, dst uint64, dstMeta *ObjectMeta, src uint64) error {
+	cls, ok := r.table.ByHash(dstMeta.ClassHash)
+	if !ok {
+		return v.Mem.Copy(dst, src, dstMeta.Size)
+	}
+	for i, m := range cls.Members {
+		do, err := dstMeta.Layout.FieldOffset(i)
+		if err != nil {
+			return err
+		}
+		if err := v.Mem.Copy(dst+uint64(do), src+uint64(m.StaticOffset), m.Size); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// olrCheck lets a program (or exploit experiment) force a booby-trap
+// sweep of one object; returns 1 if intact, 0 if a trap fired (under
+// PolicyWarn) and an error under PolicyAbort.
+func (r *Runtime) olrCheck(v *vm.VM, base uint64) (int64, error) {
+	meta, ok := r.store.Lookup(base)
+	if !ok {
+		return 1, nil
+	}
+	bad, err := r.checkTraps(v, base, meta.Layout)
+	if err != nil {
+		return 0, err
+	}
+	if bad < 0 {
+		return 1, nil
+	}
+	if verr := r.violate(ViolationTrap, base+uint64(bad), r.className(meta.ClassHash)); verr != nil {
+		return 0, verr
+	}
+	return 0, nil
+}
+
+func (r *Runtime) className(hash uint64) string {
+	if cls, ok := r.table.ByHash(hash); ok {
+		return cls.Name()
+	}
+	return fmt.Sprintf("hash %#x", hash)
+}

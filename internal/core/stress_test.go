@@ -1,0 +1,137 @@
+package core_test
+
+import (
+	"testing"
+
+	"polar/internal/core"
+	"polar/internal/instrument"
+	"polar/internal/ir"
+	"polar/internal/vm"
+)
+
+// TestChurnStressBoundedMetadata runs a gcc-profile churn (tens of
+// thousands of alloc/free pairs) and checks the runtime stays healthy:
+// results correct, no metadata leak (ghost records are overwritten when
+// chunks are recycled), layout dedup keeps the unique-layout population
+// far below the allocation count.
+func TestChurnStressBoundedMetadata(t *testing.T) {
+	m := ir.NewModule("churn")
+	st := m.MustStruct(ir.NewStruct("Node",
+		ir.Field{Name: "a", Type: ir.I64},
+		ir.Field{Name: "b", Type: ir.I32},
+		ir.Field{Name: "c", Type: ir.I32},
+	))
+	const n = 30_000
+	b := ir.NewFunc(m, "main", ir.I64)
+	acc := b.Local(ir.I64)
+	b.Store(ir.I64, ir.Const(0), acc)
+	b.CountedLoop("churn", ir.Const(n), func(i ir.Value) {
+		p := b.Alloc(st)
+		b.Store(ir.I64, i, b.FieldPtr(st, p, 0))
+		v := b.Load(ir.I64, b.FieldPtr(st, p, 0))
+		s := b.Load(ir.I64, acc)
+		b.Store(ir.I64, b.Bin(ir.BinAdd, s, v), acc)
+		b.Free(p)
+	})
+	b.Ret(b.Load(ir.I64, acc))
+
+	ins, err := instrument.Apply(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := vm.New(ins.Module)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := core.New(ins.Table, core.DefaultConfig(21))
+	rt.Attach(v)
+	got, err := v.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(n) * (n - 1) / 2
+	if got != want {
+		t.Fatalf("checksum = %d, want %d", got, want)
+	}
+	st2 := rt.Stats()
+	if st2.Allocs != n || st2.Frees != n {
+		t.Fatalf("counters = %+v", st2)
+	}
+	// LIFO reuse means the churn cycles through a handful of chunk
+	// addresses; ghost records are overwritten on re-registration, so
+	// the object table must stay tiny, not O(n).
+	if live := rt.Store().LiveCount(); live != 0 {
+		t.Errorf("live metadata after full churn = %d", live)
+	}
+	// Layout dedup: 4 placement items (3 fields + 1-2 dummies) admit
+	// only a few hundred distinct layouts; 30k allocations must share.
+	meta := st2.Meta
+	if meta.LayoutsUnique > 2000 {
+		t.Errorf("unique layouts = %d; dedup ineffective", meta.LayoutsUnique)
+	}
+	if meta.LayoutsShared < uint64(n)-2000 {
+		t.Errorf("shared layouts = %d of %d registrations", meta.LayoutsShared, n)
+	}
+	if v.Heap.LiveCount() != 0 {
+		t.Error("heap chunks leaked")
+	}
+}
+
+// TestManyLiveObjects keeps thousands of objects alive simultaneously
+// and verifies every field read resolves correctly through per-object
+// layouts.
+func TestManyLiveObjects(t *testing.T) {
+	m := ir.NewModule("manylive")
+	st := m.MustStruct(ir.NewStruct("Cell",
+		ir.Field{Name: "idx", Type: ir.I64},
+		ir.Field{Name: "sq", Type: ir.I64},
+	))
+	const n = 4000
+	if _, err := m.AddGlobal("tab", 8*n, nil); err != nil {
+		t.Fatal(err)
+	}
+	b := ir.NewFunc(m, "main", ir.I64)
+	b.CountedLoop("mk", ir.Const(n), func(i ir.Value) {
+		p := b.Alloc(st)
+		b.Store(ir.I64, i, b.FieldPtr(st, p, 0))
+		b.Store(ir.I64, b.Bin(ir.BinMul, i, i), b.FieldPtr(st, p, 1))
+		b.Store(ir.I64, p, b.ElemPtr(ir.I64, ir.Global("tab"), i))
+	})
+	bad := b.Local(ir.I64)
+	b.Store(ir.I64, ir.Const(0), bad)
+	b.CountedLoop("check", ir.Const(n), func(i ir.Value) {
+		p := b.Load(ir.PtrTo(st), b.ElemPtr(ir.I64, ir.Global("tab"), i))
+		idx := b.Load(ir.I64, b.FieldPtr(st, p, 0))
+		sq := b.Load(ir.I64, b.FieldPtr(st, p, 1))
+		ok1 := b.Cmp(ir.CmpEq, idx, i)
+		ok2 := b.Cmp(ir.CmpEq, sq, b.Bin(ir.BinMul, i, i))
+		both := b.Bin(ir.BinAnd, ok1, ok2)
+		wrong := b.Cmp(ir.CmpEq, both, ir.Const(0))
+		b.If("mismatch", wrong, func() {
+			cur := b.Load(ir.I64, bad)
+			b.Store(ir.I64, b.Bin(ir.BinAdd, cur, ir.Const(1)), bad)
+		}, nil)
+	})
+	b.Ret(b.Load(ir.I64, bad))
+
+	ins, err := instrument.Apply(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := vm.New(ins.Module)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := core.New(ins.Table, core.DefaultConfig(33))
+	rt.Attach(v)
+	got, err := v.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("%d of %d objects resolved a field wrongly", got, n)
+	}
+	if live := rt.Store().LiveCount(); live != n {
+		t.Errorf("live metadata = %d, want %d", live, n)
+	}
+}

@@ -1,0 +1,84 @@
+// Package core implements the POLaR runtime — the per-allocation object
+// layout randomization framework of §IV.A (the paper's primary
+// contribution).
+//
+// The runtime exposes the olr_* ABI the instrumentation pass targets
+// (Fig. 4): olr_malloc generates a fresh randomized layout per
+// allocation and registers object metadata; olr_getptr resolves member
+// addresses through that metadata (with a hashtable result cache, §V.B);
+// olr_free validates booby traps and retires metadata; olr_memcpy
+// re-randomizes duplicate copies (§IV.A.2). Dummy members double as
+// booby traps in front of function pointers, and stale metadata exposes
+// obvious use-after-free attempts (§IV.A.3).
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ViolationKind classifies detected memory-error symptoms.
+type ViolationKind int
+
+// Violation kinds.
+const (
+	ViolationTrap          ViolationKind = iota + 1 // booby-trap canary corrupted
+	ViolationUAF                                    // access through freed object metadata
+	ViolationDoubleFree                             // olr_free on already-freed object
+	ViolationBadFree                                // olr_free on unknown address
+	ViolationBadClass                               // class hash not in CIE table
+	ViolationTypeConfusion                          // access class hash != allocation class hash
+	ViolationMetadata                               // metadata integrity MAC mismatch (§VI.A)
+)
+
+// String implements fmt.Stringer.
+func (k ViolationKind) String() string {
+	switch k {
+	case ViolationTrap:
+		return "booby-trap"
+	case ViolationUAF:
+		return "use-after-free"
+	case ViolationDoubleFree:
+		return "double-free"
+	case ViolationBadFree:
+		return "invalid-free"
+	case ViolationBadClass:
+		return "unknown-class"
+	case ViolationTypeConfusion:
+		return "type-confusion"
+	case ViolationMetadata:
+		return "metadata-corruption"
+	default:
+		return "?"
+	}
+}
+
+// ErrViolation is the sentinel wrapped by all Violation errors.
+var ErrViolation = errors.New("polar: security violation")
+
+// Violation is the error returned (under PolicyAbort) when the runtime
+// detects an attack symptom.
+type Violation struct {
+	Kind  ViolationKind
+	Addr  uint64
+	Class string
+}
+
+// Error implements error.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("polar: %s detected at 0x%x (class %s)", v.Kind, v.Addr, v.Class)
+}
+
+// Unwrap lets errors.Is(err, ErrViolation) match.
+func (v *Violation) Unwrap() error { return ErrViolation }
+
+// Policy decides what the runtime does on detection.
+type Policy int
+
+// Policies. PolicyAbort terminates the program with a *Violation error
+// (production behaviour); PolicyWarn counts the event and continues
+// (used by experiments that measure detection rates without aborting).
+const (
+	PolicyAbort Policy = iota + 1
+	PolicyWarn
+)

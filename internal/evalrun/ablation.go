@@ -1,0 +1,87 @@
+package evalrun
+
+import (
+	"fmt"
+	"strings"
+
+	"polar/internal/core"
+	"polar/internal/layout"
+	"polar/internal/workload"
+)
+
+// AblationRow measures one design-choice variant on one app.
+type AblationRow struct {
+	Config      string
+	App         string
+	OverheadPct float64
+	CacheHitPct float64
+}
+
+// ablationConfigs enumerates the DESIGN.md §4 variants. The offset
+// cache and layout dedup are the paper's two explicit optimizations
+// (§V.B); the copy re-randomization switch is called out in §IV.A.2;
+// dummy count and cache-line mode are the randomization knobs.
+func ablationConfigs(seed int64) []struct {
+	name string
+	cfg  core.Config
+} {
+	mk := func(mod func(*core.Config)) core.Config {
+		c := core.DefaultConfig(seed)
+		mod(&c)
+		return c
+	}
+	return []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"default", mk(func(c *core.Config) {})},
+		{"no-cache", mk(func(c *core.Config) { c.CacheSize = -1 })},
+		{"no-copy-rerand", mk(func(c *core.Config) { c.RerandomizeOnCopy = false })},
+		{"no-dummies", mk(func(c *core.Config) {
+			c.Layout.MinDummies, c.Layout.MaxDummies = 0, 0
+			c.Layout.BoobyTraps = false
+		})},
+		{"max-dummies", mk(func(c *core.Config) {
+			c.Layout.MinDummies, c.Layout.MaxDummies = 3, 4
+		})},
+		{"cacheline-mode", mk(func(c *core.Config) { c.Layout.Mode = layout.ModeCacheLine })},
+	}
+}
+
+// Ablation measures the overhead of each configuration variant on the
+// member-access-bound (mcf), allocation-bound (sjeng) and copy-bound
+// (h264ref) apps — the three profiles that exercise the three ablatable
+// mechanisms.
+func Ablation(reps int, seed int64) ([]AblationRow, error) {
+	apps := []string{"429.mcf", "458.sjeng", "464.h264ref"}
+	var rows []AblationRow
+	for _, cfgEntry := range ablationConfigs(seed) {
+		for _, name := range apps {
+			w, err := workload.ByName(name)
+			if err != nil {
+				return nil, err
+			}
+			base, polar, err := measureWorkload(w, reps, seed, cfgEntry.cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", cfgEntry.name, name, err)
+			}
+			rows = append(rows, AblationRow{
+				Config:      cfgEntry.name,
+				App:         name,
+				OverheadPct: overheadPct(base, polar),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderAblation renders the ablation grid.
+func RenderAblation(rows []AblationRow) string {
+	var b strings.Builder
+	b.WriteString("Ablation: overhead by runtime configuration (DESIGN.md §4)\n")
+	b.WriteString(fmt.Sprintf("%-16s %-14s %9s\n", "config", "app", "ovhd%"))
+	for _, r := range rows {
+		b.WriteString(fmt.Sprintf("%-16s %-14s %8.1f%%\n", r.Config, r.App, r.OverheadPct))
+	}
+	return b.String()
+}

@@ -1,0 +1,110 @@
+// Package evalrun is the experiment harness: it regenerates every table
+// and figure of the paper's evaluation (§V) from the workloads, the
+// instrumentation pass, the POLaR runtime and the TaintClass framework,
+// and renders them as text reports.
+//
+// Experiment index (see DESIGN.md §3):
+//
+//	TableI    – tainted-object lists per application
+//	Figure6   – SPEC2006 overhead percentages
+//	TableII   – ChakraCore-suite aggregate overheads
+//	TableIII  – per-app alloc/free/memcpy/member-access/cache-hit counts
+//	TableIV   – per-CVE exploit-object discovery (mini-libpng)
+//	Figure7   – per-benchmark Default vs POLaR series for the JS suites
+//	Security  – §III/§V.C attack-outcome matrix
+//	Ablation  – design-choice ablations (cache, dedup, copy re-rand, dummies)
+package evalrun
+
+import (
+	"fmt"
+	"time"
+
+	"polar/internal/core"
+	"polar/internal/instrument"
+	"polar/internal/ir"
+	"polar/internal/vm"
+	"polar/internal/workload"
+)
+
+// runOnce executes a prepared module once and returns the wall time of
+// the Run call and the final checksum.
+func runOnce(m *ir.Module, input []byte, args []int64, rt func(*vm.VM)) (time.Duration, int64, error) {
+	v, err := vm.New(m, vm.WithInput(input))
+	if err != nil {
+		return 0, 0, err
+	}
+	if rt != nil {
+		rt(v)
+	}
+	start := time.Now()
+	res, err := v.Run(args...)
+	if err != nil {
+		return 0, 0, err
+	}
+	return time.Since(start), res, nil
+}
+
+// measureWorkload returns baseline and POLaR-hardened run times for one
+// workload, verifying checksum equality on the way.
+//
+// Methodology: baseline and hardened executions are interleaved and the
+// minimum over reps is taken for each — min-of-N is far more robust to
+// scheduler/co-tenant noise than the mean or median for CPU-bound
+// deterministic work, and interleaving keeps slow system phases from
+// biasing one configuration.
+func measureWorkload(w *workload.Workload, reps int, seed int64, cfg core.Config) (base, polar time.Duration, err error) {
+	baseline := ir.Clone(w.Module)
+	if err := ir.Validate(baseline); err != nil {
+		return 0, 0, fmt.Errorf("%s: %w", w.Name, err)
+	}
+	ins, err := instrument.Apply(w.Module, nil)
+	if err != nil {
+		return 0, 0, fmt.Errorf("%s: instrument: %w", w.Name, err)
+	}
+	if reps < 1 {
+		reps = 1
+	}
+
+	var wantSum int64
+	first := true
+	base, polar = time.Duration(1<<62), time.Duration(1<<62)
+	runSeed := seed
+	for i := 0; i < reps; i++ {
+		d, sum, err := runOnce(ir.Clone(baseline), w.Input, w.Args, nil)
+		if err != nil {
+			return 0, 0, fmt.Errorf("%s: baseline: %w", w.Name, err)
+		}
+		if first {
+			wantSum, first = sum, false
+		} else if sum != wantSum {
+			return 0, 0, fmt.Errorf("%s: baseline checksum drift", w.Name)
+		}
+		if d < base {
+			base = d
+		}
+
+		runSeed++
+		d, sum, err = runOnce(ir.Clone(ins.Module), w.Input, w.Args, func(v *vm.VM) {
+			c := cfg
+			c.Seed = runSeed
+			core.New(ins.Table, c).Attach(v)
+		})
+		if err != nil {
+			return 0, 0, fmt.Errorf("%s: hardened: %w", w.Name, err)
+		}
+		if sum != wantSum {
+			return 0, 0, fmt.Errorf("%s: hardened checksum %d != baseline %d", w.Name, sum, wantSum)
+		}
+		if d < polar {
+			polar = d
+		}
+	}
+	return base, polar, nil
+}
+
+func overheadPct(base, polar time.Duration) float64 {
+	if base <= 0 {
+		return 0
+	}
+	return 100 * (float64(polar) - float64(base)) / float64(base)
+}

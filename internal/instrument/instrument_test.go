@@ -1,0 +1,236 @@
+package instrument
+
+import (
+	"testing"
+
+	"polar/internal/ir"
+)
+
+func buildVictimModule() *ir.Module {
+	m := ir.NewModule("victim")
+	st := m.MustStruct(ir.NewStruct("T",
+		ir.Field{Name: "vt", Type: ir.Fptr},
+		ir.Field{Name: "a", Type: ir.I64},
+	))
+	other := m.MustStruct(ir.NewStruct("U", ir.Field{Name: "x", Type: ir.I32}))
+	_ = other
+
+	b := ir.NewFunc(m, "main", ir.I64)
+	p := b.Alloc(st)
+	f := b.FieldPtrName(st, p, "a")
+	b.Store(ir.I64, ir.Const(1), f)
+	q := b.Alloc(st)
+	b.Memcpy(q, p, ir.Const(int64(st.Size())))
+	raw := b.PtrAdd(p, ir.Const(8)) // manual offset arithmetic
+	_ = raw
+	b.Free(p)
+	b.Free(q)
+	u := b.Alloc(m.Structs["U"])
+	uf := b.FieldPtrName(m.Structs["U"], u, "x")
+	b.Store(ir.I32, ir.Const(2), uf)
+	arr := b.AllocN(st, ir.Const(4)) // array alloc: must NOT be rewritten
+	_ = arr
+	b.Ret(ir.Const(0))
+	return m
+}
+
+func countCalls(m *ir.Module, callee string) int {
+	n := 0
+	for _, f := range m.Funcs {
+		for _, blk := range f.Blocks {
+			for i := range blk.Instrs {
+				if blk.Instrs[i].Op == ir.OpCall && blk.Instrs[i].Callee == callee {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+func TestApplyRewritesTargetedOps(t *testing.T) {
+	m := buildVictimModule()
+	res, err := Apply(m, []string{"T"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := countCalls(res.Module, "olr_malloc"); got != 2 {
+		t.Errorf("olr_malloc calls = %d, want 2 (array alloc must be skipped)", got)
+	}
+	if got := countCalls(res.Module, "olr_getptr"); got != 1 {
+		t.Errorf("olr_getptr calls = %d, want 1 (U access untouched)", got)
+	}
+	if got := countCalls(res.Module, "olr_free"); got != 2 {
+		t.Errorf("olr_free calls = %d, want 2", got)
+	}
+	if got := countCalls(res.Module, "olr_memcpy"); got != 1 {
+		t.Errorf("olr_memcpy calls = %d, want 1", got)
+	}
+	if res.Rewrites.Allocs != 2 || res.Rewrites.FieldPtrs != 1 ||
+		res.Rewrites.Frees != 2 || res.Rewrites.Memcpys != 1 {
+		t.Errorf("rewrite counts = %+v", res.Rewrites)
+	}
+	if res.Rewrites.SkippedRawAccess != 1 {
+		t.Errorf("skipped raw accesses = %d, want 1 (the ptradd)", res.Rewrites.SkippedRawAccess)
+	}
+}
+
+func TestApplyDoesNotMutateOriginal(t *testing.T) {
+	m := buildVictimModule()
+	before := ir.Print(m)
+	if _, err := Apply(m, nil); err != nil {
+		t.Fatal(err)
+	}
+	if after := ir.Print(m); after != before {
+		t.Fatal("Apply mutated the input module")
+	}
+}
+
+func TestApplyEmbedsClassTable(t *testing.T) {
+	m := buildVictimModule()
+	res, err := Apply(m, []string{"T"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Module.ClassTable) != 1 {
+		t.Fatalf("class table entries = %d, want 1", len(res.Module.ClassTable))
+	}
+	if res.Module.ClassTable[0].Struct.Name != "T" {
+		t.Errorf("embedded class = %s", res.Module.ClassTable[0].Struct.Name)
+	}
+	// The embedded struct must be the clone's, not the original's.
+	if res.Module.ClassTable[0].Struct == m.Structs["T"] {
+		t.Error("class table references the original module's struct")
+	}
+}
+
+func TestApplyEmptyTargetsRewritesNothing(t *testing.T) {
+	m := buildVictimModule()
+	res, err := Apply(m, []string{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, callee := range []string{"olr_malloc", "olr_getptr", "olr_free", "olr_memcpy"} {
+		if n := countCalls(res.Module, callee); n != 0 {
+			t.Errorf("%s calls = %d with empty target set", callee, n)
+		}
+	}
+}
+
+func TestApplyUnknownTarget(t *testing.T) {
+	m := buildVictimModule()
+	if _, err := Apply(m, []string{"Ghost"}); err == nil {
+		t.Fatal("unknown target accepted")
+	}
+}
+
+// TestTypePropagationThroughLoadsAndCalls checks that pointer types
+// flow through typed loads, movs and function returns so frees get
+// instrumented.
+func TestTypePropagationThroughLoadsAndCalls(t *testing.T) {
+	m := ir.NewModule("prop")
+	st := m.MustStruct(ir.NewStruct("T", ir.Field{Name: "a", Type: ir.I64}))
+	if _, err := m.AddGlobal("slot", 8, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	mk := ir.NewFunc(m, "make", ir.PtrTo(st))
+	p := mk.Alloc(st)
+	mk.Ret(p)
+
+	b := ir.NewFunc(m, "main", ir.I64)
+	q := b.Call("make")
+	b.Store(ir.I64, q, ir.Global("slot"))
+	q2 := b.Load(ir.PtrTo(st), ir.Global("slot"))
+	q3 := b.Mov(q2)
+	b.Free(q3) // via call-return -> store/load -> mov
+	b.Ret(ir.Const(0))
+
+	res, err := Apply(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rewrites.Frees != 1 {
+		t.Errorf("free through load+mov chain not instrumented (frees=%d)", res.Rewrites.Frees)
+	}
+	// Param-typed pointers propagate too.
+	m2 := ir.NewModule("prop2")
+	st2 := m2.MustStruct(ir.NewStruct("T", ir.Field{Name: "a", Type: ir.I64}))
+	fb := ir.NewFunc(m2, "drop", ir.Void, ir.Param{Name: "p", Type: ir.PtrTo(st2)})
+	fb.Free(fb.ParamReg(0))
+	fb.Ret()
+	mb := ir.NewFunc(m2, "main", ir.I64)
+	pp := mb.Alloc(st2)
+	mb.CallVoid("drop", pp)
+	mb.Ret(ir.Const(0))
+	res2, err := Apply(m2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Rewrites.Frees != 1 {
+		t.Errorf("free through typed param not instrumented (frees=%d)", res2.Rewrites.Frees)
+	}
+}
+
+func TestApplyOutputValidates(t *testing.T) {
+	m := buildVictimModule()
+	res, err := Apply(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ir.Validate(res.Module); err != nil {
+		t.Fatal(err)
+	}
+	// The hardened module must also survive a print/parse round trip.
+	if _, err := ir.Parse(ir.Print(res.Module)); err != nil {
+		t.Fatalf("hardened module does not re-parse: %v", err)
+	}
+}
+
+// TestNoRandomAnnotationExcludesClass: the __no_randomize_layout
+// analogue (§II.C) wins even over an explicit target list, and survives
+// the textual round trip.
+func TestNoRandomAnnotationExcludesClass(t *testing.T) {
+	m := ir.NewModule("anno")
+	wire := ir.NewStruct("WireHeader",
+		ir.Field{Name: "magic", Type: ir.I32},
+		ir.Field{Name: "len", Type: ir.I32},
+	)
+	wire.NoRandom = true
+	m.MustStruct(wire)
+	st := m.MustStruct(ir.NewStruct("T", ir.Field{Name: "x", Type: ir.I64}))
+
+	b := ir.NewFunc(m, "main", ir.I64)
+	w := b.Alloc(wire)
+	b.Store(ir.I32, ir.Const(1), b.FieldPtrName(wire, w, "magic"))
+	p := b.Alloc(st)
+	b.Store(ir.I64, ir.Const(2), b.FieldPtr(st, p, 0))
+	b.Ret(ir.Const(0))
+
+	res, err := Apply(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.Has(res.Module.Structs["WireHeader"]) {
+		t.Fatal("annotated class entered the CIE table")
+	}
+	if res.Rewrites.Allocs != 1 || res.Rewrites.FieldPtrs != 1 {
+		t.Fatalf("rewrites = %+v, want only T's sites", res.Rewrites)
+	}
+	// Explicit targeting cannot override the annotation.
+	res2, err := Apply(m, []string{"WireHeader", "T"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Table.Len() != 1 {
+		t.Fatalf("annotation overridden: table has %d classes", res2.Table.Len())
+	}
+	// The tag round-trips through the textual form.
+	back, err := ir.Parse(ir.Print(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Structs["WireHeader"].NoRandom || back.Structs["T"].NoRandom {
+		t.Fatal("norandom tag lost or leaked in round trip")
+	}
+}

@@ -1,0 +1,283 @@
+package ir
+
+import "fmt"
+
+// Builder constructs a Func imperatively. It tracks the current block
+// and allocates registers. All emit methods return the destination
+// register operand where one exists.
+//
+// Builder methods panic on structural misuse (emitting into a finished
+// block, undefined block names); this is construction-time programmer
+// error, not runtime input, matching the style-guide exception for
+// unrecoverable programmer errors.
+type Builder struct {
+	Mod  *Module
+	Fn   *Func
+	cur  *Block
+	done bool
+}
+
+// NewFunc starts a new function in m and returns a builder positioned at
+// its entry block.
+func NewFunc(m *Module, name string, ret Type, params ...Param) *Builder {
+	f := &Func{Name: name, Params: params, Ret: ret, NumRegs: len(params)}
+	m.Funcs = append(m.Funcs, f)
+	b := &Builder{Mod: m, Fn: f}
+	b.Block("entry")
+	return b
+}
+
+// ParamReg returns the operand for parameter i.
+func (b *Builder) ParamReg(i int) Value {
+	if i < 0 || i >= len(b.Fn.Params) {
+		panic(fmt.Sprintf("ir: function %s has no param %d", b.Fn.Name, i))
+	}
+	return Reg(i)
+}
+
+// Block starts (or switches to) the named block, creating it on first
+// use. Switching to an existing block to append is allowed only if it
+// has no terminator yet.
+func (b *Builder) Block(name string) {
+	for _, blk := range b.Fn.Blocks {
+		if blk.Name == name {
+			if n := len(blk.Instrs); n > 0 && blk.Instrs[n-1].IsTerminator() {
+				panic(fmt.Sprintf("ir: block %s already terminated", name))
+			}
+			b.cur = blk
+			return
+		}
+	}
+	blk := &Block{Name: name}
+	b.Fn.Blocks = append(b.Fn.Blocks, blk)
+	b.cur = blk
+}
+
+func (b *Builder) newReg() int {
+	r := b.Fn.NumRegs
+	b.Fn.NumRegs++
+	return r
+}
+
+func (b *Builder) emit(in Instr) Value {
+	if b.cur == nil {
+		panic("ir: no current block")
+	}
+	if n := len(b.cur.Instrs); n > 0 && b.cur.Instrs[n-1].IsTerminator() {
+		panic(fmt.Sprintf("ir: emitting past terminator in %s.%s", b.Fn.Name, b.cur.Name))
+	}
+	b.cur.Instrs = append(b.cur.Instrs, in)
+	if in.Dest >= 0 {
+		return Reg(in.Dest)
+	}
+	return Value{}
+}
+
+// Alloc emits a heap allocation of one instance of t (struct, array or
+// scalar) and returns the pointer register.
+func (b *Builder) Alloc(t Type) Value {
+	in := Instr{Op: OpAlloc, Dest: b.newReg(), Type: t}
+	if st, ok := t.(*StructType); ok {
+		in.Struct = st
+	}
+	return b.emit(in)
+}
+
+// AllocN emits a heap allocation of count contiguous instances of t.
+func (b *Builder) AllocN(t Type, count Value) Value {
+	in := Instr{Op: OpAlloc, Dest: b.newReg(), Type: t, Args: []Value{count}}
+	if st, ok := t.(*StructType); ok {
+		in.Struct = st
+	}
+	return b.emit(in)
+}
+
+// Local emits a stack allocation (LLVM alloca analogue).
+func (b *Builder) Local(t Type) Value {
+	in := Instr{Op: OpLocal, Dest: b.newReg(), Type: t}
+	if st, ok := t.(*StructType); ok {
+		in.Struct = st
+	}
+	return b.emit(in)
+}
+
+// Free emits a heap deallocation.
+func (b *Builder) Free(p Value) { b.emit(Instr{Op: OpFree, Dest: -1, Args: []Value{p}}) }
+
+// Load emits a typed load through p.
+func (b *Builder) Load(t Type, p Value) Value {
+	return b.emit(Instr{Op: OpLoad, Dest: b.newReg(), Type: t, Args: []Value{p}})
+}
+
+// Store emits a typed store of v through p.
+func (b *Builder) Store(t Type, v, p Value) {
+	b.emit(Instr{Op: OpStore, Dest: -1, Type: t, Args: []Value{v, p}})
+}
+
+// Memcpy emits a raw copy of n bytes from src to dst.
+func (b *Builder) Memcpy(dst, src, n Value) {
+	b.emit(Instr{Op: OpMemcpy, Dest: -1, Args: []Value{dst, src, n}})
+}
+
+// Memset emits a fill of n bytes at dst with the low byte of v.
+func (b *Builder) Memset(dst, v, n Value) {
+	b.emit(Instr{Op: OpMemset, Dest: -1, Args: []Value{dst, v, n}})
+}
+
+// FieldPtr emits the address of field index i of the struct object at p.
+// This is the analogue of LLVM's getelementptr on a struct and is the
+// primary instruction POLaR instruments.
+func (b *Builder) FieldPtr(st *StructType, p Value, field int) Value {
+	if field < 0 || field >= len(st.Fields) {
+		panic(fmt.Sprintf("ir: struct %s has no field %d", st.Name, field))
+	}
+	return b.emit(Instr{Op: OpFieldPtr, Dest: b.newReg(), Struct: st, Field: field, Args: []Value{p}})
+}
+
+// FieldPtrName is FieldPtr addressing the field by name.
+func (b *Builder) FieldPtrName(st *StructType, p Value, name string) Value {
+	i := st.FieldIndex(name)
+	if i < 0 {
+		panic(fmt.Sprintf("ir: struct %s has no field %q", st.Name, name))
+	}
+	return b.FieldPtr(st, p, i)
+}
+
+// ElemPtr emits the address of element idx of an array of elem at p.
+func (b *Builder) ElemPtr(elem Type, p, idx Value) Value {
+	return b.emit(Instr{Op: OpElemPtr, Dest: b.newReg(), Type: elem, Args: []Value{p, idx}})
+}
+
+// PtrAdd emits raw pointer arithmetic p+bytes. The POLaR pass cannot see
+// through this (mirrors the paper's §VI.B limitation).
+func (b *Builder) PtrAdd(p, bytes Value) Value {
+	return b.emit(Instr{Op: OpPtrAdd, Dest: b.newReg(), Args: []Value{p, bytes}})
+}
+
+// Bin emits an integer binary operation.
+func (b *Builder) Bin(op BinKind, x, y Value) Value {
+	return b.emit(Instr{Op: OpBin, Dest: b.newReg(), Bin: op, Args: []Value{x, y}})
+}
+
+// FBin emits a float binary operation.
+func (b *Builder) FBin(op BinKind, x, y Value) Value {
+	return b.emit(Instr{Op: OpFBin, Dest: b.newReg(), Bin: op, Args: []Value{x, y}})
+}
+
+// Cmp emits an integer comparison producing 0 or 1.
+func (b *Builder) Cmp(op CmpKind, x, y Value) Value {
+	return b.emit(Instr{Op: OpCmp, Dest: b.newReg(), Cmp: op, Args: []Value{x, y}})
+}
+
+// FCmp emits a float comparison producing 0 or 1.
+func (b *Builder) FCmp(op CmpKind, x, y Value) Value {
+	return b.emit(Instr{Op: OpFCmp, Dest: b.newReg(), Cmp: op, Args: []Value{x, y}})
+}
+
+// ItoF converts an integer to float.
+func (b *Builder) ItoF(x Value) Value {
+	return b.emit(Instr{Op: OpItoF, Dest: b.newReg(), Args: []Value{x}})
+}
+
+// FtoI truncates a float to integer.
+func (b *Builder) FtoI(x Value) Value {
+	return b.emit(Instr{Op: OpFtoI, Dest: b.newReg(), Args: []Value{x}})
+}
+
+// Mov copies a value into a fresh register.
+func (b *Builder) Mov(x Value) Value {
+	return b.emit(Instr{Op: OpMov, Dest: b.newReg(), Args: []Value{x}})
+}
+
+// Br emits an unconditional branch to the named block (created lazily if
+// needed) and leaves the builder positioned after the terminator; call
+// Block next.
+func (b *Builder) Br(name string) {
+	b.emit(Instr{Op: OpBr, Dest: -1, Blocks: []int{b.blockRef(name)}})
+}
+
+// CondBr emits a conditional branch.
+func (b *Builder) CondBr(cond Value, ifTrue, ifFalse string) {
+	b.emit(Instr{Op: OpCondBr, Dest: -1, Args: []Value{cond},
+		Blocks: []int{b.blockRef(ifTrue), b.blockRef(ifFalse)}})
+}
+
+// blockRef resolves (creating if absent, without switching) a block name
+// to its index.
+func (b *Builder) blockRef(name string) int {
+	if i := b.Fn.BlockIndex(name); i >= 0 {
+		return i
+	}
+	b.Fn.Blocks = append(b.Fn.Blocks, &Block{Name: name})
+	return len(b.Fn.Blocks) - 1
+}
+
+// Call emits a call; dest is valid only if the callee returns non-void.
+func (b *Builder) Call(callee string, args ...Value) Value {
+	return b.emit(Instr{Op: OpCall, Dest: b.newReg(), Callee: callee, Args: args})
+}
+
+// CallVoid emits a call discarding any result.
+func (b *Builder) CallVoid(callee string, args ...Value) {
+	b.emit(Instr{Op: OpCall, Dest: -1, Callee: callee, Args: args})
+}
+
+// Ret emits a return. Pass no value for void functions.
+func (b *Builder) Ret(v ...Value) {
+	in := Instr{Op: OpRet, Dest: -1}
+	if len(v) > 0 {
+		in.Args = []Value{v[0]}
+	}
+	b.emit(in)
+}
+
+// Helper loop emission: a counted loop [0,n) calling body(iReg). The
+// builder is positioned in a fresh continuation block on return. Block
+// names derive from label, which must be unique within the function.
+func (b *Builder) CountedLoop(label string, n Value, body func(i Value)) {
+	iSlot := b.Local(I64)
+	b.Store(I64, Const(0), iSlot)
+	head, bodyBlk, exit := label+".head", label+".body", label+".exit"
+	b.Br(head)
+	b.Block(head)
+	i := b.Load(I64, iSlot)
+	c := b.Cmp(CmpLt, i, n)
+	b.CondBr(c, bodyBlk, exit)
+	b.Block(bodyBlk)
+	i2 := b.Load(I64, iSlot)
+	body(i2)
+	inc := b.Bin(BinAdd, i2, Const(1))
+	b.Store(I64, inc, iSlot)
+	b.Br(head)
+	b.Block(exit)
+}
+
+// If emits an if/else; either arm may be nil. The builder continues in a
+// join block. label must be unique within the function.
+func (b *Builder) If(label string, cond Value, then func(), els func()) {
+	t, e, j := label+".then", label+".else", label+".join"
+	if els == nil {
+		e = j
+	}
+	b.CondBr(cond, t, e)
+	b.Block(t)
+	if then != nil {
+		then()
+	}
+	if !b.terminated() {
+		b.Br(j)
+	}
+	if els != nil {
+		b.Block(e)
+		els()
+		if !b.terminated() {
+			b.Br(j)
+		}
+	}
+	b.Block(j)
+}
+
+func (b *Builder) terminated() bool {
+	n := len(b.cur.Instrs)
+	return n > 0 && b.cur.Instrs[n-1].IsTerminator()
+}

@@ -1,0 +1,68 @@
+package ir
+
+// Clone deep-copies a module. Transformation passes (POLaR
+// instrumentation, the static-OLR baseline) operate on clones so the
+// pristine module remains usable as the experiment baseline.
+func Clone(m *Module) *Module {
+	out := NewModule(m.Name)
+	// Clone struct types first so instruction references can be remapped.
+	remap := make(map[*StructType]*StructType, len(m.Structs))
+	for name, st := range m.Structs {
+		ns := NewStruct(st.Name, append([]Field(nil), st.Fields...)...)
+		ns.NoRandom = st.NoRandom
+		out.Structs[name] = ns
+		remap[st] = ns
+	}
+	remapType := func(t Type) Type { return remapTypeWith(t, remap) }
+	for _, g := range m.Globals {
+		out.Globals = append(out.Globals, &GlobalDef{
+			Name: g.Name, Size: g.Size, Init: append([]byte(nil), g.Init...),
+		})
+	}
+	for _, f := range m.Funcs {
+		nf := &Func{Name: f.Name, Ret: remapType(f.Ret), NumRegs: f.NumRegs}
+		for _, p := range f.Params {
+			nf.Params = append(nf.Params, Param{Name: p.Name, Type: remapType(p.Type)})
+		}
+		for _, blk := range f.Blocks {
+			nb := &Block{Name: blk.Name, Instrs: make([]Instr, len(blk.Instrs))}
+			copy(nb.Instrs, blk.Instrs)
+			for i := range nb.Instrs {
+				in := &nb.Instrs[i]
+				if in.Type != nil {
+					in.Type = remapType(in.Type)
+				}
+				if in.Struct != nil {
+					in.Struct = remap[in.Struct]
+				}
+				in.Args = append([]Value(nil), in.Args...)
+				in.Blocks = append([]int(nil), in.Blocks...)
+			}
+			nf.Blocks = append(nf.Blocks, nb)
+		}
+		out.Funcs = append(out.Funcs, nf)
+	}
+	for _, cm := range m.ClassTable {
+		out.ClassTable = append(out.ClassTable, ClassMeta{Hash: cm.Hash, Struct: remap[cm.Struct]})
+	}
+	return out
+}
+
+func remapTypeWith(t Type, remap map[*StructType]*StructType) Type {
+	switch tt := t.(type) {
+	case *StructType:
+		if ns, ok := remap[tt]; ok {
+			return ns
+		}
+		return tt
+	case PtrType:
+		if tt.Elem == nil {
+			return tt
+		}
+		return PtrTo(remapTypeWith(tt.Elem, remap))
+	case ArrayType:
+		return ArrayOf(remapTypeWith(tt.Elem, remap), tt.Len)
+	default:
+		return t
+	}
+}

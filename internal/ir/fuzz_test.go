@@ -1,0 +1,28 @@
+package ir
+
+import "testing"
+
+// FuzzParse is the native fuzz target for the IR parser: it must never
+// panic, and anything it accepts must print and re-parse to the same
+// text (run with `go test -fuzz=FuzzParse ./internal/ir`).
+func FuzzParse(f *testing.F) {
+	f.Add(Print(buildRichModule()))
+	f.Add("module \"x\"\n")
+	f.Add("struct %S { i32 a; fptr b; }\n")
+	f.Add("func @main() i64 {\nentry:\n  ret 0\n}\n")
+	f.Add("global @g 8 = 00ff\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := Parse(src)
+		if err != nil {
+			return
+		}
+		text := Print(m)
+		back, err := Parse(text)
+		if err != nil {
+			t.Fatalf("accepted module does not re-parse: %v\n%s", err, text)
+		}
+		if Print(back) != text {
+			t.Fatalf("print not stable after round trip")
+		}
+	})
+}

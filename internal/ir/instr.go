@@ -1,0 +1,304 @@
+package ir
+
+import "fmt"
+
+// Op identifies an instruction opcode.
+type Op int
+
+// Instruction opcodes. Enums start at one.
+const (
+	// Memory.
+	OpAlloc  Op = iota + 1 // dest = alloc <struct|array|scalar type> [, count]  (heap)
+	OpLocal                // dest = local <type>                                (stack)
+	OpFree                 // free <ptr>
+	OpLoad                 // dest = load <type>, <ptr>
+	OpStore                // store <type> <val>, <ptr>
+	OpMemcpy               // memcpy <dst>, <src>, <bytes>
+	OpMemset               // memset <dst>, <byteval>, <bytes>
+
+	// Address computation.
+	OpFieldPtr // dest = fieldptr <structptr>, <fieldIndex>   (≈ getelementptr field)
+	OpElemPtr  // dest = elemptr <elemType>, <ptr>, <index>   (array element)
+	OpPtrAdd   // dest = ptradd <ptr>, <bytes>                (raw pointer arithmetic)
+
+	// Compute.
+	OpBin  // dest = <binop> <a>, <b>
+	OpCmp  // dest = <cmpop> <a>, <b>        (0 or 1)
+	OpFBin // dest = f<binop> <a>, <b>       (float)
+	OpFCmp // dest = f<cmpop> <a>, <b>
+	OpItoF // dest = itof <a>
+	OpFtoI // dest = ftoi <a>
+	OpMov  // dest = mov <a>
+
+	// Control flow.
+	OpBr     // br <block>
+	OpCondBr // condbr <cond>, <trueBlock>, <falseBlock>
+	OpCall   // [dest =] call @fn(<args>...)
+	OpRet    // ret [<val>]
+)
+
+// BinKind enumerates integer/float binary operators.
+type BinKind int
+
+// Binary operators.
+const (
+	BinAdd BinKind = iota + 1
+	BinSub
+	BinMul
+	BinDiv
+	BinRem
+	BinAnd
+	BinOr
+	BinXor
+	BinShl
+	BinShr
+)
+
+var binNames = map[BinKind]string{
+	BinAdd: "add", BinSub: "sub", BinMul: "mul", BinDiv: "div", BinRem: "rem",
+	BinAnd: "and", BinOr: "or", BinXor: "xor", BinShl: "shl", BinShr: "shr",
+}
+
+// String implements fmt.Stringer.
+func (b BinKind) String() string { return binNames[b] }
+
+// CmpKind enumerates comparison operators.
+type CmpKind int
+
+// Comparison operators.
+const (
+	CmpEq CmpKind = iota + 1
+	CmpNe
+	CmpLt
+	CmpLe
+	CmpGt
+	CmpGe
+)
+
+var cmpNames = map[CmpKind]string{
+	CmpEq: "eq", CmpNe: "ne", CmpLt: "lt", CmpLe: "le", CmpGt: "gt", CmpGe: "ge",
+}
+
+// String implements fmt.Stringer.
+func (c CmpKind) String() string { return cmpNames[c] }
+
+// ValueKind discriminates operand encodings.
+type ValueKind int
+
+// Operand kinds.
+const (
+	ValConst  ValueKind = iota + 1 // integer literal
+	ValConstF                      // float literal
+	ValReg                         // virtual register
+	ValGlobal                      // address of a module global
+	ValFunc                        // address/handle of a function (for fptr stores)
+)
+
+// Value is an instruction operand.
+type Value struct {
+	Kind  ValueKind
+	Int   int64   // ValConst
+	Float float64 // ValConstF
+	Reg   int     // ValReg
+	Sym   string  // ValGlobal / ValFunc
+}
+
+// Const returns an integer-constant operand.
+func Const(v int64) Value { return Value{Kind: ValConst, Int: v} }
+
+// ConstF returns a float-constant operand.
+func ConstF(v float64) Value { return Value{Kind: ValConstF, Float: v} }
+
+// Reg returns a register operand.
+func Reg(r int) Value { return Value{Kind: ValReg, Reg: r} }
+
+// Global returns an operand naming a module global.
+func Global(name string) Value { return Value{Kind: ValGlobal, Sym: name} }
+
+// FuncRef returns an operand naming a function.
+func FuncRef(name string) Value { return Value{Kind: ValFunc, Sym: name} }
+
+// String renders the operand in textual IR syntax.
+func (v Value) String() string {
+	switch v.Kind {
+	case ValConst:
+		return fmt.Sprintf("%d", v.Int)
+	case ValConstF:
+		return fmt.Sprintf("%g", v.Float)
+	case ValReg:
+		return fmt.Sprintf("%%r%d", v.Reg)
+	case ValGlobal:
+		return "@" + v.Sym
+	case ValFunc:
+		return "&" + v.Sym
+	default:
+		return "<invalid>"
+	}
+}
+
+// Instr is a single IR instruction. Not every field is meaningful for
+// every opcode; see the opcode comments.
+type Instr struct {
+	Op   Op
+	Dest int     // destination register, -1 if none
+	Type Type    // value type for load/store/alloc/local/elemptr
+	Args []Value // operands
+
+	// Struct member access (OpFieldPtr) and allocation (OpAlloc).
+	Struct *StructType
+	Field  int // field index for OpFieldPtr
+
+	Bin BinKind // OpBin / OpFBin
+	Cmp CmpKind // OpCmp / OpFCmp
+
+	Callee string // OpCall
+	Blocks []int  // successor block indices for OpBr / OpCondBr
+}
+
+// IsTerminator reports whether the instruction ends a basic block.
+func (in *Instr) IsTerminator() bool {
+	switch in.Op {
+	case OpBr, OpCondBr, OpRet:
+		return true
+	default:
+		return false
+	}
+}
+
+// Block is a basic block: a label plus straight-line instructions ending
+// in exactly one terminator.
+type Block struct {
+	Name   string
+	Instrs []Instr
+}
+
+// Param is a typed function parameter; parameters arrive in registers
+// 0..len(Params)-1.
+type Param struct {
+	Name string
+	Type Type
+}
+
+// Func is an IR function.
+type Func struct {
+	Name    string
+	Params  []Param
+	Ret     Type
+	Blocks  []*Block
+	NumRegs int
+}
+
+// BlockIndex returns the index of the named block, or -1.
+func (f *Func) BlockIndex(name string) int {
+	for i, b := range f.Blocks {
+		if b.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Global is a module-level byte region, optionally initialized.
+type GlobalDef struct {
+	Name string
+	Size int
+	Init []byte // may be shorter than Size; rest is zero
+}
+
+// ClassMeta is auxiliary per-class information embedded into the module
+// by the instrumentation pass — the output of the paper's Class
+// Information Extractor (CIE), which the runtime consumes.
+type ClassMeta struct {
+	Hash   uint64
+	Struct *StructType
+}
+
+// Module is a compilation unit.
+type Module struct {
+	Name    string
+	Structs map[string]*StructType
+	Globals []*GlobalDef
+	Funcs   []*Func
+
+	// ClassTable is populated by the instrumentation pass (CIE output);
+	// empty for uninstrumented modules.
+	ClassTable []ClassMeta
+}
+
+// NewModule returns an empty module.
+func NewModule(name string) *Module {
+	return &Module{Name: name, Structs: make(map[string]*StructType)}
+}
+
+// AddStruct registers a struct type; it returns an error on duplicates.
+func (m *Module) AddStruct(s *StructType) error {
+	if _, dup := m.Structs[s.Name]; dup {
+		return fmt.Errorf("ir: duplicate struct %q", s.Name)
+	}
+	m.Structs[s.Name] = s
+	return nil
+}
+
+// MustStruct registers s, panicking on duplicates. Intended for
+// programmatic module construction in tests and workload builders where
+// a duplicate is a programmer error.
+func (m *Module) MustStruct(s *StructType) *StructType {
+	if err := m.AddStruct(s); err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Func returns the named function, or nil.
+func (m *Module) Func(name string) *Func {
+	for _, f := range m.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Global returns the named global, or nil.
+func (m *Module) Global(name string) *GlobalDef {
+	for _, g := range m.Globals {
+		if g.Name == name {
+			return g
+		}
+	}
+	return nil
+}
+
+// AddGlobal registers a global byte region.
+func (m *Module) AddGlobal(name string, size int, init []byte) (*GlobalDef, error) {
+	if m.Global(name) != nil {
+		return nil, fmt.Errorf("ir: duplicate global %q", name)
+	}
+	if len(init) > size {
+		return nil, fmt.Errorf("ir: global %q init %d bytes exceeds size %d", name, len(init), size)
+	}
+	g := &GlobalDef{Name: name, Size: size, Init: append([]byte(nil), init...)}
+	m.Globals = append(m.Globals, g)
+	return g, nil
+}
+
+// StructNames returns the struct names in registration-independent
+// sorted order (map iteration order is randomized in Go).
+func (m *Module) StructNames() []string {
+	names := make([]string, 0, len(m.Structs))
+	for n := range m.Structs {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	return names
+}
+
+func sortStrings(s []string) {
+	// Insertion sort: struct counts are small and this avoids importing
+	// sort in the hot ir package for one helper.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,342 @@
+package ir
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// buildRichModule constructs a module exercising every instruction form
+// the printer can emit.
+func buildRichModule() *Module {
+	m := NewModule("rich")
+	st := m.MustStruct(NewStruct("Node",
+		Field{Name: "vt", Type: Fptr},
+		Field{Name: "val", Type: I32},
+		Field{Name: "next", Type: PtrTo(I64)},
+		Field{Name: "w", Type: F64},
+	))
+	if _, err := m.AddGlobal("buf", 128, []byte{0xde, 0xad}); err != nil {
+		panic(err)
+	}
+
+	hb := NewFunc(m, "helper", I64, Param{Name: "x", Type: I64}, Param{Name: "y", Type: F64})
+	sum := hb.Bin(BinAdd, hb.ParamReg(0), Const(3))
+	hb.Ret(sum)
+
+	b := NewFunc(m, "main", I64)
+	p := b.Alloc(st)
+	arr := b.AllocN(I32, Const(5))
+	loc := b.Local(ArrayOf(I8, 16))
+	f := b.FieldPtrName(st, p, "val")
+	b.Store(I32, Const(42), f)
+	v := b.Load(I32, f)
+	e := b.ElemPtr(I32, arr, Const(2))
+	b.Store(I32, v, e)
+	raw := b.PtrAdd(p, Const(4))
+	_ = raw
+	fv := b.ItoF(v)
+	fv2 := b.FBin(BinMul, fv, ConstF(2.5))
+	iv := b.FtoI(fv2)
+	c := b.FCmp(CmpGt, fv2, ConstF(1.0))
+	b.Memcpy(loc, arr, Const(8))
+	b.Memset(loc, Const(0), Const(4))
+	mv := b.Mov(iv)
+	r := b.Call("helper", mv, ConstF(0.5))
+	b.CallVoid("print_i64", r)
+	b.Store(Fptr, FuncRef("helper"), b.FieldPtrName(st, p, "vt"))
+	b.Store(I64, Global("buf"), b.FieldPtrName(st, p, "next"))
+	b.If("branchy", c, func() {
+		b.Free(arr)
+	}, func() {
+		b.Free(p)
+	})
+	cmp := b.Cmp(CmpLe, r, Const(100))
+	xr := b.Bin(BinXor, cmp, Const(1))
+	b.Ret(xr)
+	return m
+}
+
+func TestPrintParseRoundTrip(t *testing.T) {
+	m := buildRichModule()
+	if err := Validate(m); err != nil {
+		t.Fatalf("source module invalid: %v", err)
+	}
+	text := Print(m)
+	back, err := Parse(text)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, text)
+	}
+	if err := Validate(back); err != nil {
+		t.Fatalf("round-tripped module invalid: %v", err)
+	}
+	text2 := Print(back)
+	if text != text2 {
+		t.Fatalf("print not idempotent:\n--- first\n%s\n--- second\n%s", text, text2)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"garbage top level", "wibble\n"},
+		{"bad struct", "struct %X i32 a\n"},
+		{"unknown type", "struct %X { q9 a; }\n"},
+		{"bad global size", "global @g abc\n"},
+		{"bad global hex", "global @g 4 = zz\n"},
+		{"unterminated func", "func @f() i64 {\nentry:\n  ret 0\n"},
+		{"instr before label", "func @f() i64 {\n  ret 0\n}\n"},
+		{"unknown opcode", "func @f() i64 {\nentry:\n  %r0 = frobnicate 1, 2\n  ret 0\n}\n"},
+		{"unknown block", "func @f() i64 {\nentry:\n  br nowhere\n}\n"},
+		{"bad register", "func @f() i64 {\nentry:\n  %rX = mov 1\n  ret 0\n}\n"},
+		{"bad field index", "struct %S { i32 a; }\nfunc @f() i64 {\nentry:\n  %r0 = alloc %S\n  %r1 = fieldptr %S, %r0, 7\n  ret 0\n}\n"},
+		{"unknown struct in fieldptr", "func @f() i64 {\nentry:\n  %r1 = fieldptr %Nope, 0, 0\n  ret 0\n}\n"},
+		{"store missing ptr", "func @f() i64 {\nentry:\n  store i32 1\n  ret 0\n}\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Parse(tc.src); err == nil {
+				t.Errorf("accepted %q", tc.src)
+			}
+		})
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `
+# leading comment
+module "c"   # trailing comment
+
+struct %S { i32 a; }    # fields use semicolons, comments use '#'
+
+func @main() i64 {
+entry:                  # entry block
+  %r0 = alloc %S        # heap object
+  ret 0
+}
+`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "c" || len(m.Funcs) != 1 || len(m.Structs) != 1 {
+		t.Fatalf("parsed %+v", m)
+	}
+}
+
+func TestParseNumericForms(t *testing.T) {
+	src := `
+module "n"
+func @main() i64 {
+entry:
+  %r0 = mov -17
+  %r1 = mov 0x1f
+  %r2 = mov 2.5
+  %r3 = mov 1e3
+  %r4 = fadd %r2, %r3
+  ret %r0
+}
+`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := m.Funcs[0].Blocks[0].Instrs
+	if ins[0].Args[0].Int != -17 {
+		t.Errorf("negative literal = %d", ins[0].Args[0].Int)
+	}
+	if ins[1].Args[0].Int != 31 {
+		t.Errorf("hex literal = %d", ins[1].Args[0].Int)
+	}
+	if ins[2].Args[0].Kind != ValConstF || ins[2].Args[0].Float != 2.5 {
+		t.Errorf("float literal = %+v", ins[2].Args[0])
+	}
+	if ins[3].Args[0].Kind != ValConstF || ins[3].Args[0].Float != 1000 {
+		t.Errorf("exponent literal = %+v", ins[3].Args[0])
+	}
+}
+
+func TestFloatFormatAlwaysReparsesAsFloat(t *testing.T) {
+	prop := func(bits uint64) bool {
+		// Restrict to finite values.
+		f := float64(int64(bits%1_000_000_000)) / 1024.0
+		s := formatFloat(f)
+		return strings.ContainsAny(s, ".eE")
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := buildRichModule()
+	c := Clone(m)
+	if err := Validate(c); err != nil {
+		t.Fatalf("clone invalid: %v", err)
+	}
+	// Mutating the clone must not affect the original.
+	c.Funcs[1].Blocks[0].Instrs[0].Dest = 99
+	c.Structs["Node"].Fields[0].Name = "mutated"
+	c.Globals[0].Init[0] = 0xFF
+	if m.Funcs[1].Blocks[0].Instrs[0].Dest == 99 {
+		t.Error("instruction mutation leaked to original")
+	}
+	if m.Structs["Node"].Fields[0].Name == "mutated" {
+		t.Error("struct mutation leaked to original")
+	}
+	if m.Globals[0].Init[0] == 0xFF {
+		t.Error("global mutation leaked to original")
+	}
+	// Clone must remap struct references onto its own types.
+	for _, f := range c.Funcs {
+		for _, blk := range f.Blocks {
+			for i := range blk.Instrs {
+				if st := blk.Instrs[i].Struct; st != nil && st == m.Structs["Node"] {
+					t.Fatal("clone shares struct identity with original")
+				}
+			}
+		}
+	}
+}
+
+func TestClonePreservesSemantics(t *testing.T) {
+	m := buildRichModule()
+	if Print(m) != Print(Clone(m)) {
+		t.Fatal("clone prints differently from original")
+	}
+}
+
+func TestValidateCatches(t *testing.T) {
+	mk := func(mut func(m *Module)) error {
+		m := NewModule("v")
+		b := NewFunc(m, "main", I64)
+		b.Ret(Const(0))
+		mut(m)
+		return Validate(m)
+	}
+	if err := mk(func(m *Module) {}); err != nil {
+		t.Fatalf("valid module rejected: %v", err)
+	}
+	if err := mk(func(m *Module) {
+		m.Funcs[0].Blocks[0].Instrs = nil
+	}); err == nil {
+		t.Error("empty block accepted")
+	}
+	if err := mk(func(m *Module) {
+		m.Funcs[0].Blocks[0].Instrs = []Instr{{Op: OpMov, Dest: 5, Args: []Value{Const(1)}}, {Op: OpRet, Dest: -1}}
+	}); err == nil {
+		t.Error("out-of-range dest accepted")
+	}
+	if err := mk(func(m *Module) {
+		m.Funcs[0].Blocks[0].Instrs = []Instr{{Op: OpCall, Dest: -1, Callee: "ghost"}, {Op: OpRet, Dest: -1}}
+	}); err == nil {
+		t.Error("unknown callee accepted")
+	}
+	if err := mk(func(m *Module) {
+		m.Funcs[0].Blocks[0].Instrs = []Instr{{Op: OpBr, Dest: -1, Blocks: []int{9}}}
+	}); err == nil {
+		t.Error("bad branch target accepted")
+	}
+	if err := mk(func(m *Module) {
+		m.Funcs[0].Blocks[0].Instrs = append(
+			[]Instr{{Op: OpRet, Dest: -1}}, m.Funcs[0].Blocks[0].Instrs...)
+	}); err == nil {
+		t.Error("mid-block terminator accepted")
+	}
+}
+
+// TestBuilderLoopAndIfSemantics executes via structural checks: blocks
+// are well-formed, every block reachable from entry has a terminator.
+func TestBuilderLoopAndIfSemantics(t *testing.T) {
+	m := NewModule("b")
+	b := NewFunc(m, "main", I64)
+	total := b.Local(I64)
+	b.Store(I64, Const(0), total)
+	b.CountedLoop("outer", Const(4), func(i Value) {
+		b.CountedLoop("inner", Const(3), func(j Value) {
+			cur := b.Load(I64, total)
+			b.Store(I64, b.Bin(BinAdd, cur, Const(1)), total)
+		})
+		even := b.Cmp(CmpEq, b.Bin(BinRem, i, Const(2)), Const(0))
+		b.If("evens", even, func() {
+			cur := b.Load(I64, total)
+			b.Store(I64, b.Bin(BinAdd, cur, Const(100)), total)
+		}, nil)
+	})
+	b.Ret(b.Load(I64, total))
+	if err := Validate(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuilderPanicsOnMisuse(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("fieldptr out of range", func() {
+		m := NewModule("p")
+		st := m.MustStruct(NewStruct("S", Field{Name: "a", Type: I64}))
+		b := NewFunc(m, "main", I64)
+		p := b.Alloc(st)
+		b.FieldPtr(st, p, 3)
+	})
+	expectPanic("unknown field name", func() {
+		m := NewModule("p")
+		st := m.MustStruct(NewStruct("S", Field{Name: "a", Type: I64}))
+		b := NewFunc(m, "main", I64)
+		p := b.Alloc(st)
+		b.FieldPtrName(st, p, "zzz")
+	})
+	expectPanic("emit past terminator", func() {
+		m := NewModule("p")
+		b := NewFunc(m, "main", I64)
+		b.Ret(Const(0))
+		b.Ret(Const(1))
+	})
+	expectPanic("bad param index", func() {
+		m := NewModule("p")
+		b := NewFunc(m, "main", I64)
+		b.ParamReg(2)
+	})
+}
+
+// Fuzz-ish robustness: the parser must never panic on mangled inputs,
+// only return errors.
+func TestParserRobustnessQuick(t *testing.T) {
+	base := Print(buildRichModule())
+	prop := func(seed int64) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		rng := rand.New(rand.NewSource(seed))
+		b := []byte(base)
+		for k := 0; k < 1+rng.Intn(8); k++ {
+			switch rng.Intn(3) {
+			case 0:
+				b[rng.Intn(len(b))] = byte(rng.Intn(256))
+			case 1:
+				i := rng.Intn(len(b))
+				b = append(b[:i], b[i+1:]...)
+			case 2:
+				i := rng.Intn(len(b))
+				b = append(b[:i], append([]byte{byte(rng.Intn(128))}, b[i:]...)...)
+			}
+		}
+		_, _ = Parse(string(b)) // must not panic
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

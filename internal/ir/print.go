@@ -1,0 +1,143 @@
+package ir
+
+import (
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Print renders the module in the textual IR syntax accepted by Parse.
+func Print(m *Module) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %q\n\n", m.Name)
+	for _, name := range m.StructNames() {
+		b.WriteString(m.Structs[name].Describe())
+		b.WriteString("\n")
+	}
+	if len(m.Structs) > 0 {
+		b.WriteString("\n")
+	}
+	for _, g := range m.Globals {
+		if len(g.Init) == 0 {
+			fmt.Fprintf(&b, "global @%s %d\n", g.Name, g.Size)
+		} else {
+			fmt.Fprintf(&b, "global @%s %d = %s\n", g.Name, g.Size, hex.EncodeToString(g.Init))
+		}
+	}
+	if len(m.Globals) > 0 {
+		b.WriteString("\n")
+	}
+	for _, f := range m.Funcs {
+		printFunc(&b, f)
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func printFunc(b *strings.Builder, f *Func) {
+	fmt.Fprintf(b, "func @%s(", f.Name)
+	for i, p := range f.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(b, "%s %s", p.Type, p.Name)
+	}
+	fmt.Fprintf(b, ") %s {\n", f.Ret)
+	for _, blk := range f.Blocks {
+		fmt.Fprintf(b, "%s:\n", blk.Name)
+		for i := range blk.Instrs {
+			b.WriteString("  ")
+			b.WriteString(formatInstr(f, &blk.Instrs[i]))
+			b.WriteString("\n")
+		}
+	}
+	b.WriteString("}\n")
+}
+
+func formatFloat(v float64) string {
+	s := strconv.FormatFloat(v, 'g', -1, 64)
+	if !strings.ContainsAny(s, ".eE") {
+		s += ".0"
+	}
+	return s
+}
+
+func formatVal(v Value) string {
+	if v.Kind == ValConstF {
+		return formatFloat(v.Float)
+	}
+	return v.String()
+}
+
+// FormatInstr renders one instruction in the textual syntax (used by
+// the VM's execution tracer as well as the printer).
+func FormatInstr(f *Func, in *Instr) string { return formatInstr(f, in) }
+
+func formatInstr(f *Func, in *Instr) string {
+	var b strings.Builder
+	if in.Dest >= 0 {
+		fmt.Fprintf(&b, "%%r%d = ", in.Dest)
+	}
+	blk := func(i int) string { return f.Blocks[in.Blocks[i]].Name }
+	switch in.Op {
+	case OpAlloc:
+		fmt.Fprintf(&b, "alloc %s", in.Type)
+		if len(in.Args) == 1 {
+			fmt.Fprintf(&b, ", %s", formatVal(in.Args[0]))
+		}
+	case OpLocal:
+		fmt.Fprintf(&b, "local %s", in.Type)
+	case OpFree:
+		fmt.Fprintf(&b, "free %s", formatVal(in.Args[0]))
+	case OpLoad:
+		fmt.Fprintf(&b, "load %s, %s", in.Type, formatVal(in.Args[0]))
+	case OpStore:
+		fmt.Fprintf(&b, "store %s %s, %s", in.Type, formatVal(in.Args[0]), formatVal(in.Args[1]))
+	case OpMemcpy:
+		fmt.Fprintf(&b, "memcpy %s, %s, %s", formatVal(in.Args[0]), formatVal(in.Args[1]), formatVal(in.Args[2]))
+	case OpMemset:
+		fmt.Fprintf(&b, "memset %s, %s, %s", formatVal(in.Args[0]), formatVal(in.Args[1]), formatVal(in.Args[2]))
+	case OpFieldPtr:
+		fmt.Fprintf(&b, "fieldptr %%%s, %s, %d", in.Struct.Name, formatVal(in.Args[0]), in.Field)
+	case OpElemPtr:
+		fmt.Fprintf(&b, "elemptr %s, %s, %s", in.Type, formatVal(in.Args[0]), formatVal(in.Args[1]))
+	case OpPtrAdd:
+		fmt.Fprintf(&b, "ptradd %s, %s", formatVal(in.Args[0]), formatVal(in.Args[1]))
+	case OpBin:
+		fmt.Fprintf(&b, "%s %s, %s", in.Bin, formatVal(in.Args[0]), formatVal(in.Args[1]))
+	case OpFBin:
+		fmt.Fprintf(&b, "f%s %s, %s", in.Bin, formatVal(in.Args[0]), formatVal(in.Args[1]))
+	case OpCmp:
+		fmt.Fprintf(&b, "%s %s, %s", in.Cmp, formatVal(in.Args[0]), formatVal(in.Args[1]))
+	case OpFCmp:
+		fmt.Fprintf(&b, "f%s %s, %s", in.Cmp, formatVal(in.Args[0]), formatVal(in.Args[1]))
+	case OpItoF:
+		fmt.Fprintf(&b, "itof %s", formatVal(in.Args[0]))
+	case OpFtoI:
+		fmt.Fprintf(&b, "ftoi %s", formatVal(in.Args[0]))
+	case OpMov:
+		fmt.Fprintf(&b, "mov %s", formatVal(in.Args[0]))
+	case OpBr:
+		fmt.Fprintf(&b, "br %s", blk(0))
+	case OpCondBr:
+		fmt.Fprintf(&b, "condbr %s, %s, %s", formatVal(in.Args[0]), blk(0), blk(1))
+	case OpCall:
+		fmt.Fprintf(&b, "call @%s(", in.Callee)
+		for i, a := range in.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(formatVal(a))
+		}
+		b.WriteString(")")
+	case OpRet:
+		b.WriteString("ret")
+		if len(in.Args) == 1 {
+			fmt.Fprintf(&b, " %s", formatVal(in.Args[0]))
+		}
+	default:
+		fmt.Fprintf(&b, "<op %d>", in.Op)
+	}
+	return b.String()
+}

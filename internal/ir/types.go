@@ -1,0 +1,296 @@
+// Package ir defines a miniature typed intermediate representation that
+// plays the role LLVM IR plays in the POLaR paper (DSN 2019).
+//
+// The IR is deliberately small but carries exactly the instruction
+// classes POLaR instruments: typed heap allocation and deallocation,
+// struct member address computation (FieldPtr, the analogue of LLVM's
+// getelementptr), raw memory copies, and ordinary compute/control flow.
+// Modules can be constructed programmatically with Builder, parsed from
+// a textual form with Parse, printed with Print, and checked with
+// Validate.
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind discriminates the concrete Type implementations.
+type Kind int
+
+// Type kinds. Enums start at one so the zero value is invalid.
+const (
+	KindVoid Kind = iota + 1
+	KindInt
+	KindFloat
+	KindPtr
+	KindStruct
+	KindArray
+)
+
+// PtrSize is the byte size of a pointer in the simulated machine.
+const PtrSize = 8
+
+// Type describes the shape of a value in memory.
+type Type interface {
+	// Kind reports which concrete type this is.
+	Kind() Kind
+	// Size is the byte size of a value of this type, including any
+	// trailing padding required so arrays of the type stay aligned.
+	Size() int
+	// Align is the required byte alignment.
+	Align() int
+	// String renders the type in the textual IR syntax.
+	String() string
+}
+
+// VoidType is the type of functions returning nothing.
+type VoidType struct{}
+
+// Kind implements Type.
+func (VoidType) Kind() Kind { return KindVoid }
+
+// Size implements Type.
+func (VoidType) Size() int { return 0 }
+
+// Align implements Type.
+func (VoidType) Align() int { return 1 }
+
+func (VoidType) String() string { return "void" }
+
+// IntType is a fixed-width integer type (i8, i16, i32 or i64). All
+// integers are held sign-extended in 64-bit registers; the width governs
+// loads and stores.
+type IntType struct {
+	Bits int
+}
+
+// Kind implements Type.
+func (IntType) Kind() Kind { return KindInt }
+
+// Size implements Type.
+func (t IntType) Size() int { return t.Bits / 8 }
+
+// Align implements Type.
+func (t IntType) Align() int { return t.Bits / 8 }
+
+func (t IntType) String() string { return fmt.Sprintf("i%d", t.Bits) }
+
+// FloatType is a 64-bit IEEE-754 floating point type.
+type FloatType struct{}
+
+// Kind implements Type.
+func (FloatType) Kind() Kind { return KindFloat }
+
+// Size implements Type.
+func (FloatType) Size() int { return 8 }
+
+// Align implements Type.
+func (FloatType) Align() int { return 8 }
+
+func (FloatType) String() string { return "f64" }
+
+// PtrType is a typed pointer. Elem may be nil for a raw (untyped)
+// pointer, which the instrumentation pass deliberately refuses to
+// randomize — this models the "manual offset computation" compatibility
+// limits discussed in the paper (§VI.B).
+type PtrType struct {
+	Elem Type
+}
+
+// Kind implements Type.
+func (PtrType) Kind() Kind { return KindPtr }
+
+// Size implements Type.
+func (PtrType) Size() int { return PtrSize }
+
+// Align implements Type.
+func (PtrType) Align() int { return PtrSize }
+
+func (t PtrType) String() string {
+	if t.Elem == nil {
+		return "ptr"
+	}
+	return t.Elem.String() + "*"
+}
+
+// FuncPtrType marks pointers to code. POLaR treats function-pointer
+// members specially: booby-trap dummies are prepended to them.
+type FuncPtrType struct{}
+
+// Kind implements Type.
+func (FuncPtrType) Kind() Kind { return KindPtr }
+
+// Size implements Type.
+func (FuncPtrType) Size() int { return PtrSize }
+
+// Align implements Type.
+func (FuncPtrType) Align() int { return PtrSize }
+
+func (FuncPtrType) String() string { return "fptr" }
+
+// Field is a named member of a StructType.
+type Field struct {
+	Name string
+	Type Type
+}
+
+// StructType is a named aggregate with ordered fields. Offsets follow
+// natural alignment exactly like a C compiler would lay the struct out;
+// POLaR's whole point is that this static layout stops being the layout
+// objects actually have at run time.
+type StructType struct {
+	Name   string
+	Fields []Field
+
+	// NoRandom marks the class as exempt from layout randomization —
+	// the analogue of randstruct's __no_randomize_layout annotation tag
+	// (paper §II.C), used for wire formats and serialized structures
+	// whose layout is a protocol contract (§VI.B).
+	NoRandom bool
+
+	offsets []int
+	size    int
+	align   int
+}
+
+// NewStruct builds a struct type and computes its static layout.
+func NewStruct(name string, fields ...Field) *StructType {
+	s := &StructType{Name: name, Fields: fields}
+	s.computeLayout()
+	return s
+}
+
+func (s *StructType) computeLayout() {
+	s.offsets = make([]int, len(s.Fields))
+	off, maxAlign := 0, 1
+	for i, f := range s.Fields {
+		a := f.Type.Align()
+		if a > maxAlign {
+			maxAlign = a
+		}
+		off = alignUp(off, a)
+		s.offsets[i] = off
+		off += f.Type.Size()
+	}
+	s.align = maxAlign
+	s.size = alignUp(off, maxAlign)
+	if s.size == 0 {
+		s.size = 1
+	}
+}
+
+func alignUp(n, a int) int {
+	if a <= 1 {
+		return n
+	}
+	return (n + a - 1) / a * a
+}
+
+// Kind implements Type.
+func (*StructType) Kind() Kind { return KindStruct }
+
+// Size implements Type.
+func (s *StructType) Size() int { return s.size }
+
+// Align implements Type.
+func (s *StructType) Align() int { return s.align }
+
+func (s *StructType) String() string { return "%" + s.Name }
+
+// Offset returns the static byte offset of field i.
+func (s *StructType) Offset(i int) int { return s.offsets[i] }
+
+// FieldIndex returns the index of the field with the given name, or -1.
+func (s *StructType) FieldIndex(name string) int {
+	for i, f := range s.Fields {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Describe renders the full declaration, e.g.
+// "struct %People { fptr vtable; i32 age; i32 height; }".
+func (s *StructType) Describe() string {
+	var b strings.Builder
+	tag := ""
+	if s.NoRandom {
+		tag = "norandom "
+	}
+	fmt.Fprintf(&b, "struct %%%s %s{ ", s.Name, tag)
+	for _, f := range s.Fields {
+		fmt.Fprintf(&b, "%s %s; ", f.Type, f.Name)
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// ReorderFields replaces the field order (used by the static OLR
+// baseline, which permutes layouts at "compile time") and recomputes
+// offsets. perm maps new position -> old field index and must be a
+// permutation of [0,len(Fields)).
+func (s *StructType) ReorderFields(perm []int) error {
+	if len(perm) != len(s.Fields) {
+		return fmt.Errorf("ir: permutation length %d != %d fields", len(perm), len(s.Fields))
+	}
+	seen := make([]bool, len(perm))
+	next := make([]Field, len(perm))
+	for newPos, old := range perm {
+		if old < 0 || old >= len(perm) || seen[old] {
+			return fmt.Errorf("ir: invalid permutation %v", perm)
+		}
+		seen[old] = true
+		next[newPos] = s.Fields[old]
+	}
+	s.Fields = next
+	s.computeLayout()
+	return nil
+}
+
+// ArrayType is a fixed-length homogeneous aggregate.
+type ArrayType struct {
+	Elem Type
+	Len  int
+}
+
+// Kind implements Type.
+func (ArrayType) Kind() Kind { return KindArray }
+
+// Size implements Type.
+func (t ArrayType) Size() int { return t.Elem.Size() * t.Len }
+
+// Align implements Type.
+func (t ArrayType) Align() int { return t.Elem.Align() }
+
+func (t ArrayType) String() string { return fmt.Sprintf("[%d x %s]", t.Len, t.Elem) }
+
+// Convenience singletons for the common scalar types.
+var (
+	Void = VoidType{}
+	I8   = IntType{Bits: 8}
+	I16  = IntType{Bits: 16}
+	I32  = IntType{Bits: 32}
+	I64  = IntType{Bits: 64}
+	F64  = FloatType{}
+	Fptr = FuncPtrType{}
+	Raw  = PtrType{} // untyped pointer
+)
+
+// PtrTo returns a typed pointer to elem.
+func PtrTo(elem Type) PtrType { return PtrType{Elem: elem} }
+
+// ArrayOf returns an array type of n elems.
+func ArrayOf(elem Type, n int) ArrayType { return ArrayType{Elem: elem, Len: n} }
+
+// Verify interface compliance.
+var (
+	_ Type = VoidType{}
+	_ Type = IntType{}
+	_ Type = FloatType{}
+	_ Type = PtrType{}
+	_ Type = FuncPtrType{}
+	_ Type = (*StructType)(nil)
+	_ Type = ArrayType{}
+)

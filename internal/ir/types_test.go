@@ -1,0 +1,219 @@
+package ir
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestScalarSizes(t *testing.T) {
+	tests := []struct {
+		t     Type
+		size  int
+		align int
+	}{
+		{I8, 1, 1},
+		{I16, 2, 2},
+		{I32, 4, 4},
+		{I64, 8, 8},
+		{F64, 8, 8},
+		{Fptr, 8, 8},
+		{Raw, 8, 8},
+		{PtrTo(I32), 8, 8},
+		{ArrayOf(I32, 10), 40, 4},
+		{ArrayOf(ArrayOf(I8, 3), 4), 12, 1},
+		{Void, 0, 1},
+	}
+	for _, tt := range tests {
+		if got := tt.t.Size(); got != tt.size {
+			t.Errorf("%s: size = %d, want %d", tt.t, got, tt.size)
+		}
+		if got := tt.t.Align(); got != tt.align {
+			t.Errorf("%s: align = %d, want %d", tt.t, got, tt.align)
+		}
+	}
+}
+
+func TestStructLayoutMatchesCRules(t *testing.T) {
+	// struct { i8; i32; i8; i64; } -> offsets 0, 4, 8, 16; size 24.
+	s := NewStruct("T",
+		Field{Name: "a", Type: I8},
+		Field{Name: "b", Type: I32},
+		Field{Name: "c", Type: I8},
+		Field{Name: "d", Type: I64},
+	)
+	wantOff := []int{0, 4, 8, 16}
+	for i, w := range wantOff {
+		if got := s.Offset(i); got != w {
+			t.Errorf("field %d offset = %d, want %d", i, got, w)
+		}
+	}
+	if s.Size() != 24 {
+		t.Errorf("size = %d, want 24", s.Size())
+	}
+	if s.Align() != 8 {
+		t.Errorf("align = %d, want 8", s.Align())
+	}
+}
+
+func TestEmptyStructHasNonZeroSize(t *testing.T) {
+	s := NewStruct("E")
+	if s.Size() < 1 {
+		t.Fatalf("empty struct size = %d, want >= 1", s.Size())
+	}
+}
+
+func TestFieldIndex(t *testing.T) {
+	s := NewStruct("T", Field{Name: "x", Type: I64}, Field{Name: "y", Type: I32})
+	if i := s.FieldIndex("y"); i != 1 {
+		t.Errorf("FieldIndex(y) = %d, want 1", i)
+	}
+	if i := s.FieldIndex("nope"); i != -1 {
+		t.Errorf("FieldIndex(nope) = %d, want -1", i)
+	}
+}
+
+func TestReorderFieldsPreservesSizeInvariants(t *testing.T) {
+	s := NewStruct("T",
+		Field{Name: "a", Type: I64},
+		Field{Name: "b", Type: I8},
+		Field{Name: "c", Type: I32},
+		Field{Name: "d", Type: Fptr},
+	)
+	if err := s.ReorderFields([]int{3, 1, 0, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Fields[0].Name != "d" || s.Fields[2].Name != "a" {
+		t.Fatalf("reorder produced %v", s.Fields)
+	}
+	// Offsets must remain non-overlapping and aligned.
+	checkNoOverlap(t, s)
+}
+
+func TestReorderFieldsRejectsBadPermutations(t *testing.T) {
+	s := NewStruct("T", Field{Name: "a", Type: I64}, Field{Name: "b", Type: I8})
+	if err := s.ReorderFields([]int{0}); err == nil {
+		t.Error("short permutation accepted")
+	}
+	if err := s.ReorderFields([]int{0, 0}); err == nil {
+		t.Error("duplicate permutation accepted")
+	}
+	if err := s.ReorderFields([]int{0, 5}); err == nil {
+		t.Error("out-of-range permutation accepted")
+	}
+}
+
+func checkNoOverlap(t *testing.T, s *StructType) {
+	t.Helper()
+	type span struct{ lo, hi int }
+	var spans []span
+	for i, f := range s.Fields {
+		off := s.Offset(i)
+		if off%f.Type.Align() != 0 {
+			t.Errorf("field %d misaligned: offset %d align %d", i, off, f.Type.Align())
+		}
+		spans = append(spans, span{off, off + f.Type.Size()})
+	}
+	for i := range spans {
+		for j := i + 1; j < len(spans); j++ {
+			if spans[i].lo < spans[j].hi && spans[j].lo < spans[i].hi {
+				t.Errorf("fields %d and %d overlap: %v %v", i, j, spans[i], spans[j])
+			}
+		}
+	}
+	if s.Size()%s.Align() != 0 {
+		t.Errorf("size %d not a multiple of align %d", s.Size(), s.Align())
+	}
+}
+
+// TestReorderFieldsPropertyQuick: any random permutation of any random
+// struct keeps fields non-overlapping, aligned and inside the struct.
+func TestReorderFieldsPropertyQuick(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		fields := make([]Field, n)
+		pool := []Type{I8, I16, I32, I64, F64, Fptr, Raw}
+		for i := range fields {
+			fields[i] = Field{Name: string(rune('a' + i)), Type: pool[rng.Intn(len(pool))]}
+		}
+		s := NewStruct("Q", fields...)
+		perm := rng.Perm(n)
+		if err := s.ReorderFields(perm); err != nil {
+			return false
+		}
+		for i, f := range s.Fields {
+			off := s.Offset(i)
+			if off%f.Type.Align() != 0 || off+f.Type.Size() > s.Size() {
+				return false
+			}
+		}
+		// Overlap check.
+		for i := range s.Fields {
+			for j := i + 1; j < len(s.Fields); j++ {
+				iLo, iHi := s.Offset(i), s.Offset(i)+s.Fields[i].Type.Size()
+				jLo, jHi := s.Offset(j), s.Offset(j)+s.Fields[j].Type.Size()
+				if iLo < jHi && jLo < iHi {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModuleStructAndGlobalRegistration(t *testing.T) {
+	m := NewModule("t")
+	s := NewStruct("S", Field{Name: "x", Type: I64})
+	if err := m.AddStruct(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddStruct(s); err == nil {
+		t.Error("duplicate struct accepted")
+	}
+	if _, err := m.AddGlobal("g", 16, []byte{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddGlobal("g", 8, nil); err == nil {
+		t.Error("duplicate global accepted")
+	}
+	if _, err := m.AddGlobal("h", 1, []byte{1, 2}); err == nil {
+		t.Error("oversized init accepted")
+	}
+	if g := m.Global("g"); g == nil || g.Size != 16 {
+		t.Errorf("Global(g) = %+v", g)
+	}
+	if m.Global("missing") != nil {
+		t.Error("missing global found")
+	}
+}
+
+func TestStructNamesSorted(t *testing.T) {
+	m := NewModule("t")
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		m.MustStruct(NewStruct(n, Field{Name: "x", Type: I8}))
+	}
+	got := m.StructNames()
+	want := []string{"alpha", "mid", "zeta"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("StructNames() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestIsBuiltinName(t *testing.T) {
+	for _, name := range []string{"input_read", "print_i64", "olr_malloc", "rt_rand", "taint_x"} {
+		if !IsBuiltinName(name) {
+			t.Errorf("%s should be builtin", name)
+		}
+	}
+	for _, name := range []string{"main", "helper", "olr", "inputread"} {
+		if IsBuiltinName(name) {
+			t.Errorf("%s should not be builtin", name)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package ir
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ValidationError aggregates all problems found in a module.
+type ValidationError struct {
+	Problems []string
+}
+
+// Error implements error.
+func (e *ValidationError) Error() string {
+	if len(e.Problems) == 1 {
+		return "ir: " + e.Problems[0]
+	}
+	return fmt.Sprintf("ir: %d problems, first: %s", len(e.Problems), e.Problems[0])
+}
+
+// Validate checks structural well-formedness: every block ends in
+// exactly one terminator (and has no interior terminators), branch
+// targets are in range, register numbers are in range, callees that are
+// not builtins exist, field indices are valid, and globals referenced by
+// operands exist. Builtin callees (any name starting with a known
+// builtin prefix) are resolved at run time by the VM, so unknown callees
+// are only flagged when they look like module-internal names.
+func Validate(m *Module) error {
+	var probs []string
+	addf := func(format string, args ...any) {
+		probs = append(probs, fmt.Sprintf(format, args...))
+	}
+	for _, f := range m.Funcs {
+		if len(f.Blocks) == 0 {
+			addf("@%s: no blocks", f.Name)
+			continue
+		}
+		for bi, blk := range f.Blocks {
+			if len(blk.Instrs) == 0 {
+				addf("@%s.%s: empty block", f.Name, blk.Name)
+				continue
+			}
+			for ii := range blk.Instrs {
+				in := &blk.Instrs[ii]
+				last := ii == len(blk.Instrs)-1
+				if in.IsTerminator() != last {
+					if last {
+						addf("@%s.%s: block does not end in a terminator", f.Name, blk.Name)
+					} else {
+						addf("@%s.%s: terminator mid-block at instr %d", f.Name, blk.Name, ii)
+					}
+				}
+				if in.Dest >= f.NumRegs {
+					addf("@%s.%s: dest %%r%d out of range (NumRegs=%d)", f.Name, blk.Name, in.Dest, f.NumRegs)
+				}
+				for _, a := range in.Args {
+					switch a.Kind {
+					case ValReg:
+						if a.Reg < 0 || a.Reg >= f.NumRegs {
+							addf("@%s.%s: operand %%r%d out of range", f.Name, blk.Name, a.Reg)
+						}
+					case ValGlobal:
+						if m.Global(a.Sym) == nil {
+							addf("@%s.%s: unknown global @%s", f.Name, blk.Name, a.Sym)
+						}
+					case ValFunc:
+						if m.Func(a.Sym) == nil {
+							addf("@%s.%s: unknown function ref &%s", f.Name, blk.Name, a.Sym)
+						}
+					}
+				}
+				for _, t := range in.Blocks {
+					if t < 0 || t >= len(f.Blocks) {
+						addf("@%s.%s: branch target %d out of range", f.Name, blk.Name, t)
+					}
+				}
+				if in.Op == OpFieldPtr {
+					if in.Struct == nil {
+						addf("@%s.%s: fieldptr without struct", f.Name, blk.Name)
+					} else if in.Field < 0 || in.Field >= len(in.Struct.Fields) {
+						addf("@%s.%s: fieldptr index %d out of range for %%%s", f.Name, blk.Name, in.Field, in.Struct.Name)
+					}
+				}
+				if in.Op == OpCall && m.Func(in.Callee) == nil && !IsBuiltinName(in.Callee) {
+					addf("@%s.%s: call to unknown function @%s", f.Name, blk.Name, in.Callee)
+				}
+				_ = bi
+			}
+		}
+	}
+	if len(probs) > 0 {
+		return &ValidationError{Problems: probs}
+	}
+	return nil
+}
+
+// builtinPrefixes lists name prefixes resolved by the VM rather than the
+// module: I/O intrinsics, math helpers, and the POLaR runtime ABI.
+var builtinPrefixes = []string{"input_", "print_", "olr_", "rt_", "taint_"}
+
+// IsBuiltinName reports whether a callee name is reserved for VM
+// builtins.
+func IsBuiltinName(name string) bool {
+	for _, p := range builtinPrefixes {
+		if len(name) >= len(p) && name[:len(p)] == p {
+			return true
+		}
+	}
+	return false
+}
+
+// ErrNoMain is returned by entry-point helpers when a module lacks a
+// main function.
+var ErrNoMain = errors.New("ir: module has no @main function")

@@ -1,0 +1,225 @@
+// Package irstat computes static statistics over IR modules: code-size
+// and instruction histograms, the instrumentation surface (how many
+// sites the POLaR pass would rewrite), and per-class randomization
+// entropy under a layout configuration. The polarstat tool renders
+// these for module audits — e.g. deciding whether a class is worth
+// randomizing, or how much of a program's access mix POLaR touches.
+package irstat
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"polar/internal/classinfo"
+	"polar/internal/ir"
+	"polar/internal/layout"
+)
+
+// ClassStat describes one struct type.
+type ClassStat struct {
+	Name        string
+	Fields      int
+	FuncPtrs    int
+	Pointers    int
+	StaticSize  int
+	EntropyBits float64
+	// AllocSites/AccessSites/FreeSites/CopySites count the static
+	// instruction sites the POLaR pass would rewrite for this class.
+	AllocSites  int
+	AccessSites int
+	FreeSites   int
+	CopySites   int
+	RawSites    int // ptradd on known pointers to this class (§VI.B)
+}
+
+// FuncStat describes one function.
+type FuncStat struct {
+	Name    string
+	Blocks  int
+	Instrs  int
+	MaxRegs int
+}
+
+// ModuleStats is the full report.
+type ModuleStats struct {
+	Name       string
+	Structs    int
+	Globals    int
+	GlobalSize int
+	Funcs      []FuncStat
+	Classes    []ClassStat
+	// OpHistogram counts instructions by opcode name.
+	OpHistogram map[string]int
+	TotalInstrs int
+}
+
+var opNames = map[ir.Op]string{
+	ir.OpAlloc: "alloc", ir.OpLocal: "local", ir.OpFree: "free",
+	ir.OpLoad: "load", ir.OpStore: "store", ir.OpMemcpy: "memcpy",
+	ir.OpMemset: "memset", ir.OpFieldPtr: "fieldptr", ir.OpElemPtr: "elemptr",
+	ir.OpPtrAdd: "ptradd", ir.OpBin: "bin", ir.OpCmp: "cmp",
+	ir.OpFBin: "fbin", ir.OpFCmp: "fcmp", ir.OpItoF: "itof",
+	ir.OpFtoI: "ftoi", ir.OpMov: "mov", ir.OpBr: "br",
+	ir.OpCondBr: "condbr", ir.OpCall: "call", ir.OpRet: "ret",
+}
+
+// Analyze computes statistics for m; cfg parameterizes the entropy
+// estimates (pass layout.DefaultConfig() for the paper's setting).
+func Analyze(m *ir.Module, cfg layout.Config) *ModuleStats {
+	s := &ModuleStats{
+		Name:        m.Name,
+		Structs:     len(m.Structs),
+		Globals:     len(m.Globals),
+		OpHistogram: make(map[string]int),
+	}
+	for _, g := range m.Globals {
+		s.GlobalSize += g.Size
+	}
+
+	perClass := make(map[string]*ClassStat, len(m.Structs))
+	for _, name := range m.StructNames() {
+		st := m.Structs[name]
+		cls := classinfo.Extract(st)
+		cs := &ClassStat{
+			Name:       name,
+			Fields:     len(st.Fields),
+			StaticSize: st.Size(),
+		}
+		for _, mem := range cls.Members {
+			switch mem.Kind {
+			case classinfo.KindFuncPointer:
+				cs.FuncPtrs++
+			case classinfo.KindPointer:
+				cs.Pointers++
+			}
+		}
+		cs.EntropyBits = layout.EntropyBits(cs.Fields, cs.FuncPtrs, cfg)
+		perClass[name] = cs
+		s.Classes = append(s.Classes, ClassStat{})
+	}
+
+	// Reuse the instrumenter's notion of "site" by scanning the same
+	// instruction patterns it rewrites.
+	regClass := map[int]string{}
+	noteType := func(reg int, t ir.Type) {
+		if pt, ok := t.(ir.PtrType); ok {
+			if st, ok := pt.Elem.(*ir.StructType); ok {
+				regClass[reg] = st.Name
+			}
+		}
+	}
+	for _, f := range m.Funcs {
+		fs := FuncStat{Name: f.Name, Blocks: len(f.Blocks), MaxRegs: f.NumRegs}
+		regClass = map[int]string{}
+		for i, p := range f.Params {
+			noteType(i, p.Type)
+		}
+		for _, blk := range f.Blocks {
+			fs.Instrs += len(blk.Instrs)
+			for i := range blk.Instrs {
+				in := &blk.Instrs[i]
+				s.OpHistogram[opNames[in.Op]]++
+				s.TotalInstrs++
+				switch in.Op {
+				case ir.OpAlloc:
+					if in.Struct != nil {
+						if len(in.Args) == 0 {
+							perClass[in.Struct.Name].AllocSites++
+						}
+						regClass[in.Dest] = in.Struct.Name
+					}
+				case ir.OpLocal:
+					if in.Struct != nil {
+						regClass[in.Dest] = in.Struct.Name
+					}
+				case ir.OpLoad:
+					noteType(in.Dest, in.Type)
+				case ir.OpMov:
+					if in.Args[0].Kind == ir.ValReg {
+						if c, ok := regClass[in.Args[0].Reg]; ok {
+							regClass[in.Dest] = c
+						}
+					}
+				case ir.OpFieldPtr:
+					perClass[in.Struct.Name].AccessSites++
+				case ir.OpFree:
+					if c, ok := classOf(regClass, in.Args[0]); ok {
+						perClass[c].FreeSites++
+					}
+				case ir.OpMemcpy:
+					if c, ok := classOf(regClass, in.Args[1]); ok {
+						perClass[c].CopySites++
+					} else if c, ok := classOf(regClass, in.Args[0]); ok {
+						perClass[c].CopySites++
+					}
+				case ir.OpPtrAdd:
+					if c, ok := classOf(regClass, in.Args[0]); ok {
+						perClass[c].RawSites++
+					}
+				case ir.OpCall:
+					if callee := m.Func(in.Callee); callee != nil && in.Dest >= 0 {
+						noteType(in.Dest, callee.Ret)
+					}
+				}
+			}
+		}
+		s.Funcs = append(s.Funcs, fs)
+	}
+
+	s.Classes = s.Classes[:0]
+	for _, name := range m.StructNames() {
+		s.Classes = append(s.Classes, *perClass[name])
+	}
+	sort.Slice(s.Funcs, func(i, j int) bool { return s.Funcs[i].Instrs > s.Funcs[j].Instrs })
+	return s
+}
+
+func classOf(regClass map[int]string, v ir.Value) (string, bool) {
+	if v.Kind != ir.ValReg {
+		return "", false
+	}
+	c, ok := regClass[v.Reg]
+	return c, ok
+}
+
+// Render produces the human-readable report.
+func (s *ModuleStats) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %q: %d structs, %d globals (%d bytes), %d funcs, %d instrs\n\n",
+		s.Name, s.Structs, s.Globals, s.GlobalSize, len(s.Funcs), s.TotalInstrs)
+
+	b.WriteString("classes:\n")
+	fmt.Fprintf(&b, "  %-28s %6s %5s %5s %6s %8s %6s %6s %5s %5s %4s\n",
+		"name", "fields", "fptr", "ptr", "size", "entropy", "alloc", "access", "free", "copy", "raw")
+	for _, c := range s.Classes {
+		fmt.Fprintf(&b, "  %-28s %6d %5d %5d %6d %7.1fb %6d %6d %5d %5d %4d\n",
+			c.Name, c.Fields, c.FuncPtrs, c.Pointers, c.StaticSize, c.EntropyBits,
+			c.AllocSites, c.AccessSites, c.FreeSites, c.CopySites, c.RawSites)
+	}
+
+	b.WriteString("\nfunctions (by size):\n")
+	for _, f := range s.Funcs {
+		fmt.Fprintf(&b, "  %-28s %4d blocks %6d instrs %4d regs\n", "@"+f.Name, f.Blocks, f.Instrs, f.MaxRegs)
+	}
+
+	b.WriteString("\nopcode histogram:\n")
+	type kv struct {
+		k string
+		v int
+	}
+	var ops []kv
+	for k, v := range s.OpHistogram {
+		ops = append(ops, kv{k, v})
+	}
+	sort.Slice(ops, func(i, j int) bool {
+		if ops[i].v != ops[j].v {
+			return ops[i].v > ops[j].v
+		}
+		return ops[i].k < ops[j].k
+	})
+	for _, o := range ops {
+		fmt.Fprintf(&b, "  %-10s %6d\n", o.k, o.v)
+	}
+	return b.String()
+}

@@ -1,0 +1,91 @@
+package irstat
+
+import (
+	"strings"
+	"testing"
+
+	"polar/internal/ir"
+	"polar/internal/layout"
+	"polar/internal/workload"
+)
+
+func buildStatModule() *ir.Module {
+	m := ir.NewModule("stat")
+	st := m.MustStruct(ir.NewStruct("A",
+		ir.Field{Name: "vt", Type: ir.Fptr},
+		ir.Field{Name: "next", Type: ir.Raw},
+		ir.Field{Name: "x", Type: ir.I64},
+	))
+	m.MustStruct(ir.NewStruct("B", ir.Field{Name: "y", Type: ir.I32}))
+	if _, err := m.AddGlobal("g", 100, nil); err != nil {
+		panic(err)
+	}
+	b := ir.NewFunc(m, "main", ir.I64)
+	p := b.Alloc(st)
+	b.Store(ir.I64, ir.Const(1), b.FieldPtrName(st, p, "x"))
+	q := b.Alloc(st)
+	b.Memcpy(q, p, ir.Const(int64(st.Size())))
+	raw := b.PtrAdd(p, ir.Const(8))
+	_ = raw
+	b.Free(p)
+	b.Free(q)
+	b.Ret(ir.Const(0))
+	return m
+}
+
+func TestAnalyzeCounts(t *testing.T) {
+	s := Analyze(buildStatModule(), layout.DefaultConfig())
+	if s.Structs != 2 || s.Globals != 1 || s.GlobalSize != 100 {
+		t.Fatalf("module stats = %+v", s)
+	}
+	var a, b ClassStat
+	for _, c := range s.Classes {
+		switch c.Name {
+		case "A":
+			a = c
+		case "B":
+			b = c
+		}
+	}
+	if a.Fields != 3 || a.FuncPtrs != 1 || a.Pointers != 1 {
+		t.Errorf("A member kinds = %+v", a)
+	}
+	if a.AllocSites != 2 || a.AccessSites != 1 || a.FreeSites != 2 || a.CopySites != 1 || a.RawSites != 1 {
+		t.Errorf("A sites = %+v", a)
+	}
+	if a.EntropyBits <= 0 {
+		t.Errorf("A entropy = %f", a.EntropyBits)
+	}
+	if b.AllocSites != 0 || b.AccessSites != 0 {
+		t.Errorf("B sites = %+v", b)
+	}
+	if s.OpHistogram["alloc"] != 2 || s.OpHistogram["free"] != 2 {
+		t.Errorf("histogram = %v", s.OpHistogram)
+	}
+	if s.TotalInstrs == 0 || len(s.Funcs) != 1 {
+		t.Errorf("totals = %d funcs=%d", s.TotalInstrs, len(s.Funcs))
+	}
+}
+
+func TestRenderContainsSections(t *testing.T) {
+	out := Analyze(buildStatModule(), layout.DefaultConfig()).Render()
+	for _, want := range []string{"classes:", "functions (by size):", "opcode histogram:", "entropy", "@main"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestAnalyzeWorkloads(t *testing.T) {
+	// The analyzer must handle every registered workload without panic
+	// and report non-trivial content.
+	for _, w := range workload.All() {
+		s := Analyze(w.Module, layout.DefaultConfig())
+		if s.TotalInstrs == 0 {
+			t.Errorf("%s: zero instructions", w.Name)
+		}
+		if len(w.ExpectedTainted) > 0 && len(s.Classes) < len(w.ExpectedTainted) {
+			t.Errorf("%s: classes %d < tainted %d", w.Name, len(s.Classes), len(w.ExpectedTainted))
+		}
+	}
+}

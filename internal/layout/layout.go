@@ -1,0 +1,378 @@
+// Package layout generates randomized in-object layouts — the
+// randomization heart of POLaR (§IV.A).
+//
+// A Layout maps each original field of a class to a randomized offset.
+// Generation permutes member order, optionally inserts dummy members to
+// raise entropy, and plants booby-trap dummies directly in front of
+// function-pointer members so that a linear overflow reaching the
+// function pointer must first corrupt a canary (§IV.A.3, after Crane et
+// al.'s booby trapping). A cache-line-bounded mode reproduces the
+// partial randomization of Linux randstruct (§II.C) for the static-OLR
+// baseline.
+package layout
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// Mode selects the permutation strategy.
+type Mode int
+
+// Modes. ModeIdentity emits the compiler layout (useful as a control in
+// ablation benchmarks).
+const (
+	ModeIdentity Mode = iota + 1
+	ModeFull
+	ModeCacheLine
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeIdentity:
+		return "identity"
+	case ModeFull:
+		return "full"
+	case ModeCacheLine:
+		return "cacheline"
+	default:
+		return "?"
+	}
+}
+
+// FieldInfo is the minimal per-member description the generator needs;
+// the CIE's Member satisfies it via Adapt.
+type FieldInfo struct {
+	Size   int
+	Align  int
+	IsFptr bool
+}
+
+// Config controls generation.
+type Config struct {
+	Mode Mode
+	// MinDummies/MaxDummies bound the number of extra dummy members
+	// inserted per object ("optionally adding unused member variables to
+	// increase the entropy", §III.B).
+	MinDummies int
+	MaxDummies int
+	// BoobyTraps plants a canary dummy immediately before each
+	// function-pointer member (§IV.A.3).
+	BoobyTraps bool
+	// CacheLineSize bounds permutation groups in ModeCacheLine
+	// (default 64).
+	CacheLineSize int
+	// DummySize is the byte size of each dummy slot (default 8).
+	DummySize int
+}
+
+// DefaultConfig is the configuration used throughout the paper's
+// evaluation: full permutation, 1–2 dummies, booby traps on.
+func DefaultConfig() Config {
+	return Config{Mode: ModeFull, MinDummies: 1, MaxDummies: 2, BoobyTraps: true}
+}
+
+func (c *Config) cacheLine() int {
+	if c.CacheLineSize <= 0 {
+		return 64
+	}
+	return c.CacheLineSize
+}
+
+func (c *Config) dummySize() int {
+	if c.DummySize <= 0 {
+		return 8
+	}
+	return c.DummySize
+}
+
+// Slot is one randomized layout position.
+type Slot struct {
+	// Field is the original field index, or -1 for a dummy.
+	Field  int
+	Offset int
+	Size   int
+	// Trap marks a dummy carrying a canary checked on free/copy.
+	Trap bool
+}
+
+// Layout is a concrete randomized object layout.
+type Layout struct {
+	Slots     []Slot
+	Offsets   []int // original field index -> randomized offset
+	TotalSize int
+	Dummies   int
+
+	hash uint64
+}
+
+// Hash is a cheap identity hash used by the layout deduplication table
+// ("Polar removes the duplicate metadata when two objects have the same
+// randomized memory layout", §V.B). Equal layouts hash equal; collisions
+// are resolved with Equal.
+func (l *Layout) Hash() uint64 { return l.hash }
+
+// Equal reports structural equality of two layouts.
+func (l *Layout) Equal(o *Layout) bool {
+	if l.TotalSize != o.TotalSize || len(l.Slots) != len(o.Slots) {
+		return false
+	}
+	for i := range l.Slots {
+		if l.Slots[i] != o.Slots[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key renders a canonical identity string (diagnostics and tests; the
+// hot dedup path uses Hash/Equal).
+func (l *Layout) Key() string { return canonicalKey(l) }
+
+// TrapSlots returns the booby-trap slots.
+func (l *Layout) TrapSlots() []Slot {
+	var out []Slot
+	for _, s := range l.Slots {
+		if s.Trap {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// FieldOffset returns the randomized offset of original field i.
+func (l *Layout) FieldOffset(i int) (int, error) {
+	if i < 0 || i >= len(l.Offsets) {
+		return 0, fmt.Errorf("layout: field %d out of range (%d fields)", i, len(l.Offsets))
+	}
+	return l.Offsets[i], nil
+}
+
+// part is one member or dummy inside a placement unit.
+type part struct {
+	slot  Slot // Field/Size/Trap set; Offset assigned at placement
+	align int
+}
+
+// item is a placement unit: a run of members that must stay adjacent
+// (a booby trap fused to its function pointer) or a single member/dummy.
+type item struct {
+	parts []part
+	align int
+}
+
+// Generate builds a randomized layout for the given fields.
+func Generate(fields []FieldInfo, cfg Config, rng *rand.Rand) (*Layout, error) {
+	if rng == nil && cfg.Mode != ModeIdentity {
+		return nil, fmt.Errorf("layout: nil rng for mode %v", cfg.Mode)
+	}
+	switch cfg.Mode {
+	case ModeIdentity:
+		return identityLayout(fields), nil
+	case ModeFull:
+		return fullLayout(fields, cfg, rng), nil
+	case ModeCacheLine:
+		return cacheLineLayout(fields, cfg, rng), nil
+	default:
+		return nil, fmt.Errorf("layout: unknown mode %d", cfg.Mode)
+	}
+}
+
+func identityLayout(fields []FieldInfo) *Layout {
+	l := &Layout{Offsets: make([]int, len(fields))}
+	off, maxAlign := 0, 1
+	for i, f := range fields {
+		off = alignUp(off, f.Align)
+		l.Offsets[i] = off
+		l.Slots = append(l.Slots, Slot{Field: i, Offset: off, Size: f.Size})
+		off += f.Size
+		if f.Align > maxAlign {
+			maxAlign = f.Align
+		}
+	}
+	l.TotalSize = alignUp(off, maxAlign)
+	if l.TotalSize == 0 {
+		l.TotalSize = 1
+	}
+	l.hash = slotHash(l)
+	return l
+}
+
+func buildItems(fields []FieldInfo, cfg Config, rng *rand.Rand) []item {
+	items := make([]item, 0, len(fields)+cfg.MaxDummies)
+	for i, f := range fields {
+		it := item{align: f.Align}
+		if cfg.BoobyTraps && f.IsFptr {
+			ds := cfg.dummySize()
+			if ds < f.Align {
+				ds = f.Align
+			}
+			it.parts = append(it.parts, part{slot: Slot{Field: -1, Size: ds, Trap: true}, align: ds})
+			if ds > it.align {
+				it.align = ds
+			}
+		}
+		it.parts = append(it.parts, part{slot: Slot{Field: i, Size: f.Size}, align: f.Align})
+		items = append(items, it)
+	}
+	nd := cfg.MinDummies
+	if cfg.MaxDummies > cfg.MinDummies {
+		nd += rng.Intn(cfg.MaxDummies - cfg.MinDummies + 1)
+	}
+	ds := cfg.dummySize()
+	for d := 0; d < nd; d++ {
+		items = append(items, item{
+			parts: []part{{slot: Slot{Field: -1, Size: ds}, align: ds}},
+			align: ds,
+		})
+	}
+	return items
+}
+
+func placeItems(items []item, nFields int) *Layout {
+	l := &Layout{Offsets: make([]int, nFields)}
+	off, maxAlign := 0, 1
+	for _, it := range items {
+		if it.align > maxAlign {
+			maxAlign = it.align
+		}
+		off = alignUp(off, it.align)
+		for _, p := range it.parts {
+			off = alignUp(off, p.align)
+			s := p.slot
+			s.Offset = off
+			l.Slots = append(l.Slots, s)
+			if s.Field >= 0 {
+				l.Offsets[s.Field] = off
+			} else {
+				l.Dummies++
+			}
+			off += s.Size
+		}
+	}
+	l.TotalSize = alignUp(off, maxAlign)
+	if l.TotalSize == 0 {
+		l.TotalSize = 1
+	}
+	l.hash = slotHash(l)
+	return l
+}
+
+func fullLayout(fields []FieldInfo, cfg Config, rng *rand.Rand) *Layout {
+	items := buildItems(fields, cfg, rng)
+	rng.Shuffle(len(items), func(i, j int) { items[i], items[j] = items[j], items[i] })
+	return placeItems(items, len(fields))
+}
+
+// cacheLineLayout shuffles members only within cache-line-sized groups
+// of the original order (randstruct's "partially randomized considering
+// the cache line", §II.C). Dummies are not inserted in this mode.
+func cacheLineLayout(fields []FieldInfo, cfg Config, rng *rand.Rand) *Layout {
+	line := cfg.cacheLine()
+	var items []item
+	for i, f := range fields {
+		items = append(items, item{
+			parts: []part{{slot: Slot{Field: i, Size: f.Size}, align: f.Align}},
+			align: f.Align,
+		})
+	}
+	// Group by cumulative static size.
+	var groups [][]item
+	cum := 0
+	cur := []item{}
+	for i, it := range items {
+		if cum+fields[i].Size > line && len(cur) > 0 {
+			groups = append(groups, cur)
+			cur = nil
+			cum = 0
+		}
+		cur = append(cur, it)
+		cum += fields[i].Size
+	}
+	if len(cur) > 0 {
+		groups = append(groups, cur)
+	}
+	var shuffled []item
+	for _, g := range groups {
+		rng.Shuffle(len(g), func(i, j int) { g[i], g[j] = g[j], g[i] })
+		shuffled = append(shuffled, g...)
+	}
+	return placeItems(shuffled, len(fields))
+}
+
+func canonicalKey(l *Layout) string {
+	var b strings.Builder
+	for _, s := range l.Slots {
+		fmt.Fprintf(&b, "%d@%d+%d", s.Field, s.Offset, s.Size)
+		if s.Trap {
+			b.WriteByte('t')
+		}
+		b.WriteByte(';')
+	}
+	fmt.Fprintf(&b, "=%d", l.TotalSize)
+	return b.String()
+}
+
+// EntropyBits estimates the layout entropy for a class under cfg: the
+// base-2 log of the number of distinct placements (item permutations ×
+// dummy count choices). This is the "randomness entropy" the dummy
+// members increase (§IV.A.3).
+func EntropyBits(nFields, nFptrs int, cfg Config) float64 {
+	switch cfg.Mode {
+	case ModeIdentity:
+		return 0
+	case ModeCacheLine:
+		// Approximation: permutations within one line of all fields.
+		return lgFactorial(nFields)
+	}
+	choices := float64(cfg.MaxDummies - cfg.MinDummies + 1)
+	// Booby traps fuse with their fptr, so items = fields + dummies.
+	bits := 0.0
+	for d := cfg.MinDummies; d <= cfg.MaxDummies; d++ {
+		items := nFields + d
+		b := lgFactorial(items)
+		if b > bits {
+			bits = b
+		}
+	}
+	if choices > 1 {
+		bits += math.Log2(choices)
+	}
+	return bits
+}
+
+func lgFactorial(n int) float64 {
+	s := 0.0
+	for i := 2; i <= n; i++ {
+		s += math.Log2(float64(i))
+	}
+	return s
+}
+
+func alignUp(n, a int) int {
+	if a <= 1 {
+		return n
+	}
+	return (n + a - 1) / a * a
+}
+
+// slotHash is FNV-1a over the slot tuples plus total size.
+func slotHash(l *Layout) uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		h = (h ^ v) * 1099511628211
+	}
+	for _, s := range l.Slots {
+		mix(uint64(uint32(s.Field + 1)))
+		mix(uint64(s.Offset))
+		mix(uint64(s.Size))
+		if s.Trap {
+			mix(0x7472)
+		}
+	}
+	mix(uint64(l.TotalSize))
+	return h
+}

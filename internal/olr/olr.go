@@ -1,0 +1,183 @@
+// Package olr implements the compile-time Object Layout Randomization
+// baseline that POLaR is compared against: the approach of Linux
+// randstruct, DSLR (Lin et al. 2009) and RFOR (Stanley et al. 2013)
+// discussed in §II.C and §VII.A.
+//
+// The transformation permutes struct field order (optionally inserting
+// dummy members) once, at "compile time": the randomized layout is baked
+// into the binary, identical for every instance of a type and identical
+// across executions of the same binary. Those two properties are exactly
+// the limitations (§III.B.1 hidden-binary problem, §III.B.2 reproduction
+// problem) the security experiments demonstrate.
+package olr
+
+import (
+	"fmt"
+	"math/rand"
+
+	"polar/internal/ir"
+	"polar/internal/layout"
+)
+
+// Config controls the static randomization.
+type Config struct {
+	// Seed models the per-binary compile-time randomness.
+	Seed int64
+	// Mode selects full or cache-line-bounded permutation (randstruct
+	// supports both, §II.C).
+	Mode layout.Mode
+	// Dummies inserts this many unused dummy members per struct (DSLR
+	// inserts dummies "in case the number of existing member variables
+	// is insufficient", §VII.A).
+	Dummies int
+	// DummySize is the byte size of inserted dummies (default 8).
+	DummySize int
+}
+
+// DefaultConfig mirrors randstruct's full mode with one dummy.
+func DefaultConfig(seed int64) Config {
+	return Config{Seed: seed, Mode: layout.ModeFull, Dummies: 1}
+}
+
+// Result is the transformed module plus the layout map (which a reverse
+// engineer reading the binary would recover — the paper's point).
+type Result struct {
+	Module *ir.Module
+	// Perm maps struct name -> original field index -> new field index.
+	Perm map[string][]int
+}
+
+// Apply clones m and statically randomizes the layouts of the target
+// structs (nil targets = all). FieldPtr indices are rewritten to match,
+// exactly as a compiler emitting against the permuted declaration would.
+func Apply(m *ir.Module, targets []string, cfg Config) (*Result, error) {
+	if cfg.DummySize <= 0 {
+		cfg.DummySize = 8
+	}
+	out := ir.Clone(m)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	names := targets
+	if names == nil {
+		names = out.StructNames()
+	}
+	res := &Result{Module: out, Perm: make(map[string][]int, len(names))}
+	for _, name := range names {
+		st, ok := out.Structs[name]
+		if !ok {
+			return nil, fmt.Errorf("olr: module has no struct %q", name)
+		}
+		if st.NoRandom {
+			// randstruct's __no_randomize_layout analogue: hard opt-out.
+			continue
+		}
+		remap, err := permuteStruct(st, cfg, rng)
+		if err != nil {
+			return nil, err
+		}
+		res.Perm[name] = remap
+	}
+	// Rewrite field indices at every access site.
+	for _, f := range out.Funcs {
+		for _, blk := range f.Blocks {
+			for i := range blk.Instrs {
+				in := &blk.Instrs[i]
+				if in.Op != ir.OpFieldPtr {
+					continue
+				}
+				if remap, ok := res.Perm[in.Struct.Name]; ok {
+					in.Field = remap[in.Field]
+				}
+			}
+		}
+	}
+	if err := ir.Validate(out); err != nil {
+		return nil, fmt.Errorf("olr: produced invalid module: %w", err)
+	}
+	return res, nil
+}
+
+// permuteStruct rewrites st's field list in place (dummies + shuffle)
+// and returns the original-index -> new-index map.
+func permuteStruct(st *ir.StructType, cfg Config, rng *rand.Rand) ([]int, error) {
+	n := len(st.Fields)
+	fields := make([]ir.Field, 0, n+cfg.Dummies)
+	orig := make([]int, 0, n+cfg.Dummies) // entry -> original index or -1
+	for i, f := range st.Fields {
+		fields = append(fields, f)
+		orig = append(orig, i)
+	}
+	for d := 0; d < cfg.Dummies; d++ {
+		fields = append(fields, ir.Field{
+			Name: fmt.Sprintf("__olr_dummy%d", d),
+			Type: ir.IntType{Bits: 8 * cfg.DummySize},
+		})
+		orig = append(orig, -1)
+	}
+	switch cfg.Mode {
+	case layout.ModeFull:
+		rng.Shuffle(len(fields), func(i, j int) {
+			fields[i], fields[j] = fields[j], fields[i]
+			orig[i], orig[j] = orig[j], orig[i]
+		})
+	case layout.ModeCacheLine:
+		shuffleWithinLines(fields, orig, rng)
+	case layout.ModeIdentity:
+		// No permutation; dummies only.
+	default:
+		return nil, fmt.Errorf("olr: unsupported mode %v", cfg.Mode)
+	}
+	remap := make([]int, n)
+	for pos, o := range orig {
+		if o >= 0 {
+			remap[o] = pos
+		}
+	}
+	st.Fields = fields
+	// Recompute offsets via ReorderFields with the identity permutation.
+	ident := make([]int, len(fields))
+	for i := range ident {
+		ident[i] = i
+	}
+	if err := st.ReorderFields(ident); err != nil {
+		return nil, err
+	}
+	return remap, nil
+}
+
+func shuffleWithinLines(fields []ir.Field, orig []int, rng *rand.Rand) {
+	const line = 64
+	start, cum := 0, 0
+	flush := func(end int) {
+		rng.Shuffle(end-start, func(i, j int) {
+			fields[start+i], fields[start+j] = fields[start+j], fields[start+i]
+			orig[start+i], orig[start+j] = orig[start+j], orig[start+i]
+		})
+		start = end
+	}
+	for i := range fields {
+		sz := fields[i].Type.Size()
+		if cum+sz > line && i > start {
+			flush(i)
+			cum = 0
+		}
+		cum += sz
+	}
+	flush(len(fields))
+}
+
+// StaticOffsets returns the post-randomization offset of each original
+// field of the named struct — what an attacker with the binary recovers
+// by reverse engineering (§III.B.1).
+func (r *Result) StaticOffsets(name string) ([]int, bool) {
+	remap, ok := r.Perm[name]
+	if !ok {
+		return nil, false
+	}
+	st := r.Module.Structs[name]
+	out := make([]int, len(remap))
+	for origIdx, newIdx := range remap {
+		out[origIdx] = st.Offset(newIdx)
+	}
+	return out, true
+}

@@ -1,0 +1,185 @@
+package olr
+
+import (
+	"testing"
+
+	"polar/internal/ir"
+	"polar/internal/layout"
+	"polar/internal/vm"
+)
+
+func buildProgram() *ir.Module {
+	m := ir.NewModule("olr")
+	st := m.MustStruct(ir.NewStruct("T",
+		ir.Field{Name: "a", Type: ir.I64},
+		ir.Field{Name: "b", Type: ir.I32},
+		ir.Field{Name: "c", Type: ir.I32},
+		ir.Field{Name: "d", Type: ir.Fptr},
+	))
+	b := ir.NewFunc(m, "main", ir.I64)
+	p := b.Alloc(st)
+	b.Store(ir.I64, ir.Const(100), b.FieldPtrName(st, p, "a"))
+	b.Store(ir.I32, ir.Const(20), b.FieldPtrName(st, p, "b"))
+	b.Store(ir.I32, ir.Const(3), b.FieldPtrName(st, p, "c"))
+	va := b.Load(ir.I64, b.FieldPtrName(st, p, "a"))
+	vb := b.Load(ir.I32, b.FieldPtrName(st, p, "b"))
+	vc := b.Load(ir.I32, b.FieldPtrName(st, p, "c"))
+	b.Free(p)
+	b.Ret(b.Bin(ir.BinAdd, va, b.Bin(ir.BinAdd, vb, vc)))
+	return m
+}
+
+func run(t *testing.T, m *ir.Module) int64 {
+	t.Helper()
+	v, err := vm.New(ir.Clone(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := v.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestSemanticsPreserved: the compile-time permutation must not change
+// program behaviour, for many seeds.
+func TestSemanticsPreserved(t *testing.T) {
+	m := buildProgram()
+	want := run(t, m)
+	for seed := int64(1); seed <= 40; seed++ {
+		res, err := Apply(m, nil, DefaultConfig(seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if got := run(t, res.Module); got != want {
+			t.Fatalf("seed %d: result %d != %d", seed, got, want)
+		}
+	}
+}
+
+// TestLayoutIsPerBinaryDeterministic: the same seed (same "binary")
+// yields the same layout; different seeds usually differ — the §III.B
+// properties the security comparison relies on.
+func TestLayoutIsPerBinaryDeterministic(t *testing.T) {
+	m := buildProgram()
+	r1, err := Apply(m, nil, DefaultConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Apply(m, nil, DefaultConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o1, _ := r1.StaticOffsets("T")
+	o2, _ := r2.StaticOffsets("T")
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("same seed produced different layouts: %v vs %v", o1, o2)
+		}
+	}
+	distinct := 0
+	for seed := int64(1); seed <= 20; seed++ {
+		r, err := Apply(m, nil, DefaultConfig(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		o, _ := r.StaticOffsets("T")
+		if o[0] != o1[0] || o[3] != o1[3] {
+			distinct++
+		}
+	}
+	if distinct == 0 {
+		t.Fatal("20 different binaries all share one layout")
+	}
+}
+
+func TestDummiesInserted(t *testing.T) {
+	m := buildProgram()
+	cfg := DefaultConfig(3)
+	cfg.Dummies = 2
+	res, err := Apply(m, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Module.Structs["T"]
+	if len(st.Fields) != 6 {
+		t.Fatalf("fields after 2 dummies = %d, want 6", len(st.Fields))
+	}
+	if st.Size() <= m.Structs["T"].Size() {
+		t.Errorf("dummies did not grow the struct: %d <= %d", st.Size(), m.Structs["T"].Size())
+	}
+}
+
+func TestStaticOffsetsMapOriginalIndices(t *testing.T) {
+	m := buildProgram()
+	res, err := Apply(m, nil, DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	offs, ok := res.StaticOffsets("T")
+	if !ok || len(offs) != 4 {
+		t.Fatalf("StaticOffsets = %v %v", offs, ok)
+	}
+	// Each offset must point at a field of the right size in the
+	// permuted struct.
+	st := res.Module.Structs["T"]
+	find := func(off int) *ir.Field {
+		for i := range st.Fields {
+			if st.Offset(i) == off {
+				return &st.Fields[i]
+			}
+		}
+		return nil
+	}
+	origTypes := []ir.Type{ir.I64, ir.I32, ir.I32, ir.Fptr}
+	for i, off := range offs {
+		f := find(off)
+		if f == nil {
+			t.Fatalf("original field %d mapped to dead offset %d", i, off)
+		}
+		if f.Type.Size() != origTypes[i].Size() {
+			t.Errorf("original field %d mapped to field of size %d", i, f.Type.Size())
+		}
+	}
+	if _, ok := res.StaticOffsets("Ghost"); ok {
+		t.Error("StaticOffsets invented a struct")
+	}
+}
+
+func TestCacheLineMode(t *testing.T) {
+	m := ir.NewModule("cl")
+	var fields []ir.Field
+	for i := 0; i < 32; i++ {
+		fields = append(fields, ir.Field{Name: fieldName(i), Type: ir.I32})
+	}
+	m.MustStruct(ir.NewStruct("Big", fields...))
+	b := ir.NewFunc(m, "main", ir.I64)
+	b.Ret(ir.Const(0))
+
+	cfg := Config{Seed: 9, Mode: layout.ModeCacheLine}
+	res, err := Apply(m, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offs, _ := res.StaticOffsets("Big")
+	for i := 0; i < 16; i++ {
+		if offs[i] >= 64 {
+			t.Fatalf("field %d crossed its cache line: offset %d", i, offs[i])
+		}
+	}
+}
+
+func TestApplyErrors(t *testing.T) {
+	m := buildProgram()
+	if _, err := Apply(m, []string{"Ghost"}, DefaultConfig(1)); err == nil {
+		t.Error("unknown struct accepted")
+	}
+	if _, err := Apply(m, nil, Config{Seed: 1, Mode: 42}); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+func fieldName(i int) string {
+	return "f" + string(rune('a'+i/10)) + string(rune('0'+i%10))
+}

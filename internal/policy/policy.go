@@ -1,0 +1,157 @@
+// Package policy defines the randomization policy file — the artifact
+// that carries TaintClass's verdict (Fig. 3's "feedback data") from the
+// analysis step to the compile step. taintclass -o writes one; polarc
+// -policy consumes it.
+//
+// A policy names the randomization targets and, per class, the tuned
+// layout knobs derived from what TaintClass learned about the class
+// (§IV.B.1: which members are input-tainted, whether its life cycle is
+// input-controlled).
+package policy
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"polar/internal/layout"
+	"polar/internal/taint"
+)
+
+// ClassPolicy is the per-class tuning record.
+type ClassPolicy struct {
+	// MinDummies/MaxDummies bound the dummy members inserted per
+	// allocation of this class.
+	MinDummies int `json:"minDummies"`
+	MaxDummies int `json:"maxDummies"`
+	// BoobyTraps plants canaries in front of function-pointer members.
+	BoobyTraps bool `json:"boobyTraps"`
+	// Why records the TaintClass evidence (documentation only).
+	Why string `json:"why,omitempty"`
+	// TaintedFields lists the input-tainted member names.
+	TaintedFields []string `json:"taintedFields,omitempty"`
+}
+
+// Policy is the serializable randomization policy.
+type Policy struct {
+	// Generator records provenance (tool + parameters).
+	Generator string `json:"generator,omitempty"`
+	// Targets are the class names to randomize, sorted.
+	Targets []string `json:"targets"`
+	// Classes holds per-class tuning, keyed by class name.
+	Classes map[string]ClassPolicy `json:"classes,omitempty"`
+}
+
+// FromTaintReport builds a policy from a TaintClass report using the
+// §IV.B.1 tuning rules (see polar.Hardened.TuneFromTaint for the same
+// rules applied in-process).
+func FromTaintReport(rep *taint.Report, generator string) *Policy {
+	base := layout.DefaultConfig()
+	p := &Policy{Generator: generator, Classes: make(map[string]ClassPolicy)}
+	for _, name := range rep.TaintedClasses() {
+		obj, _ := rep.Object(name)
+		cp := ClassPolicy{
+			MinDummies: base.MinDummies,
+			MaxDummies: base.MaxDummies,
+			BoobyTraps: base.BoobyTraps,
+		}
+		pointerTainted := false
+		for _, ft := range obj.SortedFields() {
+			cp.TaintedFields = append(cp.TaintedFields, ft.Name)
+			if ft.IsPointer {
+				pointerTainted = true
+			}
+		}
+		switch {
+		case pointerTainted:
+			cp.MinDummies++
+			cp.MaxDummies++
+			cp.Why = "input-tainted pointer members"
+		case obj.AllocTainted || obj.FreeTainted:
+			cp.Why = "input-controlled life cycle"
+		default:
+			if cp.MinDummies > 0 {
+				cp.MinDummies--
+			}
+			if cp.MaxDummies > cp.MinDummies+1 {
+				cp.MaxDummies--
+			}
+			cp.Why = "input-tainted data members only"
+		}
+		p.Targets = append(p.Targets, name)
+		p.Classes[name] = cp
+	}
+	sort.Strings(p.Targets)
+	return p
+}
+
+// LayoutConfig converts a class policy into a layout configuration.
+func (cp ClassPolicy) LayoutConfig() layout.Config {
+	cfg := layout.DefaultConfig()
+	cfg.MinDummies = cp.MinDummies
+	cfg.MaxDummies = cp.MaxDummies
+	cfg.BoobyTraps = cp.BoobyTraps
+	return cfg
+}
+
+// Validate checks internal consistency.
+func (p *Policy) Validate() error {
+	seen := make(map[string]bool, len(p.Targets))
+	for _, t := range p.Targets {
+		if t == "" {
+			return fmt.Errorf("policy: empty target name")
+		}
+		if seen[t] {
+			return fmt.Errorf("policy: duplicate target %q", t)
+		}
+		seen[t] = true
+	}
+	for name, cp := range p.Classes {
+		if !seen[name] {
+			return fmt.Errorf("policy: class %q tuned but not targeted", name)
+		}
+		if cp.MinDummies < 0 || cp.MaxDummies < cp.MinDummies {
+			return fmt.Errorf("policy: class %q has invalid dummy range [%d,%d]", name, cp.MinDummies, cp.MaxDummies)
+		}
+	}
+	return nil
+}
+
+// Marshal renders the policy as indented JSON.
+func (p *Policy) Marshal() ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(p, "", "  ")
+}
+
+// Parse reads a policy from JSON.
+func Parse(data []byte) (*Policy, error) {
+	var p Policy
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("policy: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// Save writes the policy to a file.
+func (p *Policy) Save(path string) error {
+	data, err := p.Marshal()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Load reads a policy from a file.
+func Load(path string) (*Policy, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(data)
+}

@@ -1,0 +1,104 @@
+package policy
+
+import (
+	"path/filepath"
+	"testing"
+
+	"polar/internal/ir"
+	"polar/internal/taint"
+)
+
+func sampleReport(t *testing.T) *taint.Report {
+	t.Helper()
+	m := ir.NewModule("p")
+	hot := m.MustStruct(ir.NewStruct("Hot",
+		ir.Field{Name: "cb", Type: ir.Fptr},
+		ir.Field{Name: "n", Type: ir.I64},
+	))
+	data := m.MustStruct(ir.NewStruct("DataOnly",
+		ir.Field{Name: "a", Type: ir.I64},
+	))
+	if _, err := m.AddGlobal("buf", 16, nil); err != nil {
+		t.Fatal(err)
+	}
+	b := ir.NewFunc(m, "main", ir.I64)
+	b.Call("input_read", ir.Global("buf"), ir.Const(0), ir.Const(8))
+	h := b.Alloc(hot)
+	v := b.Load(ir.I64, ir.Global("buf"))
+	b.Store(ir.Fptr, v, b.FieldPtrName(hot, h, "cb")) // tainted pointer member
+	d := b.Alloc(data)
+	b.Store(ir.I64, v, b.FieldPtrName(data, d, "a")) // tainted data member
+	b.Ret(ir.Const(0))
+	rep, err := taint.AnalyzeOne(m, []byte{1, 2, 3, 4, 5, 6, 7, 8}, taint.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestFromTaintReportRules(t *testing.T) {
+	p := FromTaintReport(sampleReport(t), "test")
+	if len(p.Targets) != 2 {
+		t.Fatalf("targets = %v", p.Targets)
+	}
+	hot := p.Classes["Hot"]
+	data := p.Classes["DataOnly"]
+	if hot.MinDummies <= data.MinDummies {
+		t.Errorf("pointer-tainted class dummies %d <= data-only %d", hot.MinDummies, data.MinDummies)
+	}
+	if !hot.BoobyTraps {
+		t.Error("pointer-tainted class lost traps")
+	}
+	if len(hot.TaintedFields) == 0 || hot.TaintedFields[0] != "cb" {
+		t.Errorf("tainted fields = %v", hot.TaintedFields)
+	}
+	if hot.Why == "" || data.Why == "" {
+		t.Error("missing evidence strings")
+	}
+}
+
+func TestPolicyRoundTrip(t *testing.T) {
+	p := FromTaintReport(sampleReport(t), "test")
+	path := filepath.Join(t.TempDir(), "pol.json")
+	if err := p.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Targets) != len(p.Targets) || back.Generator != "test" {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	for name, cp := range p.Classes {
+		b := back.Classes[name]
+		if b.MinDummies != cp.MinDummies || b.BoobyTraps != cp.BoobyTraps {
+			t.Errorf("%s: %+v != %+v", name, b, cp)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []Policy{
+		{Targets: []string{""}},
+		{Targets: []string{"A", "A"}},
+		{Targets: []string{"A"}, Classes: map[string]ClassPolicy{"B": {}}},
+		{Targets: []string{"A"}, Classes: map[string]ClassPolicy{"A": {MinDummies: 3, MaxDummies: 1}}},
+	}
+	for i, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, p)
+		}
+	}
+	if _, err := Parse([]byte("{not json")); err == nil {
+		t.Error("bad JSON accepted")
+	}
+}
+
+func TestLayoutConfigConversion(t *testing.T) {
+	cp := ClassPolicy{MinDummies: 2, MaxDummies: 4, BoobyTraps: false}
+	cfg := cp.LayoutConfig()
+	if cfg.MinDummies != 2 || cfg.MaxDummies != 4 || cfg.BoobyTraps {
+		t.Fatalf("converted = %+v", cfg)
+	}
+}

@@ -1,0 +1,97 @@
+package vm
+
+import (
+	"fmt"
+	"math"
+)
+
+// registerDefaultBuiltins installs the core intrinsics every program can
+// use:
+//
+//	input_len() -> i64                      length of untrusted input
+//	input_read(dst, off, n) -> i64          copy input[off:off+n] to dst, returns copied
+//	input_byte(off) -> i64                  one input byte (or -1 past end)
+//	print_i64(v), print_f64(v)              append to the output log
+//	print_str(ptr, n)                       append raw bytes to the output log
+//	rt_rand(seed_slot_ptr) -> i64           xorshift PRNG stepping the seed in memory
+//	rt_abort(code)                          terminate with an error
+//	rt_sqrt(f) -> f64, rt_sin(f), rt_cos(f) float helpers (bit-cast args)
+//
+// The input_* family models the instrumented fread/MapViewOfFile entry
+// points that TaintClass treats as taint sources (§IV.B.1).
+func registerDefaultBuiltins(v *VM) {
+	v.RegisterBuiltin("input_len", func(c *Call) (int64, error) {
+		return int64(len(c.VM.input)), nil
+	})
+	v.RegisterBuiltin("input_read", func(c *Call) (int64, error) {
+		dst := uint64(c.Arg(0))
+		off := int(c.Arg(1))
+		n := int(c.Arg(2))
+		if off < 0 || off >= len(c.VM.input) || n <= 0 {
+			return 0, nil
+		}
+		if off+n > len(c.VM.input) {
+			n = len(c.VM.input) - off
+		}
+		if err := c.VM.Mem.WriteBytes(dst, c.VM.input[off:off+n]); err != nil {
+			return 0, err
+		}
+		return int64(n), nil
+	})
+	v.RegisterBuiltin("input_byte", func(c *Call) (int64, error) {
+		off := int(c.Arg(0))
+		if off < 0 || off >= len(c.VM.input) {
+			return -1, nil
+		}
+		return int64(c.VM.input[off]), nil
+	})
+	v.RegisterBuiltin("print_i64", func(c *Call) (int64, error) {
+		c.VM.output = append(c.VM.output, []byte(fmt.Sprintf("%d\n", c.Arg(0)))...)
+		return 0, nil
+	})
+	v.RegisterBuiltin("print_f64", func(c *Call) (int64, error) {
+		f := math.Float64frombits(uint64(c.Arg(0)))
+		c.VM.output = append(c.VM.output, []byte(fmt.Sprintf("%g\n", f))...)
+		return 0, nil
+	})
+	v.RegisterBuiltin("print_str", func(c *Call) (int64, error) {
+		b, err := c.VM.Mem.ReadBytes(uint64(c.Arg(0)), int(c.Arg(1)))
+		if err != nil {
+			return 0, err
+		}
+		c.VM.output = append(c.VM.output, b...)
+		return 0, nil
+	})
+	v.RegisterBuiltin("rt_rand", func(c *Call) (int64, error) {
+		slot := uint64(c.Arg(0))
+		s, err := c.VM.Mem.ReadU(slot, 8)
+		if err != nil {
+			return 0, err
+		}
+		if s == 0 {
+			s = 0x9e3779b97f4a7c15
+		}
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		if err := c.VM.Mem.WriteU(slot, 8, s); err != nil {
+			return 0, err
+		}
+		return int64(s >> 1), nil
+	})
+	v.RegisterBuiltin("rt_abort", func(c *Call) (int64, error) {
+		return 0, fmt.Errorf("vm: program abort(%d)", c.Arg(0))
+	})
+	v.RegisterBuiltin("rt_sqrt", func(c *Call) (int64, error) {
+		f := math.Float64frombits(uint64(c.Arg(0)))
+		return int64(math.Float64bits(math.Sqrt(f))), nil
+	})
+	v.RegisterBuiltin("rt_sin", func(c *Call) (int64, error) {
+		f := math.Float64frombits(uint64(c.Arg(0)))
+		return int64(math.Float64bits(math.Sin(f))), nil
+	})
+	v.RegisterBuiltin("rt_cos", func(c *Call) (int64, error) {
+		f := math.Float64frombits(uint64(c.Arg(0)))
+		return int64(math.Float64bits(math.Cos(f))), nil
+	})
+}

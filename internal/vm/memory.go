@@ -1,0 +1,196 @@
+// Package vm implements the virtual machine that executes POLaR IR
+// programs over a simulated byte-addressable address space.
+//
+// The VM plays the role of the native process in the paper: programs
+// (instrumented or not) run over a simulated heap whose chunks are
+// recycled like a real allocator's, so use-after-free, stale data and
+// per-allocation randomization behave as they would in a C/C++ process.
+package vm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Address-space layout constants.
+const (
+	pageBits = 16
+	pageSize = 1 << pageBits
+
+	// NullGuard is the size of the unmapped region at address zero;
+	// any access below it faults as a null dereference.
+	NullGuard = 0x1000
+
+	// GlobalBase is where module globals are laid out.
+	GlobalBase = 0x0001_0000
+	// StackBase is the start of the downward-growing-by-frame local
+	// region (each frame bump-allocates upward within it).
+	StackBase = 0x1000_0000
+	// StackLimit bounds the local region.
+	StackLimit = 0x3000_0000
+	// HeapBase is where the simulated malloc carves chunks.
+	HeapBase = 0x4000_0000
+	// HeapSize is the virtual heap capacity.
+	HeapSize = 0x4000_0000
+)
+
+// ErrNullDeref is wrapped by memory faults in the null guard page.
+var ErrNullDeref = errors.New("vm: null pointer dereference")
+
+// Memory is a sparse paged byte store. The zero value is not usable;
+// use newMemory.
+type Memory struct {
+	pages map[uint64][]byte
+
+	// Single-entry page cache: the interpreter has strong locality.
+	lastIdx  uint64
+	lastPage []byte
+}
+
+func newMemory() *Memory {
+	return &Memory{pages: make(map[uint64][]byte), lastIdx: ^uint64(0)}
+}
+
+func (m *Memory) page(idx uint64) []byte {
+	if idx == m.lastIdx {
+		return m.lastPage
+	}
+	p, ok := m.pages[idx]
+	if !ok {
+		p = make([]byte, pageSize)
+		m.pages[idx] = p
+	}
+	m.lastIdx, m.lastPage = idx, p
+	return p
+}
+
+func (m *Memory) check(addr uint64, n int) error {
+	if addr < NullGuard {
+		return fmt.Errorf("%w at 0x%x", ErrNullDeref, addr)
+	}
+	_ = n
+	return nil
+}
+
+// ReadU reads an n-byte little-endian unsigned integer (n ∈ {1,2,4,8}).
+func (m *Memory) ReadU(addr uint64, n int) (uint64, error) {
+	if err := m.check(addr, n); err != nil {
+		return 0, err
+	}
+	off := addr & (pageSize - 1)
+	if off+uint64(n) <= pageSize {
+		p := m.page(addr >> pageBits)
+		switch n {
+		case 1:
+			return uint64(p[off]), nil
+		case 2:
+			return uint64(binary.LittleEndian.Uint16(p[off:])), nil
+		case 4:
+			return uint64(binary.LittleEndian.Uint32(p[off:])), nil
+		case 8:
+			return binary.LittleEndian.Uint64(p[off:]), nil
+		}
+	}
+	// Straddles a page boundary: byte-at-a-time.
+	var v uint64
+	for i := 0; i < n; i++ {
+		b := m.page((addr + uint64(i)) >> pageBits)[(addr+uint64(i))&(pageSize-1)]
+		v |= uint64(b) << (8 * i)
+	}
+	return v, nil
+}
+
+// WriteU writes an n-byte little-endian unsigned integer.
+func (m *Memory) WriteU(addr uint64, n int, v uint64) error {
+	if err := m.check(addr, n); err != nil {
+		return err
+	}
+	off := addr & (pageSize - 1)
+	if off+uint64(n) <= pageSize {
+		p := m.page(addr >> pageBits)
+		switch n {
+		case 1:
+			p[off] = byte(v)
+			return nil
+		case 2:
+			binary.LittleEndian.PutUint16(p[off:], uint16(v))
+			return nil
+		case 4:
+			binary.LittleEndian.PutUint32(p[off:], uint32(v))
+			return nil
+		case 8:
+			binary.LittleEndian.PutUint64(p[off:], v)
+			return nil
+		}
+	}
+	for i := 0; i < n; i++ {
+		m.page((addr + uint64(i)) >> pageBits)[(addr+uint64(i))&(pageSize-1)] = byte(v >> (8 * i))
+	}
+	return nil
+}
+
+// ReadBytes copies n bytes starting at addr into a fresh slice.
+func (m *Memory) ReadBytes(addr uint64, n int) ([]byte, error) {
+	if err := m.check(addr, n); err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	i := 0
+	for i < n {
+		off := (addr + uint64(i)) & (pageSize - 1)
+		p := m.page((addr + uint64(i)) >> pageBits)
+		c := copy(out[i:], p[off:])
+		i += c
+	}
+	return out, nil
+}
+
+// WriteBytes copies b into memory at addr.
+func (m *Memory) WriteBytes(addr uint64, b []byte) error {
+	if err := m.check(addr, len(b)); err != nil {
+		return err
+	}
+	i := 0
+	for i < len(b) {
+		off := (addr + uint64(i)) & (pageSize - 1)
+		p := m.page((addr + uint64(i)) >> pageBits)
+		c := copy(p[off:], b[i:])
+		i += c
+	}
+	return nil
+}
+
+// Copy moves n bytes from src to dst (handles overlap like memmove).
+func (m *Memory) Copy(dst, src uint64, n int) error {
+	if n == 0 {
+		return nil
+	}
+	b, err := m.ReadBytes(src, n)
+	if err != nil {
+		return err
+	}
+	return m.WriteBytes(dst, b)
+}
+
+// Set fills n bytes at dst with v.
+func (m *Memory) Set(dst uint64, v byte, n int) error {
+	if err := m.check(dst, n); err != nil {
+		return err
+	}
+	i := 0
+	for i < n {
+		off := (dst + uint64(i)) & (pageSize - 1)
+		p := m.page((dst + uint64(i)) >> pageBits)
+		end := int(pageSize - off)
+		if end > n-i {
+			end = n - i
+		}
+		seg := p[off : int(off)+end]
+		for j := range seg {
+			seg[j] = v
+		}
+		i += end
+	}
+	return nil
+}

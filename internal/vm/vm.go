@@ -1,0 +1,761 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"polar/internal/heap"
+	"polar/internal/ir"
+)
+
+// Execution error sentinels.
+var (
+	ErrFuelExhausted = errors.New("vm: instruction budget exhausted")
+	ErrStackOverflow = errors.New("vm: stack overflow")
+	ErrUnknownFunc   = errors.New("vm: unknown function")
+	ErrDivByZero     = errors.New("vm: integer division by zero")
+)
+
+// Stats counts dynamic events for the whole program run.
+type Stats struct {
+	Instructions uint64
+	Allocs       uint64
+	Frees        uint64
+	Memcpys      uint64
+	FieldAccess  uint64 // OpFieldPtr executions (instrumented or not)
+	Calls        uint64
+	MaxDepth     int
+}
+
+// Hooks receives fine-grained execution events; the taint engine
+// implements it. All methods are invoked after the VM has performed the
+// operation. A nil Hooks disables tracing with no overhead beyond a nil
+// check.
+type Hooks interface {
+	// Enter is called when a frame is pushed; args are the caller-frame
+	// operands (so the hook can transfer operand taints to parameters).
+	Enter(fn *ir.Func, args []ir.Value)
+	// Exit is called when a frame is popped. retArg is the callee-frame
+	// return operand (nil for void) and callerDest the caller register
+	// receiving the result (-1 if discarded).
+	Exit(retArg *ir.Value, callerDest int)
+	// Load: dest register received size bytes from addr.
+	Load(dest int, addr uint64, size int)
+	// Store: operand src was written to addr (size bytes).
+	Store(src ir.Value, addr uint64, size int)
+	// Bin: dest = a op b (integer or float).
+	Bin(dest int, a, b ir.Value)
+	// Un: dest = f(a) for mov/itof/ftoi.
+	Un(dest int, a ir.Value)
+	// FieldPtr/ElemPtr/PtrAdd: dest derives from pointer operand base.
+	PtrDerive(dest int, base ir.Value)
+	// Memcpy after the copy; Memset after the fill.
+	Memcpy(dst, src uint64, n int)
+	Memset(dst uint64, n int)
+	// CondBr observes the branch condition (for control-taint).
+	CondBr(cond ir.Value)
+	// Alloc observes a heap object birth (st may be nil for raw buffers).
+	Alloc(dest int, addr uint64, size int, st *ir.StructType)
+	// Free observes a heap object death.
+	Free(addr uint64)
+	// Builtin is called after a VM builtin ran; argVals are the resolved
+	// integer arguments, ret the result, dest the receiving register
+	// (-1 if none).
+	Builtin(name string, args []ir.Value, argVals []int64, ret int64, dest int)
+}
+
+// Builtin is a native function callable from IR. Args arrive as resolved
+// 64-bit values.
+type Builtin func(c *Call) (int64, error)
+
+// Call packages the VM state handed to builtins.
+type Call struct {
+	VM   *VM
+	Name string
+	Args []int64
+	// RawArgs are the unresolved operands (register identity matters to
+	// the POLaR runtime for type info recovery; the taint engine also
+	// sees them via Hooks.Builtin).
+	RawArgs []ir.Value
+}
+
+// Arg returns argument i or 0 if absent.
+func (c *Call) Arg(i int) int64 {
+	if i < 0 || i >= len(c.Args) {
+		return 0
+	}
+	return c.Args[i]
+}
+
+const (
+	defaultFuel  = 4_000_000_000
+	maxCallDepth = 512
+	coverageSize = 1 << 16
+)
+
+// VM executes one module. It is not safe for concurrent use; run one VM
+// per goroutine.
+type VM struct {
+	Mod   *ir.Module
+	Mem   *Memory
+	Heap  *heap.Allocator
+	Stats Stats
+
+	hooks    Hooks
+	builtins map[string]Builtin
+	globals  map[string]uint64
+
+	input  []byte
+	output []byte
+
+	fuel     uint64
+	fuelLeft uint64
+
+	coverage []byte
+	covOn    bool
+
+	stackTop   uint64
+	depth      int
+	quarantine int
+	heapRand   int64
+
+	// objects maps live heap object base -> static struct type for every
+	// typed allocation (instrumented or not); used by taint attribution
+	// and diagnostics.
+	objects map[uint64]*ir.StructType
+
+	framePool   [][]int64
+	argvScratch []int64
+	callScratch Call
+
+	traceW     io.Writer
+	traceMax   int
+	traceLines int
+}
+
+// traceInstr emits one trace line (called only when tracing is on).
+func (v *VM) traceInstr(fn *ir.Func, blk *ir.Block, in *ir.Instr) {
+	if v.traceMax > 0 && v.traceLines >= v.traceMax {
+		return
+	}
+	v.traceLines++
+	fmt.Fprintf(v.traceW, "@%s.%s\t%s\n", fn.Name, blk.Name, ir.FormatInstr(fn, in))
+}
+
+// Option configures a VM.
+type Option func(*VM)
+
+// WithInput sets the untrusted program input (read via input_* builtins).
+func WithInput(b []byte) Option {
+	return func(v *VM) { v.input = append([]byte(nil), b...) }
+}
+
+// WithFuel bounds the number of executed instructions.
+func WithFuel(n uint64) Option {
+	return func(v *VM) { v.fuel = n }
+}
+
+// WithHooks attaches a tracer (taint engine).
+func WithHooks(h Hooks) Option {
+	return func(v *VM) { v.hooks = h }
+}
+
+// WithCoverage enables the edge-coverage bitmap (used by the fuzzer).
+func WithCoverage() Option {
+	return func(v *VM) { v.covOn = true }
+}
+
+// WithQuarantine configures the heap quarantine length.
+func WithQuarantine(n int) Option {
+	return func(v *VM) { v.quarantine = n }
+}
+
+// WithHeapRand enables inter-chunk placement randomization in the
+// simulated heap (§VII.B's class of defenses; seed 0 disables).
+func WithHeapRand(seed int64) Option {
+	return func(v *VM) { v.heapRand = seed }
+}
+
+// WithTrace streams every executed instruction to w as
+// "@fn.block\tinstr" lines, stopping after maxLines (0 = unlimited).
+// Tracing is a debugging facility; it slows execution substantially.
+func WithTrace(w io.Writer, maxLines int) Option {
+	return func(v *VM) { v.traceW, v.traceMax = w, maxLines }
+}
+
+// New prepares a VM for the module: validates it, lays out globals and
+// creates the heap.
+func New(m *ir.Module, opts ...Option) (*VM, error) {
+	if err := ir.Validate(m); err != nil {
+		return nil, err
+	}
+	v := &VM{
+		Mod:      m,
+		Mem:      newMemory(),
+		builtins: make(map[string]Builtin),
+		globals:  make(map[string]uint64),
+		fuel:     defaultFuel,
+		stackTop: StackBase,
+		objects:  make(map[uint64]*ir.StructType),
+	}
+	for _, o := range opts {
+		o(v)
+	}
+	heapOpts := []heap.Option{heap.WithQuarantine(v.quarantine)}
+	if v.heapRand != 0 {
+		heapOpts = append(heapOpts, heap.WithRandomPlacement(v.heapRand))
+	}
+	v.Heap = heap.New(HeapBase, HeapSize, heapOpts...)
+	v.fuelLeft = v.fuel
+	if v.covOn {
+		v.coverage = make([]byte, coverageSize)
+	}
+	addr := uint64(GlobalBase)
+	for _, g := range m.Globals {
+		addr = (addr + 15) &^ 15
+		v.globals[g.Name] = addr
+		if len(g.Init) > 0 {
+			if err := v.Mem.WriteBytes(addr, g.Init); err != nil {
+				return nil, fmt.Errorf("vm: init global %s: %w", g.Name, err)
+			}
+		}
+		addr += uint64(g.Size)
+	}
+	registerDefaultBuiltins(v)
+	return v, nil
+}
+
+// RegisterBuiltin installs (or replaces) a native function. The POLaR
+// runtime uses this to provide the olr_* ABI.
+func (v *VM) RegisterBuiltin(name string, fn Builtin) { v.builtins[name] = fn }
+
+// GlobalAddr returns the address of a module global.
+func (v *VM) GlobalAddr(name string) (uint64, bool) {
+	a, ok := v.globals[name]
+	return a, ok
+}
+
+// Input returns the program input bytes.
+func (v *VM) Input() []byte { return v.input }
+
+// Output returns everything the program printed.
+func (v *VM) Output() []byte { return v.output }
+
+// Coverage returns the edge-coverage bitmap (nil unless WithCoverage).
+func (v *VM) Coverage() []byte { return v.coverage }
+
+// ObjectType returns the static struct type recorded for a live heap
+// object base address.
+func (v *VM) ObjectType(base uint64) (*ir.StructType, bool) {
+	st, ok := v.objects[base]
+	return st, ok
+}
+
+// TrackObject records (or re-records) the struct type of a heap object;
+// the POLaR runtime calls this from olr_malloc so taint attribution
+// keeps working on instrumented binaries.
+func (v *VM) TrackObject(base uint64, st *ir.StructType) { v.objects[base] = st }
+
+// UntrackObject removes object tracking at free time.
+func (v *VM) UntrackObject(base uint64) { delete(v.objects, base) }
+
+// Hooks returns the attached tracer (may be nil).
+func (v *VM) HooksAttached() Hooks { return v.hooks }
+
+// Run executes @main with the given integer arguments.
+func (v *VM) Run(args ...int64) (int64, error) {
+	f := v.Mod.Func("main")
+	if f == nil {
+		return 0, ir.ErrNoMain
+	}
+	ops := make([]ir.Value, len(args))
+	for i, a := range args {
+		ops[i] = ir.Const(a)
+	}
+	return v.call(f, ops, nil, -1)
+}
+
+// CallFunc executes an arbitrary module function with integer arguments.
+func (v *VM) CallFunc(name string, args ...int64) (int64, error) {
+	f := v.Mod.Func(name)
+	if f == nil {
+		return 0, fmt.Errorf("%w: @%s", ErrUnknownFunc, name)
+	}
+	ops := make([]ir.Value, len(args))
+	for i, a := range args {
+		ops[i] = ir.Const(a)
+	}
+	return v.call(f, ops, nil, -1)
+}
+
+func (v *VM) getFrame(n int) []int64 {
+	if l := len(v.framePool); l > 0 {
+		fr := v.framePool[l-1]
+		v.framePool = v.framePool[:l-1]
+		if cap(fr) >= n {
+			fr = fr[:n]
+			for i := range fr {
+				fr[i] = 0
+			}
+			return fr
+		}
+	}
+	return make([]int64, n)
+}
+
+func (v *VM) putFrame(fr []int64) {
+	if len(v.framePool) < 64 {
+		v.framePool = append(v.framePool, fr)
+	}
+}
+
+// call runs fn to completion. callerRegs/callerDest link results back;
+// callerRegs is nil for top-level entries.
+func (v *VM) call(fn *ir.Func, args []ir.Value, callerRegs []int64, callerDest int) (int64, error) {
+	if v.depth >= maxCallDepth {
+		return 0, fmt.Errorf("%w in @%s", ErrStackOverflow, fn.Name)
+	}
+	v.depth++
+	if v.depth > v.Stats.MaxDepth {
+		v.Stats.MaxDepth = v.depth
+	}
+	v.Stats.Calls++
+	savedStack := v.stackTop
+	regs := v.getFrame(fn.NumRegs)
+	defer func() {
+		v.putFrame(regs)
+		v.stackTop = savedStack
+		v.depth--
+	}()
+	for i := range args {
+		if i >= len(fn.Params) {
+			break
+		}
+		regs[i] = v.resolve(callerRegs, args[i])
+	}
+	if v.hooks != nil {
+		v.hooks.Enter(fn, args)
+	}
+
+	blk := 0
+	prevBlk := -1
+	for {
+		b := fn.Blocks[blk]
+		if v.coverage != nil {
+			e := edgeHash(fn, prevBlk, blk)
+			c := &v.coverage[e]
+			if *c < 255 {
+				*c++
+			}
+		}
+		for ii := range b.Instrs {
+			in := &b.Instrs[ii]
+			if v.fuelLeft == 0 {
+				return 0, fmt.Errorf("%w in @%s.%s", ErrFuelExhausted, fn.Name, b.Name)
+			}
+			v.fuelLeft--
+			v.Stats.Instructions++
+			if v.traceW != nil {
+				v.traceInstr(fn, b, in)
+			}
+
+			switch in.Op {
+			case ir.OpAlloc:
+				count := 1
+				if len(in.Args) == 1 {
+					count = int(v.resolve(regs, in.Args[0]))
+					if count < 1 {
+						count = 1
+					}
+				}
+				size := in.Type.Size() * count
+				addr, err := v.Heap.Alloc(size)
+				if err != nil {
+					return 0, v.fault(fn, b, err)
+				}
+				v.Stats.Allocs++
+				regs[in.Dest] = int64(addr)
+				if in.Struct != nil && count == 1 {
+					v.objects[addr] = in.Struct
+				}
+				if v.hooks != nil {
+					v.hooks.Alloc(in.Dest, addr, size, in.Struct)
+				}
+			case ir.OpLocal:
+				size := uint64((in.Type.Size() + 15) &^ 15)
+				if v.stackTop+size > StackLimit {
+					return 0, v.fault(fn, b, ErrStackOverflow)
+				}
+				addr := v.stackTop
+				v.stackTop += size
+				// Locals are zeroed (Go/C++ stack reuse would not be, but
+				// deterministic init keeps workloads reproducible).
+				if err := v.Mem.Set(addr, 0, in.Type.Size()); err != nil {
+					return 0, v.fault(fn, b, err)
+				}
+				regs[in.Dest] = int64(addr)
+			case ir.OpFree:
+				addr := uint64(v.resolve(regs, in.Args[0]))
+				if err := v.Heap.Free(addr); err != nil {
+					return 0, v.fault(fn, b, err)
+				}
+				v.Stats.Frees++
+				// Hook first: the taint engine attributes the free via
+				// the object-type tracking this delete removes.
+				if v.hooks != nil {
+					v.hooks.Free(addr)
+				}
+				delete(v.objects, addr)
+			case ir.OpLoad:
+				addr := uint64(v.resolve(regs, in.Args[0]))
+				val, err := v.loadTyped(addr, in.Type)
+				if err != nil {
+					return 0, v.fault(fn, b, err)
+				}
+				regs[in.Dest] = val
+				if v.hooks != nil {
+					v.hooks.Load(in.Dest, addr, in.Type.Size())
+				}
+			case ir.OpStore:
+				addr := uint64(v.resolve(regs, in.Args[1]))
+				val := v.resolve(regs, in.Args[0])
+				if err := v.storeTyped(addr, in.Type, val); err != nil {
+					return 0, v.fault(fn, b, err)
+				}
+				if v.hooks != nil {
+					v.hooks.Store(in.Args[0], addr, in.Type.Size())
+				}
+			case ir.OpMemcpy:
+				dst := uint64(v.resolve(regs, in.Args[0]))
+				src := uint64(v.resolve(regs, in.Args[1]))
+				n := int(v.resolve(regs, in.Args[2]))
+				if n < 0 {
+					n = 0
+				}
+				if err := v.Mem.Copy(dst, src, n); err != nil {
+					return 0, v.fault(fn, b, err)
+				}
+				v.Stats.Memcpys++
+				if v.hooks != nil {
+					v.hooks.Memcpy(dst, src, n)
+				}
+			case ir.OpMemset:
+				dst := uint64(v.resolve(regs, in.Args[0]))
+				val := byte(v.resolve(regs, in.Args[1]))
+				n := int(v.resolve(regs, in.Args[2]))
+				if n < 0 {
+					n = 0
+				}
+				if err := v.Mem.Set(dst, val, n); err != nil {
+					return 0, v.fault(fn, b, err)
+				}
+				if v.hooks != nil {
+					v.hooks.Memset(dst, n)
+				}
+			case ir.OpFieldPtr:
+				base := uint64(v.resolve(regs, in.Args[0]))
+				regs[in.Dest] = int64(base + uint64(in.Struct.Offset(in.Field)))
+				v.Stats.FieldAccess++
+				if v.hooks != nil {
+					v.hooks.PtrDerive(in.Dest, in.Args[0])
+				}
+			case ir.OpElemPtr:
+				base := uint64(v.resolve(regs, in.Args[0]))
+				idx := v.resolve(regs, in.Args[1])
+				regs[in.Dest] = int64(base + uint64(idx)*uint64(in.Type.Size()))
+				if v.hooks != nil {
+					v.hooks.PtrDerive(in.Dest, in.Args[0])
+				}
+			case ir.OpPtrAdd:
+				base := uint64(v.resolve(regs, in.Args[0]))
+				off := v.resolve(regs, in.Args[1])
+				regs[in.Dest] = int64(base + uint64(off))
+				if v.hooks != nil {
+					v.hooks.PtrDerive(in.Dest, in.Args[0])
+				}
+			case ir.OpBin:
+				a := v.resolve(regs, in.Args[0])
+				bb := v.resolve(regs, in.Args[1])
+				r, err := evalBin(in.Bin, a, bb)
+				if err != nil {
+					return 0, v.fault(fn, b, err)
+				}
+				regs[in.Dest] = r
+				if v.hooks != nil {
+					v.hooks.Bin(in.Dest, in.Args[0], in.Args[1])
+				}
+			case ir.OpFBin:
+				a := math.Float64frombits(uint64(v.resolve(regs, in.Args[0])))
+				bb := math.Float64frombits(uint64(v.resolve(regs, in.Args[1])))
+				regs[in.Dest] = int64(math.Float64bits(evalFBin(in.Bin, a, bb)))
+				if v.hooks != nil {
+					v.hooks.Bin(in.Dest, in.Args[0], in.Args[1])
+				}
+			case ir.OpCmp:
+				a := v.resolve(regs, in.Args[0])
+				bb := v.resolve(regs, in.Args[1])
+				regs[in.Dest] = evalCmp(in.Cmp, a, bb)
+				if v.hooks != nil {
+					v.hooks.Bin(in.Dest, in.Args[0], in.Args[1])
+				}
+			case ir.OpFCmp:
+				a := math.Float64frombits(uint64(v.resolve(regs, in.Args[0])))
+				bb := math.Float64frombits(uint64(v.resolve(regs, in.Args[1])))
+				regs[in.Dest] = evalFCmp(in.Cmp, a, bb)
+				if v.hooks != nil {
+					v.hooks.Bin(in.Dest, in.Args[0], in.Args[1])
+				}
+			case ir.OpItoF:
+				regs[in.Dest] = int64(math.Float64bits(float64(v.resolve(regs, in.Args[0]))))
+				if v.hooks != nil {
+					v.hooks.Un(in.Dest, in.Args[0])
+				}
+			case ir.OpFtoI:
+				f := math.Float64frombits(uint64(v.resolve(regs, in.Args[0])))
+				regs[in.Dest] = int64(f)
+				if v.hooks != nil {
+					v.hooks.Un(in.Dest, in.Args[0])
+				}
+			case ir.OpMov:
+				regs[in.Dest] = v.resolve(regs, in.Args[0])
+				if v.hooks != nil {
+					v.hooks.Un(in.Dest, in.Args[0])
+				}
+			case ir.OpBr:
+				prevBlk, blk = blk, in.Blocks[0]
+			case ir.OpCondBr:
+				c := v.resolve(regs, in.Args[0])
+				if v.hooks != nil {
+					v.hooks.CondBr(in.Args[0])
+				}
+				if c != 0 {
+					prevBlk, blk = blk, in.Blocks[0]
+				} else {
+					prevBlk, blk = blk, in.Blocks[1]
+				}
+			case ir.OpCall:
+				ret, err := v.dispatchCall(fn, b, regs, in)
+				if err != nil {
+					return 0, err
+				}
+				if in.Dest >= 0 {
+					regs[in.Dest] = ret
+				}
+			case ir.OpRet:
+				var rv int64
+				var retArg *ir.Value
+				if len(in.Args) == 1 {
+					rv = v.resolve(regs, in.Args[0])
+					retArg = &in.Args[0]
+				}
+				if v.hooks != nil {
+					v.hooks.Exit(retArg, callerDest)
+				}
+				return rv, nil
+			default:
+				return 0, v.fault(fn, b, fmt.Errorf("vm: bad opcode %d", in.Op))
+			}
+			if in.Op == ir.OpBr || in.Op == ir.OpCondBr {
+				break
+			}
+		}
+		if last := b.Instrs[len(b.Instrs)-1]; last.Op != ir.OpBr && last.Op != ir.OpCondBr {
+			// Ret already returned; anything else is a validator bug.
+			return 0, v.fault(fn, b, errors.New("vm: fell off block end"))
+		}
+	}
+}
+
+func (v *VM) dispatchCall(fn *ir.Func, b *ir.Block, regs []int64, in *ir.Instr) (int64, error) {
+	if callee := v.Mod.Func(in.Callee); callee != nil {
+		return v.call(callee, in.Args, regs, in.Dest)
+	}
+	bi, ok := v.builtins[in.Callee]
+	if !ok {
+		return 0, v.fault(fn, b, fmt.Errorf("%w: @%s", ErrUnknownFunc, in.Callee))
+	}
+	// Builtins never re-enter the interpreter, so one scratch argument
+	// buffer and Call frame per VM suffice (keeps the hot olr_getptr
+	// path allocation-free).
+	argv := v.argvScratch[:0]
+	for _, a := range in.Args {
+		argv = append(argv, v.resolve(regs, a))
+	}
+	v.argvScratch = argv[:0]
+	v.callScratch = Call{VM: v, Name: in.Callee, Args: argv, RawArgs: in.Args}
+	ret, err := bi(&v.callScratch)
+	if err != nil {
+		return 0, v.fault(fn, b, err)
+	}
+	if v.hooks != nil {
+		v.hooks.Builtin(in.Callee, in.Args, argv, ret, in.Dest)
+	}
+	return ret, nil
+}
+
+// resolve evaluates an operand against a register frame.
+func (v *VM) resolve(regs []int64, val ir.Value) int64 {
+	switch val.Kind {
+	case ir.ValConst:
+		return val.Int
+	case ir.ValConstF:
+		return int64(math.Float64bits(val.Float))
+	case ir.ValReg:
+		return regs[val.Reg]
+	case ir.ValGlobal:
+		return int64(v.globals[val.Sym])
+	case ir.ValFunc:
+		return v.funcHandle(val.Sym)
+	default:
+		return 0
+	}
+}
+
+// funcHandle returns a stable pseudo-address for a function (used as the
+// value of stored function pointers). Handles live far above the heap so
+// they never collide with data addresses.
+func (v *VM) funcHandle(name string) int64 {
+	for i, f := range v.Mod.Funcs {
+		if f.Name == name {
+			return int64(0x7f00_0000_0000 + uint64(i)*16)
+		}
+	}
+	return 0
+}
+
+// FuncByHandle resolves a funcHandle back to its function.
+func (v *VM) FuncByHandle(h int64) (*ir.Func, bool) {
+	idx := (uint64(h) - 0x7f00_0000_0000) / 16
+	if uint64(h) < 0x7f00_0000_0000 || int(idx) >= len(v.Mod.Funcs) {
+		return nil, false
+	}
+	return v.Mod.Funcs[idx], true
+}
+
+func (v *VM) loadTyped(addr uint64, t ir.Type) (int64, error) {
+	n := t.Size()
+	u, err := v.Mem.ReadU(addr, n)
+	if err != nil {
+		return 0, err
+	}
+	if t.Kind() == ir.KindInt && n < 8 {
+		// Sign-extend.
+		shift := uint(64 - 8*n)
+		return int64(u<<shift) >> shift, nil
+	}
+	return int64(u), nil
+}
+
+func (v *VM) storeTyped(addr uint64, t ir.Type, val int64) error {
+	return v.Mem.WriteU(addr, t.Size(), uint64(val))
+}
+
+func (v *VM) fault(fn *ir.Func, b *ir.Block, err error) error {
+	return fmt.Errorf("@%s.%s: %w", fn.Name, b.Name, err)
+}
+
+func evalBin(op ir.BinKind, a, b int64) (int64, error) {
+	switch op {
+	case ir.BinAdd:
+		return a + b, nil
+	case ir.BinSub:
+		return a - b, nil
+	case ir.BinMul:
+		return a * b, nil
+	case ir.BinDiv:
+		if b == 0 {
+			return 0, ErrDivByZero
+		}
+		return a / b, nil
+	case ir.BinRem:
+		if b == 0 {
+			return 0, ErrDivByZero
+		}
+		return a % b, nil
+	case ir.BinAnd:
+		return a & b, nil
+	case ir.BinOr:
+		return a | b, nil
+	case ir.BinXor:
+		return a ^ b, nil
+	case ir.BinShl:
+		return a << (uint64(b) & 63), nil
+	case ir.BinShr:
+		return int64(uint64(a) >> (uint64(b) & 63)), nil
+	default:
+		return 0, fmt.Errorf("vm: bad binop %d", op)
+	}
+}
+
+func evalFBin(op ir.BinKind, a, b float64) float64 {
+	switch op {
+	case ir.BinAdd:
+		return a + b
+	case ir.BinSub:
+		return a - b
+	case ir.BinMul:
+		return a * b
+	case ir.BinDiv:
+		return a / b
+	case ir.BinRem:
+		return math.Mod(a, b)
+	default:
+		return math.NaN()
+	}
+}
+
+func evalCmp(op ir.CmpKind, a, b int64) int64 {
+	var r bool
+	switch op {
+	case ir.CmpEq:
+		r = a == b
+	case ir.CmpNe:
+		r = a != b
+	case ir.CmpLt:
+		r = a < b
+	case ir.CmpLe:
+		r = a <= b
+	case ir.CmpGt:
+		r = a > b
+	case ir.CmpGe:
+		r = a >= b
+	}
+	if r {
+		return 1
+	}
+	return 0
+}
+
+func evalFCmp(op ir.CmpKind, a, b float64) int64 {
+	var r bool
+	switch op {
+	case ir.CmpEq:
+		r = a == b
+	case ir.CmpNe:
+		r = a != b
+	case ir.CmpLt:
+		r = a < b
+	case ir.CmpLe:
+		r = a <= b
+	case ir.CmpGt:
+		r = a > b
+	case ir.CmpGe:
+		r = a >= b
+	}
+	if r {
+		return 1
+	}
+	return 0
+}
+
+func edgeHash(fn *ir.Func, prev, cur int) uint16 {
+	h := uint64(14695981039346656037)
+	for _, ch := range fn.Name {
+		h = (h ^ uint64(ch)) * 1099511628211
+	}
+	h = (h ^ uint64(uint32(prev+1))) * 1099511628211
+	h = (h ^ uint64(uint32(cur+1))) * 1099511628211
+	return uint16(h)
+}

@@ -1,0 +1,62 @@
+package workload
+
+// Canonical inputs are deterministic pseudo-random byte streams: the
+// stand-ins for the reference inputs of the real benchmark suites.
+
+// defaultInput returns n bytes of seeded xorshift noise.
+func defaultInput(n int, seed uint64) []byte {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	out := make([]byte, n)
+	s := seed
+	for i := range out {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		out[i] = byte(s >> 32)
+	}
+	return out
+}
+
+// compressibleInput returns n bytes with long runs (an input an RLE
+// compressor actually compresses).
+func compressibleInput(n int, seed uint64) []byte {
+	src := defaultInput(n, seed)
+	out := make([]byte, 0, n)
+	i := 0
+	for len(out) < n {
+		b := src[i%len(src)]
+		run := 1 + int(src[(i+1)%len(src)]%9)
+		for r := 0; r < run && len(out) < n; r++ {
+			out = append(out, b)
+		}
+		i += 2
+	}
+	return out
+}
+
+// xmlishInput returns n bytes shaped like markup (angle brackets, tag
+// names, text runs) so the tokenizer-flavoured workloads see realistic
+// token boundaries.
+func xmlishInput(n int) []byte {
+	tags := []string{"para", "item", "ref", "section", "title", "xsl", "value-of", "template"}
+	out := make([]byte, 0, n)
+	s := uint64(0x2545F4914F6CDD1D)
+	for len(out) < n {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		tag := tags[s%uint64(len(tags))]
+		out = append(out, '<')
+		out = append(out, tag...)
+		out = append(out, '>')
+		for t := 0; t < int(s>>60)+3 && len(out) < n; t++ {
+			out = append(out, byte('a'+(s>>uint(8+t*3))%26))
+		}
+		out = append(out, '<', '/')
+		out = append(out, tag...)
+		out = append(out, '>')
+	}
+	return out[:n]
+}

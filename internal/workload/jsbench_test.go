@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"testing"
+
+	"polar/internal/core"
+	"polar/internal/instrument"
+	"polar/internal/ir"
+	"polar/internal/vm"
+)
+
+func TestJSKernelsRunAndMatch(t *testing.T) {
+	ks := JSBenchmarks()
+	if len(ks) != 67 {
+		t.Fatalf("kernel count = %d, want 67", len(ks))
+	}
+	for _, k := range ks {
+		k := k
+		t.Run(k.Suite+"/"+k.Name, func(t *testing.T) {
+			if err := ir.Validate(k.Module); err != nil {
+				t.Fatal(err)
+			}
+			v, err := vm.New(ir.Clone(k.Module), vm.WithInput(k.Input))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := v.Run()
+			if err != nil {
+				t.Fatalf("baseline: %v", err)
+			}
+			ins, err := instrument.Apply(k.Module, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hv, err := vm.New(ins.Module, vm.WithInput(k.Input))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rt := core.New(ins.Table, core.DefaultConfig(5))
+			rt.Attach(hv)
+			got, err := hv.Run()
+			if err != nil {
+				t.Fatalf("hardened: %v", err)
+			}
+			if got != want {
+				t.Fatalf("hardened %d != baseline %d", got, want)
+			}
+		})
+	}
+}
+
+func TestJSSuiteRosterSizes(t *testing.T) {
+	// Fig. 7's panel sizes: Kraken 14, SunSpider 26, Octane 17, JetStream 10.
+	counts := map[string]int{}
+	templates := map[string]bool{}
+	for _, k := range JSBenchmarks() {
+		counts[k.Suite]++
+		templates[k.Template] = true
+	}
+	want := map[string]int{"Kraken": 14, "Sunspider": 26, "Octane": 17, "Jetstream": 10}
+	for suite, n := range want {
+		if counts[suite] != n {
+			t.Errorf("%s roster = %d, want %d", suite, counts[suite], n)
+		}
+	}
+	// Every kernel template is exercised by at least one benchmark.
+	for _, tmpl := range []string{"crypto", "float", "pixel", "parse", "tree", "numeric", "bitops", "string", "scan", "hash", "sort", "recurse", "grid"} {
+		if !templates[tmpl] {
+			t.Errorf("template %q unused", tmpl)
+		}
+	}
+}
+
+func TestJSScoreBasedFlagMatchesSuite(t *testing.T) {
+	for _, k := range JSBenchmarks() {
+		wantScore := k.Suite == "Octane" || k.Suite == "Jetstream"
+		if k.ScoreBased != wantScore {
+			t.Errorf("%s/%s: ScoreBased = %v", k.Suite, k.Name, k.ScoreBased)
+		}
+	}
+}
+
+func TestJSKernelsHaveEngineObjects(t *testing.T) {
+	// Every kernel must allocate the engine object model (the thing
+	// POLaR randomizes) — otherwise its POLaR column measures nothing.
+	for _, k := range JSBenchmarks() {
+		if k.Module.Structs["Js_FunctionBody"] == nil || k.Module.Structs["Js_JavascriptArray"] == nil {
+			t.Errorf("%s/%s: engine object model missing", k.Suite, k.Name)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package workload
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"polar/internal/heap"
+	"polar/internal/ir"
+	"polar/internal/vm"
+)
+
+func runPNG(t *testing.T, input []byte) (int64, error) {
+	t.Helper()
+	png := LibPNG()
+	v, err := vm.New(ir.Clone(png.Module), vm.WithInput(input), vm.WithFuel(20_000_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v.Run()
+}
+
+func TestCanonicalPNGParses(t *testing.T) {
+	res, err := runPNG(t, CanonicalPNG())
+	if err != nil {
+		t.Fatalf("canonical input crashed: %v", err)
+	}
+	if res == -1 {
+		t.Fatal("canonical input rejected as bad signature")
+	}
+}
+
+func TestBadSignatureRejected(t *testing.T) {
+	res, err := runPNG(t, []byte("not a png at all"))
+	if err != nil {
+		t.Fatalf("bad signature crashed instead of returning: %v", err)
+	}
+	if res != -1 {
+		t.Fatalf("bad signature returned %d, want -1", res)
+	}
+}
+
+func TestEmptyAndTruncatedInputsSafe(t *testing.T) {
+	for _, in := range [][]byte{nil, {137}, pngSig, append(append([]byte{}, pngSig...), 0, 0)} {
+		if _, err := runPNG(t, in); err != nil {
+			t.Fatalf("input %v crashed: %v", in, err)
+		}
+	}
+}
+
+// TestCVEBugShapesTrigger verifies each CVE input actually drives its
+// bug path (crash or survivable corruption), not just taint.
+func TestCVEBugShapesTrigger(t *testing.T) {
+	byCVE := map[string]PNGCase{}
+	for _, c := range LibPNGCVECases() {
+		byCVE[c.CVE] = c
+	}
+
+	// 2016-10087: null dereference must fault.
+	_, err := runPNG(t, byCVE["2016-10087"].Input)
+	if !errors.Is(err, vm.ErrNullDeref) {
+		t.Errorf("2016-10087: want null-deref fault, got %v", err)
+	}
+
+	// 2013-7353: the unchecked allocation must blow out the heap.
+	_, err = runPNG(t, byCVE["2013-7353"].Input)
+	if !errors.Is(err, heap.ErrOutOfMemory) {
+		t.Errorf("2013-7353: want out-of-memory, got %v", err)
+	}
+
+	// The overflow-shaped inputs corrupt globals/heap but survive (the
+	// simulated overflow is bounded), so they must parse to completion.
+	for _, cve := range []string{"2015-8126", "2015-7981", "2015-0973", "2011-3048"} {
+		if _, err := runPNG(t, byCVE[cve].Input); err != nil {
+			t.Errorf("%s: unexpected crash: %v", cve, err)
+		}
+	}
+}
+
+func TestCVEExpectationsSubsetOfInventory(t *testing.T) {
+	inv := map[string]bool{}
+	for _, n := range pngTaintedNames() {
+		inv[n] = true
+	}
+	for _, c := range LibPNGCVECases() {
+		for _, o := range c.ExpectedObjects {
+			if !inv[o] {
+				t.Errorf("CVE-%s expects unknown object %q", c.CVE, o)
+			}
+		}
+	}
+}
+
+func TestChunkHelpers(t *testing.T) {
+	c := chunk("tEXt", []byte("ab"))
+	if len(c) != 4+4+2+4 {
+		t.Fatalf("chunk len = %d", len(c))
+	}
+	if string(c[4:8]) != "tEXt" {
+		t.Fatalf("chunk tag = %q", c[4:8])
+	}
+	if c[3] != 2 {
+		t.Fatalf("chunk len byte = %d", c[3])
+	}
+	r := rawChunk("spAM", 0x01020304, nil)
+	if r[0] != 1 || r[1] != 2 || r[2] != 3 || r[3] != 4 {
+		t.Fatalf("rawChunk length bytes = %v", r[:4])
+	}
+}
+
+func TestJPEGCanonicalParses(t *testing.T) {
+	jpeg := LibJPEG()
+	v, err := vm.New(ir.Clone(jpeg.Module), vm.WithInput(jpeg.Input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := v.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == -1 {
+		t.Fatal("canonical JPEG rejected")
+	}
+	// The width parsed from the SOF0 header is 64 (see CanonicalJPEG).
+	out := string(v.Output())
+	if !strings.Contains(out, "\n") {
+		t.Fatalf("no checksum printed: %q", out)
+	}
+}
+
+func TestJPEGRejectsBadSOI(t *testing.T) {
+	jpeg := LibJPEG()
+	v, err := vm.New(ir.Clone(jpeg.Module), vm.WithInput([]byte{0x00, 0x11, 0x22}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := v.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != -1 {
+		t.Fatalf("bad SOI returned %d, want -1", res)
+	}
+}
+
+func TestJPEGTruncatedSegmentsSafe(t *testing.T) {
+	jpeg := LibJPEG()
+	full := CanonicalJPEG()
+	for _, cut := range []int{2, 3, 6, 10, 20, len(full) / 2} {
+		if cut > len(full) {
+			continue
+		}
+		v, err := vm.New(ir.Clone(jpeg.Module), vm.WithInput(full[:cut]), vm.WithFuel(5_000_000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := v.Run(); err != nil {
+			t.Fatalf("truncation at %d crashed: %v", cut, err)
+		}
+	}
+}
+
+func TestInputGenerators(t *testing.T) {
+	if len(defaultInput(100, 1)) != 100 {
+		t.Error("defaultInput length")
+	}
+	a, b := defaultInput(64, 1), defaultInput(64, 1)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("defaultInput not deterministic")
+		}
+	}
+	c := compressibleInput(200, 3)
+	if len(c) != 200 {
+		t.Error("compressibleInput length")
+	}
+	runs := 0
+	for i := 1; i < len(c); i++ {
+		if c[i] == c[i-1] {
+			runs++
+		}
+	}
+	if runs < 50 {
+		t.Errorf("compressibleInput has only %d repeated-byte positions", runs)
+	}
+	x := xmlishInput(300)
+	if len(x) != 300 {
+		t.Error("xmlishInput length")
+	}
+	if !strings.Contains(string(x), "<") || !strings.Contains(string(x), ">") {
+		t.Error("xmlishInput lacks markup characters")
+	}
+}

@@ -1,0 +1,68 @@
+package workload
+
+import (
+	"testing"
+
+	"polar/internal/core"
+	"polar/internal/instrument"
+	"polar/internal/ir"
+	"polar/internal/vm"
+)
+
+// TestV8OrinocoIncompatibility reproduces §V.A's compatibility failure:
+// code that computes member offsets manually breaks under POLaR — the
+// pass cannot see the access, so the GC reads stale static offsets into
+// randomized objects and the program's behaviour diverges.
+func TestV8OrinocoIncompatibility(t *testing.T) {
+	w := V8Orinoco()
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	base, err := vm.New(ir.Clone(w.Module))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := base.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want != 16 { // half of 32 objects have mark word 1
+		t.Fatalf("baseline live count = %d, want 16", want)
+	}
+
+	ins, err := instrument.Apply(w.Module, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pass must report the accesses it could not make safe.
+	if ins.Rewrites.SkippedRawAccess == 0 {
+		t.Fatal("instrumenter did not flag the manual offset computation")
+	}
+
+	// Across seeds, the hardened GC usually miscounts: the mark word is
+	// rarely at static offset 8 in the randomized layout.
+	diverged := 0
+	for seed := int64(1); seed <= 12; seed++ {
+		v, err := vm.New(ir.Clone(ins.Module))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := core.DefaultConfig(seed)
+		cfg.Policy = core.PolicyWarn
+		core.New(ins.Table, cfg).Attach(v)
+		got, err := v.Run()
+		if err != nil {
+			// A fault is also a divergence (reading junk as a pointer
+			// elsewhere would crash real V8 too).
+			diverged++
+			continue
+		}
+		if got != want {
+			diverged++
+		}
+	}
+	if diverged == 0 {
+		t.Fatal("hardened GC never diverged — the incompatibility model is broken")
+	}
+}

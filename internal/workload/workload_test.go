@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"polar/internal/core"
+	"polar/internal/instrument"
+	"polar/internal/ir"
+	"polar/internal/taint"
+	"polar/internal/vm"
+)
+
+func runBaseline(t *testing.T, w *Workload) (int64, []byte) {
+	t.Helper()
+	v, err := vm.New(ir.Clone(w.Module), vm.WithInput(w.Input))
+	if err != nil {
+		t.Fatalf("%s: vm: %v", w.Name, err)
+	}
+	res, err := v.Run(w.Args...)
+	if err != nil {
+		t.Fatalf("%s: baseline run: %v", w.Name, err)
+	}
+	return res, v.Output()
+}
+
+func runHardened(t *testing.T, w *Workload, seed int64) (int64, []byte, *core.Runtime) {
+	t.Helper()
+	ins, err := instrument.Apply(w.Module, nil)
+	if err != nil {
+		t.Fatalf("%s: instrument: %v", w.Name, err)
+	}
+	v, err := vm.New(ins.Module, vm.WithInput(w.Input))
+	if err != nil {
+		t.Fatalf("%s: vm: %v", w.Name, err)
+	}
+	rt := core.New(ins.Table, core.DefaultConfig(seed))
+	rt.Attach(v)
+	res, err := v.Run(w.Args...)
+	if err != nil {
+		t.Fatalf("%s: hardened run (seed %d): %v", w.Name, seed, err)
+	}
+	return res, v.Output(), rt
+}
+
+// TestWorkloadsValidate checks every registered workload builds a valid
+// module with the advertised tainted-type inventory size.
+func TestWorkloadsValidate(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			if err := w.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if w.PaperTaintedCount >= 0 && w.Name != "libpng-1.6.34" {
+				if got := len(w.ExpectedTainted); got != w.PaperTaintedCount {
+					t.Errorf("inventory size = %d, want Table I count %d", got, w.PaperTaintedCount)
+				}
+			}
+		})
+	}
+}
+
+// TestWorkloadsDeterministicUnderPOLaR is the compatibility experiment
+// (§V.A): every workload must produce the same result hardened as
+// unhardened, across several randomization seeds.
+func TestWorkloadsDeterministicUnderPOLaR(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			want, wantOut := runBaseline(t, w)
+			for seed := int64(1); seed <= 3; seed++ {
+				got, gotOut, _ := runHardened(t, w, seed)
+				if got != want {
+					t.Fatalf("seed %d: hardened result %d != baseline %d", seed, got, want)
+				}
+				if !bytes.Equal(gotOut, wantOut) {
+					t.Fatalf("seed %d: hardened output differs from baseline", seed)
+				}
+			}
+		})
+	}
+}
+
+// TestTaintClassMatchesTableI runs the TaintClass analysis on each
+// workload's canonical input and compares the discovered object set with
+// the expected inventory (Table I).
+func TestTaintClassMatchesTableI(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			rep, err := taint.AnalyzeOne(w.Module, w.Input, taint.RunOptions{IgnoreRunErrors: true})
+			if err != nil {
+				t.Fatalf("analyze: %v", err)
+			}
+			got := rep.TaintedClasses()
+			want := append([]string(nil), w.ExpectedTainted...)
+			sortStrings(want)
+			if !equalStrings(got, want) {
+				t.Errorf("tainted set mismatch:\n got  %v\n want %v", got, want)
+			}
+		})
+	}
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

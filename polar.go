@@ -1,0 +1,409 @@
+// Package polar is the public API of the POLaR reproduction: a
+// per-allocation object layout randomization toolchain (DSN 2019) over
+// a miniature typed IR and virtual machine.
+//
+// The pipeline mirrors the paper's Fig. 3:
+//
+//	m, _ := polar.Parse(src)                // or build with the ir.Builder
+//	rep, _ := polar.AnalyzeTaint(m, corpus) // TaintClass: pick targets
+//	h, _ := polar.Harden(m, rep.TaintedClasses()) // instrument + CIE
+//	res, _ := polar.RunHardened(h, input, polar.WithSeed(42))
+//
+// Harden clones and rewrites the module so allocations, member
+// accesses, frees and object copies of the target classes go through
+// the POLaR runtime, which gives every allocation an independently
+// randomized in-object layout, plants booby-trap dummies around
+// function pointers, and flags use-after-free, double-free and
+// type-confused accesses.
+package polar
+
+import (
+	"fmt"
+	"io"
+
+	"polar/internal/classinfo"
+	"polar/internal/core"
+	"polar/internal/fuzz"
+	"polar/internal/instrument"
+	"polar/internal/ir"
+	"polar/internal/layout"
+	"polar/internal/policy"
+	"polar/internal/taint"
+	"polar/internal/vm"
+)
+
+// Module is a program in the POLaR IR.
+type Module = ir.Module
+
+// TaintReport is the TaintClass verdict for a program.
+type TaintReport = taint.Report
+
+// RuntimeStats are the POLaR runtime counters (Table III's columns).
+type RuntimeStats = core.Stats
+
+// Violation is the error produced when the runtime detects an attack
+// symptom under the abort policy.
+type Violation = core.Violation
+
+// Parse reads the textual IR form (see internal/ir: Print/Parse).
+func Parse(src string) (*Module, error) { return ir.Parse(src) }
+
+// Format renders a module in the textual IR form.
+func Format(m *Module) string { return ir.Print(m) }
+
+// Validate checks module well-formedness.
+func Validate(m *Module) error { return ir.Validate(m) }
+
+// Hardened is a POLaR-instrumented program: the rewritten module plus
+// the embedded class information (CIE output).
+type Hardened struct {
+	Module *Module
+	table  *classinfo.Table
+
+	// perClass holds taint-tuned layout overrides (see TuneFromTaint).
+	perClass map[uint64]layout.Config
+
+	// RewrittenAllocs etc. count what the pass changed.
+	RewrittenAllocs    int
+	RewrittenAccesses  int
+	RewrittenFrees     int
+	RewrittenCopies    int
+	SkippedRawAccesses int
+}
+
+// TuneFromTaint derives per-class layout configurations from a
+// TaintClass report — the §IV.B.1 feedback loop ("TaintClass identifies
+// exactly which object members ... are tainted. This information is
+// used later for optimizing the efficacy and dummy variable insertion
+// of POLaR"):
+//
+//   - classes whose *pointer* members are input-tainted are the juicy
+//     hijack targets: they get booby traps plus an extra dummy member
+//     (more entropy where it matters);
+//   - classes whose life cycle is input-controlled (alloc/free under
+//     tainted branches — the UAF grooming surface) keep traps and the
+//     default dummies;
+//   - classes tainted only in plain data members get the base
+//     configuration with one fewer dummy (cheaper, still randomized).
+//
+// The overrides take effect in the next RunHardened.
+func (h *Hardened) TuneFromTaint(rep *TaintReport) {
+	base := layout.DefaultConfig()
+	h.perClass = make(map[uint64]layout.Config)
+	for _, cls := range h.table.Classes() {
+		obj, ok := rep.Object(cls.Name())
+		if !ok || !obj.Tainted() {
+			continue
+		}
+		cfg := base
+		pointerTainted := false
+		for _, ft := range obj.SortedFields() {
+			if ft.IsPointer {
+				pointerTainted = true
+			}
+		}
+		switch {
+		case pointerTainted:
+			cfg.BoobyTraps = true
+			cfg.MinDummies = base.MinDummies + 1
+			cfg.MaxDummies = base.MaxDummies + 1
+		case obj.AllocTainted || obj.FreeTainted:
+			// keep base: traps + default dummies
+		default:
+			if cfg.MinDummies > 0 {
+				cfg.MinDummies--
+			}
+			if cfg.MaxDummies > cfg.MinDummies+1 {
+				cfg.MaxDummies--
+			}
+		}
+		h.perClass[cls.Hash] = cfg
+	}
+}
+
+// HardenWithPolicy instruments exactly the classes a policy file names
+// and applies its per-class tuning — the polarc -policy path of the
+// taintclass → polarc pipeline.
+func HardenWithPolicy(m *Module, p *policy.Policy) (*Hardened, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	h, err := Harden(m, p.Targets)
+	if err != nil {
+		return nil, err
+	}
+	h.perClass = make(map[uint64]layout.Config, len(p.Classes))
+	for name, cp := range p.Classes {
+		cls, ok := h.table.ByName(name)
+		if !ok {
+			// The class may be annotated norandom; the table filtered it.
+			continue
+		}
+		h.perClass[cls.Hash] = cp.LayoutConfig()
+	}
+	return h, nil
+}
+
+// PolicyFromTaint builds the serializable policy artifact from a
+// TaintClass report (what taintclass -o writes).
+func PolicyFromTaint(rep *TaintReport, generator string) *policy.Policy {
+	return policy.FromTaintReport(rep, generator)
+}
+
+// Policy re-exports the policy-file type for cmd use.
+type Policy = policy.Policy
+
+// LoadPolicy reads a policy file.
+func LoadPolicy(path string) (*Policy, error) { return policy.Load(path) }
+
+// PerClassConfig exposes the tuned configuration for one class (tests,
+// diagnostics).
+func (h *Hardened) PerClassConfig(className string) (layout.Config, bool) {
+	cls, ok := h.table.ByName(className)
+	if !ok || h.perClass == nil {
+		return layout.Config{}, false
+	}
+	cfg, ok := h.perClass[cls.Hash]
+	return cfg, ok
+}
+
+// Harden instruments accesses to the target classes (nil = all classes,
+// as in the paper's whole-program compatibility experiment §V.A;
+// normally pass a TaintClass report's TaintedClasses()).
+func Harden(m *Module, targets []string) (*Hardened, error) {
+	res, err := instrument.Apply(m, targets)
+	if err != nil {
+		return nil, err
+	}
+	return &Hardened{
+		Module:             res.Module,
+		table:              res.Table,
+		RewrittenAllocs:    res.Rewrites.Allocs,
+		RewrittenAccesses:  res.Rewrites.FieldPtrs,
+		RewrittenFrees:     res.Rewrites.Frees,
+		RewrittenCopies:    res.Rewrites.Memcpys,
+		SkippedRawAccesses: res.Rewrites.SkippedRawAccess,
+	}, nil
+}
+
+// options collects run configuration.
+type options struct {
+	seed          int64
+	input         []byte
+	args          []int64
+	fuel          uint64
+	warnOnly      bool
+	noUAF         bool
+	noRerand      bool
+	cacheSize     int
+	layoutMode    layout.Mode
+	dummiesMin    int
+	dummiesMax    int
+	setDummies    bool
+	metaIntegrity bool
+	traceW        io.Writer
+	traceMax      int
+	policy        *policy.Policy
+}
+
+// Option configures Run and RunHardened.
+type Option func(*options)
+
+// WithSeed sets the randomization seed (each real execution would use
+// fresh entropy; experiments pin it).
+func WithSeed(seed int64) Option { return func(o *options) { o.seed = seed } }
+
+// WithInput provides the untrusted program input.
+func WithInput(b []byte) Option { return func(o *options) { o.input = b } }
+
+// WithArgs passes integer arguments to @main.
+func WithArgs(args ...int64) Option { return func(o *options) { o.args = args } }
+
+// WithFuel bounds execution length.
+func WithFuel(n uint64) Option { return func(o *options) { o.fuel = n } }
+
+// WithWarnPolicy counts violations instead of aborting on them.
+func WithWarnPolicy() Option { return func(o *options) { o.warnOnly = true } }
+
+// WithoutUAFDetection disables ghost-metadata use-after-free checks.
+func WithoutUAFDetection() Option { return func(o *options) { o.noUAF = true } }
+
+// WithoutCopyRerandomization makes object copies share the source
+// layout (the cheaper §IV.A.2 mode).
+func WithoutCopyRerandomization() Option { return func(o *options) { o.noRerand = true } }
+
+// WithCacheSize sets the offset-lookup cache capacity (-1 disables).
+func WithCacheSize(n int) Option { return func(o *options) { o.cacheSize = n } }
+
+// WithDummies overrides the dummy-member count range.
+func WithDummies(min, max int) Option {
+	return func(o *options) { o.dummiesMin, o.dummiesMax, o.setDummies = min, max, true }
+}
+
+// WithMetadataIntegrity seals metadata records with a keyed MAC that is
+// verified on lookup (the §VI.A hardening against metadata corruption).
+func WithMetadataIntegrity() Option { return func(o *options) { o.metaIntegrity = true } }
+
+// WithTrace streams the first maxLines executed instructions to w
+// (0 = unlimited) — a debugging aid; see polarun -trace.
+func WithTrace(w io.Writer, maxLines int) Option {
+	return func(o *options) { o.traceW, o.traceMax = w, maxLines }
+}
+
+// WithPolicy applies a policy file's per-class tuning at run time
+// (polarun -policy): the textual hardened-module form does not carry
+// tuning, so the runtime re-applies it from the artifact.
+func WithPolicy(p *Policy) Option { return func(o *options) { o.policy = p } }
+
+// Result is the outcome of one execution.
+type Result struct {
+	// Value is @main's return value.
+	Value int64
+	// Output is what the program printed.
+	Output []byte
+	// Runtime holds the POLaR counters (zero-valued for baseline runs).
+	Runtime RuntimeStats
+}
+
+// Run executes an unhardened module.
+func Run(m *Module, opts ...Option) (*Result, error) {
+	o := gather(opts)
+	v, err := newVM(ir.Clone(m), o)
+	if err != nil {
+		return nil, err
+	}
+	val, err := v.Run(o.args...)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Value: val, Output: v.Output()}, nil
+}
+
+// RunHardened executes a hardened program under the POLaR runtime.
+func RunHardened(h *Hardened, opts ...Option) (*Result, error) {
+	o := gather(opts)
+	v, err := newVM(ir.Clone(h.Module), o)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.DefaultConfig(o.seed)
+	if o.warnOnly {
+		cfg.Policy = core.PolicyWarn
+	}
+	if o.noUAF {
+		cfg.DetectUAF = false
+	}
+	if o.noRerand {
+		cfg.RerandomizeOnCopy = false
+	}
+	if o.cacheSize != 0 {
+		cfg.CacheSize = o.cacheSize
+	}
+	if o.setDummies {
+		cfg.Layout.MinDummies, cfg.Layout.MaxDummies = o.dummiesMin, o.dummiesMax
+	}
+	if o.metaIntegrity {
+		cfg.MetadataIntegrity = true
+	}
+	if len(h.perClass) > 0 {
+		cfg.PerClass = h.perClass
+	}
+	// The hardened module carries its own CIE table; rebuild against the
+	// clone's struct identities. A module that went through text form
+	// (polarc output) loses the embedded table, but class hashes are
+	// deterministic functions of the declarations, so recomputing the
+	// CIE over every struct restores it.
+	table := classinfo.TableFromModuleClassTable(v.Mod)
+	if table.Len() == 0 {
+		table, err = classinfo.FromModule(v.Mod, nil)
+		if err != nil {
+			return nil, fmt.Errorf("polar: rebuilding class table: %w", err)
+		}
+	}
+	if o.policy != nil {
+		if cfg.PerClass == nil {
+			cfg.PerClass = make(map[uint64]layout.Config, len(o.policy.Classes))
+		}
+		for name, cp := range o.policy.Classes {
+			if cls, ok := table.ByName(name); ok {
+				cfg.PerClass[cls.Hash] = cp.LayoutConfig()
+			}
+		}
+	}
+	rt := core.New(table, cfg)
+	rt.Attach(v)
+	val, err := v.Run(o.args...)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Value: val, Output: v.Output(), Runtime: rt.Stats()}, nil
+}
+
+func gather(opts []Option) *options {
+	o := &options{seed: 1}
+	for _, f := range opts {
+		f(o)
+	}
+	return o
+}
+
+func newVM(m *Module, o *options) (*vm.VM, error) {
+	vmOpts := []vm.Option{vm.WithInput(o.input)}
+	if o.fuel > 0 {
+		vmOpts = append(vmOpts, vm.WithFuel(o.fuel))
+	}
+	if o.traceW != nil {
+		vmOpts = append(vmOpts, vm.WithTrace(o.traceW, o.traceMax))
+	}
+	return vm.New(m, vmOpts...)
+}
+
+// AnalyzeTaint runs the TaintClass analysis (DFSan-analogue data-flow
+// tracking) over the corpus and returns the merged object report.
+func AnalyzeTaint(m *Module, corpus [][]byte) (*TaintReport, error) {
+	return taint.Analyze(m, corpus, taint.RunOptions{IgnoreRunErrors: true})
+}
+
+// FuzzResult summarizes a coverage-guided campaign.
+type FuzzResult struct {
+	Corpus   [][]byte
+	Crashers [][]byte
+	Execs    int
+	Edges    int
+}
+
+// FuzzForCoverage runs the libFuzzer-analogue campaign used by
+// TaintClass to widen taint coverage (§IV.B.2).
+func FuzzForCoverage(m *Module, seeds [][]byte, iterations int, seed int64) (*FuzzResult, error) {
+	res, err := fuzz.Run(m, seeds, fuzz.Config{
+		Iterations: iterations, MaxInputLen: 4096, Seed: seed, Fuel: 30_000_000,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &FuzzResult{Corpus: res.Corpus, Crashers: res.Crashers, Execs: res.Execs, Edges: res.Edges}, nil
+}
+
+// SelectAndHarden is the full Fig. 3 pipeline: fuzz for coverage, run
+// TaintClass, harden exactly the input-dependent classes.
+func SelectAndHarden(m *Module, seeds [][]byte, fuzzIters int, seed int64) (*Hardened, *TaintReport, error) {
+	corpus := seeds
+	if fuzzIters > 0 {
+		fr, err := FuzzForCoverage(m, seeds, fuzzIters, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		corpus = append(corpus, fr.Corpus...)
+		corpus = append(corpus, fr.Crashers...)
+	}
+	rep, err := AnalyzeTaint(m, corpus)
+	if err != nil {
+		return nil, nil, err
+	}
+	h, err := Harden(m, rep.TaintedClasses())
+	if err != nil {
+		return nil, nil, err
+	}
+	h.TuneFromTaint(rep)
+	return h, rep, nil
+}

@@ -1,0 +1,263 @@
+package polar
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"polar/internal/core"
+	"polar/internal/workload"
+)
+
+func newTestRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+const facadeSrc = `
+module "facade"
+
+struct %Widget { fptr draw; i32 w; i32 h; i64 id; }
+
+global @buf 64
+
+func @main() i64 {
+entry:
+  %r0 = call @input_len()
+  call @input_read(@buf, 0, %r0)
+  %r1 = alloc %Widget
+  %r2 = load i8, @buf
+  %r3 = fieldptr %Widget, %r1, 1
+  store i32 %r2, %r3
+  %r4 = fieldptr %Widget, %r1, 2
+  store i32 40, %r4
+  %r5 = load i32, %r3
+  %r6 = load i32, %r4
+  %r7 = mul %r5, %r6
+  free %r1
+  ret %r7
+}
+`
+
+func TestFacadePipeline(t *testing.T) {
+	m, err := Parse(facadeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(m); err != nil {
+		t.Fatal(err)
+	}
+	input := []byte{7, 1, 2, 3}
+
+	base, err := Run(m, WithInput(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Value != 7*40 {
+		t.Fatalf("baseline = %d, want %d", base.Value, 7*40)
+	}
+
+	rep, err := AnalyzeTaint(m, [][]byte{input})
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := rep.TaintedClasses()
+	if len(classes) != 1 || classes[0] != "Widget" {
+		t.Fatalf("tainted classes = %v, want [Widget]", classes)
+	}
+
+	h, err := Harden(m, classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.RewrittenAllocs != 1 || h.RewrittenFrees != 1 || h.RewrittenAccesses != 2 {
+		t.Fatalf("rewrites = %d/%d/%d, want 1/1/2",
+			h.RewrittenAllocs, h.RewrittenFrees, h.RewrittenAccesses)
+	}
+
+	for seed := int64(1); seed <= 5; seed++ {
+		res, err := RunHardened(h, WithInput(input), WithSeed(seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Value != base.Value {
+			t.Fatalf("seed %d: hardened %d != baseline %d", seed, res.Value, base.Value)
+		}
+		if res.Runtime.Allocs != 1 || res.Runtime.MemberAccess != 2 {
+			t.Fatalf("seed %d: runtime stats %+v", seed, res.Runtime)
+		}
+	}
+}
+
+func TestFacadeTextRoundTripOfHardenedModule(t *testing.T) {
+	// polarc's path: harden, print, re-parse, run — the class table is
+	// recomputed from declarations.
+	m, err := Parse(facadeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := Harden(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Format(h.Module)
+	back, err := Parse(text)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, text)
+	}
+	res, err := RunHardened(&Hardened{Module: back}, WithInput([]byte{9}), WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 9*40 {
+		t.Fatalf("round-tripped hardened result = %d, want %d", res.Value, 9*40)
+	}
+}
+
+func TestFacadeOptions(t *testing.T) {
+	m, err := Parse(facadeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := Harden(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Disabled cache still resolves correctly.
+	res, err := RunHardened(h, WithInput([]byte{5}), WithSeed(2), WithCacheSize(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 200 {
+		t.Fatalf("cache-off result = %d, want 200", res.Value)
+	}
+	if res.Runtime.CacheHits != 0 {
+		t.Fatalf("cache disabled but hits = %d", res.Runtime.CacheHits)
+	}
+	// Dummy override changes layout sizes but not semantics.
+	res, err = RunHardened(h, WithInput([]byte{5}), WithSeed(2), WithDummies(4, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 200 {
+		t.Fatalf("dummies result = %d, want 200", res.Value)
+	}
+}
+
+func TestFacadeViolationSurfacesAsTypedError(t *testing.T) {
+	src := `
+module "uaf"
+struct %S { i64 x; i64 y; }
+func @main() i64 {
+entry:
+  %r0 = alloc %S
+  free %r0
+  %r1 = fieldptr %S, %r0, 1
+  %r2 = load i64, %r1
+  ret %r2
+}
+`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := Harden(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = RunHardened(h, WithSeed(4))
+	var viol *Violation
+	if !errors.As(err, &viol) {
+		t.Fatalf("want *Violation, got %v", err)
+	}
+	if viol.Kind != core.ViolationUAF {
+		t.Fatalf("kind = %v, want UAF", viol.Kind)
+	}
+	// Warn policy keeps running and counts instead.
+	res, err := RunHardened(h, WithSeed(4), WithWarnPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runtime.Violations[core.ViolationUAF] == 0 {
+		t.Fatal("warn policy recorded no UAF violation")
+	}
+}
+
+func TestSelectAndHardenPipeline(t *testing.T) {
+	jpeg := workload.LibJPEG()
+	h, rep, err := SelectAndHarden(jpeg.Module, [][]byte{jpeg.Input}, 150, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Count() == 0 {
+		t.Fatal("pipeline found no tainted classes")
+	}
+	base, err := Run(jpeg.Module, WithInput(jpeg.Input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunHardened(h, WithInput(jpeg.Input), WithSeed(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != base.Value || !bytes.Equal(res.Output, base.Output) {
+		t.Fatalf("hardened output diverged: %d vs %d", res.Value, base.Value)
+	}
+}
+
+func TestTuneFromTaint(t *testing.T) {
+	// Pointer-tainted class gets extra dummies + traps; data-only class
+	// gets the lighter configuration; both still run correctly.
+	src := `
+module "tune"
+struct %PtrHot { fptr cb; i64 n; ptr link; }
+struct %DataOnly { i64 a; i64 b; }
+global @buf 32
+func @main() i64 {
+entry:
+  %r0 = call @input_len()
+  call @input_read(@buf, 0, %r0)
+  %r1 = alloc %PtrHot
+  %r2 = load i64, @buf
+  %r3 = fieldptr %PtrHot, %r1, 2
+  store ptr %r2, %r3
+  %r4 = alloc %DataOnly
+  %r5 = load i8, @buf
+  %r6 = fieldptr %DataOnly, %r4, 0
+  store i64 %r5, %r6
+  %r7 = load i64, %r6
+  ret %r7
+}
+`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := []byte{9, 8, 7, 6, 5, 4, 3, 2}
+	h, rep, err := SelectAndHarden(m, [][]byte{input}, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Count() != 2 {
+		t.Fatalf("tainted classes = %v", rep.TaintedClasses())
+	}
+	hot, ok := h.PerClassConfig("PtrHot")
+	if !ok {
+		t.Fatal("PtrHot has no tuned config")
+	}
+	dat, ok := h.PerClassConfig("DataOnly")
+	if !ok {
+		t.Fatal("DataOnly has no tuned config")
+	}
+	if hot.MinDummies <= dat.MinDummies {
+		t.Errorf("pointer-tainted class should get more dummies: %d vs %d", hot.MinDummies, dat.MinDummies)
+	}
+	if !hot.BoobyTraps {
+		t.Error("pointer-tainted class lost booby traps")
+	}
+	res, err := RunHardened(h, WithInput(input), WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 9 {
+		t.Fatalf("tuned run result = %d, want 9", res.Value)
+	}
+}
