@@ -27,6 +27,7 @@ import (
 	"polar/internal/ir"
 	"polar/internal/layout"
 	"polar/internal/taint"
+	"polar/internal/telemetry"
 	"polar/internal/vm"
 	"polar/internal/workload"
 )
@@ -289,6 +290,45 @@ func BenchmarkAblationMode(b *testing.B) {
 	b.Run("sjeng/full", func(b *testing.B) { benchAblation(b, "458.sjeng", func(c *core.Config) {}) })
 	b.Run("sjeng/cacheline", func(b *testing.B) {
 		benchAblation(b, "458.sjeng", func(c *core.Config) { c.Layout.Mode = layout.ModeCacheLine })
+	})
+}
+
+// BenchmarkTelemetryOverhead guards the observability cost contract:
+// with telemetry disabled (nil *Telemetry, the default) every hook in
+// the runtime is a single predicted branch, so the hardened Figure 6
+// hot loop must stay within noise (<2%) of the pre-telemetry numbers
+// recorded in EXPERIMENTS.md. The "counting" variant attaches a full
+// Telemetry (event bus + counting sink + histograms) and shows the
+// enabled cost for contrast — it has no budget to meet.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	w, err := workload.ByName("429.mcf")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ins, err := instrument.Apply(w.Module, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, tel func() *telemetry.Telemetry) {
+		for i := 0; i < b.N; i++ {
+			cfg := core.DefaultConfig(int64(i) + 1)
+			cfg.Telemetry = tel()
+			v, err := vm.New(ir.Clone(ins.Module), vm.WithInput(w.Input))
+			if err != nil {
+				b.Fatal(err)
+			}
+			rt := core.New(ins.Table, cfg)
+			rt.Attach(v)
+			if _, err := v.Run(w.Args...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("mcf/telemetry-off", func(b *testing.B) {
+		run(b, func() *telemetry.Telemetry { return nil })
+	})
+	b.Run("mcf/telemetry-counting", func(b *testing.B) {
+		run(b, telemetry.New)
 	})
 }
 

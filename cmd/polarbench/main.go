@@ -5,11 +5,13 @@
 // Usage:
 //
 //	polarbench [-reps n] [-trials n] [-fuzz n] [-only table1,fig6,...]
-//	           [-seed n] [-format text|csv]
+//	           [-seed n] [-format text|csv] [-metrics]
 //
 // Experiments: table1, table2, table3, table4, fig6, fig7, security,
 // ablation. Default runs all of them. The text format is what
-// EXPERIMENTS.md records; csv is plotting-ready.
+// EXPERIMENTS.md records; csv is plotting-ready. -metrics appends a
+// deterministic JSON metrics snapshot after each experiment's output
+// (machine-readable companion to the tables).
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"strings"
 
 	"polar/internal/evalrun"
+	"polar/internal/telemetry"
 )
 
 func main() {
@@ -28,6 +31,7 @@ func main() {
 	only := flag.String("only", "", "comma-separated subset of experiments")
 	seed := flag.Int64("seed", 11, "experiment seed")
 	format := flag.String("format", "text", "output format: text or csv")
+	metrics := flag.Bool("metrics", false, "print a JSON metrics snapshot after each experiment")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -43,13 +47,27 @@ func main() {
 		os.Exit(2)
 	}
 
-	if err := run(sel, csv, *reps, *trials, *fuzzIters, *seed); err != nil {
+	if err := run(sel, csv, *metrics, *reps, *trials, *fuzzIters, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "polarbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(sel func(string) bool, csv bool, reps, trials, fuzzIters int, seed int64) error {
+// emitMetrics prints one experiment's registry snapshot (no-op unless
+// -metrics).
+func emitMetrics(on bool, name string, fill func(*telemetry.Registry)) error {
+	if !on {
+		return nil
+	}
+	out, err := evalrun.SnapshotJSON(fill)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("metrics[%s]:\n%s", name, out)
+	return nil
+}
+
+func run(sel func(string) bool, csv, metrics bool, reps, trials, fuzzIters int, seed int64) error {
 	if sel("table1") {
 		rows, err := evalrun.TableI(fuzzIters, seed)
 		if err != nil {
@@ -59,6 +77,9 @@ func run(sel func(string) bool, csv bool, reps, trials, fuzzIters int, seed int6
 			fmt.Print(evalrun.CSVTableI(rows))
 		} else {
 			fmt.Println(evalrun.RenderTableI(rows))
+		}
+		if err := emitMetrics(metrics, "table1", func(reg *telemetry.Registry) { evalrun.PublishTableI(rows, reg) }); err != nil {
+			return err
 		}
 	}
 	if sel("fig6") {
@@ -70,6 +91,9 @@ func run(sel func(string) bool, csv bool, reps, trials, fuzzIters int, seed int6
 			fmt.Print(evalrun.CSVFigure6(rows))
 		} else {
 			fmt.Println(evalrun.RenderFigure6(rows))
+		}
+		if err := emitMetrics(metrics, "fig6", func(reg *telemetry.Registry) { evalrun.PublishFigure6(rows, reg) }); err != nil {
+			return err
 		}
 	}
 	var jsRows []evalrun.JSRow
@@ -86,6 +110,9 @@ func run(sel func(string) bool, csv bool, reps, trials, fuzzIters int, seed int6
 		} else {
 			fmt.Println(evalrun.RenderTableII(agg))
 		}
+		if err := emitMetrics(metrics, "table2", func(reg *telemetry.Registry) { evalrun.PublishTableII(agg, reg) }); err != nil {
+			return err
+		}
 	}
 	if sel("table3") {
 		rows, err := evalrun.TableIII(seed)
@@ -96,6 +123,9 @@ func run(sel func(string) bool, csv bool, reps, trials, fuzzIters int, seed int6
 			fmt.Print(evalrun.CSVTableIII(rows))
 		} else {
 			fmt.Println(evalrun.RenderTableIII(rows))
+		}
+		if err := emitMetrics(metrics, "table3", func(reg *telemetry.Registry) { evalrun.PublishTableIII(rows, reg) }); err != nil {
+			return err
 		}
 	}
 	if sel("table4") {
@@ -108,12 +138,18 @@ func run(sel func(string) bool, csv bool, reps, trials, fuzzIters int, seed int6
 		} else {
 			fmt.Println(evalrun.RenderTableIV(rows))
 		}
+		if err := emitMetrics(metrics, "table4", func(reg *telemetry.Registry) { evalrun.PublishTableIV(rows, reg) }); err != nil {
+			return err
+		}
 	}
 	if sel("fig7") {
 		if csv {
 			fmt.Print(evalrun.CSVFigure7(jsRows))
 		} else {
 			fmt.Println(evalrun.RenderFigure7(jsRows))
+		}
+		if err := emitMetrics(metrics, "fig7", func(reg *telemetry.Registry) { evalrun.PublishFigure7(jsRows, reg) }); err != nil {
+			return err
 		}
 	}
 	if sel("security") {
@@ -126,6 +162,9 @@ func run(sel func(string) bool, csv bool, reps, trials, fuzzIters int, seed int6
 		} else {
 			fmt.Println(rep.Render())
 		}
+		if err := emitMetrics(metrics, "security", func(reg *telemetry.Registry) { evalrun.PublishSecurity(rep, reg) }); err != nil {
+			return err
+		}
 	}
 	if sel("ablation") {
 		rows, err := evalrun.Ablation(reps, seed)
@@ -136,6 +175,9 @@ func run(sel func(string) bool, csv bool, reps, trials, fuzzIters int, seed int6
 			fmt.Print(evalrun.CSVAblation(rows))
 		} else {
 			fmt.Println(evalrun.RenderAblation(rows))
+		}
+		if err := emitMetrics(metrics, "ablation", func(reg *telemetry.Registry) { evalrun.PublishAblation(rows, reg) }); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -2,12 +2,23 @@
 //
 // Usage:
 //
-//	polarun [-hardened] [-input file] [-seed n] [-stats] program.ir [args...]
+//	polarun [-hardened|-harden] [-input file] [-seed n] [-stats]
+//	        [-metrics] [-trace-json file] program.ir [args...]
 //
 // Plain modules run on the bare VM; pass -hardened for modules produced
 // by polarc (the POLaR runtime is attached and the class table
-// recomputed from the declarations). The program's printed output goes
-// to stdout and @main's return value becomes a "result: N" line.
+// recomputed from the declarations), or -harden to instrument a plain
+// module in-process before running it. The program's printed output
+// goes to stdout and @main's return value becomes a "result: N" line.
+//
+// Observability:
+//
+//	-stats       one-line counter summaries on stderr
+//	-metrics     deterministic JSON metrics snapshot (counters, gauges,
+//	             histograms) on stdout after the run
+//	-trace-json  Chrome trace-event timeline (parse → cie → instrument →
+//	             run phases, violation markers) written to the file;
+//	             load it in chrome://tracing or Perfetto
 package main
 
 import (
@@ -21,29 +32,54 @@ import (
 
 func main() {
 	hardened := flag.Bool("hardened", false, "attach the POLaR runtime (for polarc output)")
+	harden := flag.Bool("harden", false, "instrument the module in-process, then run hardened")
 	inputPath := flag.String("input", "", "file whose bytes become the untrusted program input")
 	seed := flag.Int64("seed", 1, "randomization seed for the POLaR runtime")
 	stats := flag.Bool("stats", false, "print runtime counters to stderr")
 	warn := flag.Bool("warn", false, "count violations instead of aborting")
 	trace := flag.Int("trace", 0, "trace the first N executed instructions to stderr")
+	metrics := flag.Bool("metrics", false, "print a JSON metrics snapshot to stdout after the run")
+	traceJSON := flag.String("trace-json", "", "write a Chrome trace-event timeline to this file")
 	policyPath := flag.String("policy", "", "apply a policy file's per-class tuning (with -hardened)")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: polarun [-hardened] [-input file] [-seed n] program.ir [args...]")
+		fmt.Fprintln(os.Stderr, "usage: polarun [-hardened|-harden] [-input file] [-seed n] program.ir [args...]")
 		os.Exit(2)
 	}
-	if err := run(*hardened, *inputPath, *seed, *stats, *warn, *trace, *policyPath); err != nil {
+	if err := run(*hardened, *harden, *inputPath, *seed, *stats, *warn, *trace, *metrics, *traceJSON, *policyPath); err != nil {
 		fmt.Fprintln(os.Stderr, "polarun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(hardened bool, inputPath string, seed int64, stats, warn bool, trace int, policyPath string) error {
+func run(hardened, harden bool, inputPath string, seed int64, stats, warn bool, trace int, metrics bool, traceJSON, policyPath string) error {
+	// The observability layer is created up front so the parse phase is
+	// already on the trace timeline.
+	var tel *polar.Telemetry
+	if metrics || traceJSON != "" {
+		tel = polar.NewTelemetry()
+	}
+	if traceJSON != "" {
+		f, err := os.Create(traceJSON)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tr := polar.NewTracer(f)
+		defer tr.Close()
+		tel.WithTracer(tr)
+	}
+
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		return err
 	}
+	var sp *polar.TraceSpan
+	if tel != nil && tel.Tracer != nil {
+		sp = tel.Tracer.Begin("parse", "pipeline")
+	}
 	m, err := polar.Parse(string(src))
+	sp.End()
 	if err != nil {
 		return err
 	}
@@ -69,6 +105,9 @@ func run(hardened bool, inputPath string, seed int64, stats, warn bool, trace in
 	if trace > 0 {
 		opts = append(opts, polar.WithTrace(os.Stderr, trace))
 	}
+	if tel != nil {
+		opts = append(opts, polar.WithTelemetry(tel))
+	}
 	if policyPath != "" {
 		pol, err := polar.LoadPolicy(policyPath)
 		if err != nil {
@@ -77,9 +116,16 @@ func run(hardened bool, inputPath string, seed int64, stats, warn bool, trace in
 		opts = append(opts, polar.WithPolicy(pol))
 	}
 	var res *polar.Result
-	if hardened {
+	switch {
+	case harden:
+		h, herr := polar.HardenTraced(m, nil, tel)
+		if herr != nil {
+			return herr
+		}
+		res, err = polar.RunHardened(h, opts...)
+	case hardened:
 		res, err = polar.RunHardened(&polar.Hardened{Module: m}, opts...)
-	} else {
+	default:
 		res, err = polar.Run(m, opts...)
 	}
 	if err != nil {
@@ -87,10 +133,19 @@ func run(hardened bool, inputPath string, seed int64, stats, warn bool, trace in
 	}
 	os.Stdout.Write(res.Output)
 	fmt.Printf("result: %d\n", res.Value)
-	if stats && hardened {
-		s := res.Runtime
-		fmt.Fprintf(os.Stderr, "allocs=%d frees=%d memcpys=%d member=%d cachehit=%d violations=%v\n",
-			s.Allocs, s.Frees, s.Memcpys, s.MemberAccess, s.CacheHits, s.Violations)
+	if stats {
+		fmt.Fprintf(os.Stderr, "vm: %s\n", res.VM)
+		if hardened || harden {
+			fmt.Fprintf(os.Stderr, "runtime: %s\n", res.Runtime)
+		}
+	}
+	if metrics {
+		data, err := tel.Registry.Snapshot().EncodeJSON()
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(data)
+		fmt.Println()
 	}
 	return nil
 }

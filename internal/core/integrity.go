@@ -50,7 +50,7 @@ func (r *Runtime) verifySeal(m *ObjectMeta) error {
 		return nil
 	}
 	if m.mac != r.metaMAC(m) {
-		return r.violate(ViolationMetadata, m.Base, r.className(m.ClassHash))
+		return r.violate(ViolationMetadata, m.Base, m.ClassHash, m)
 	}
 	return nil
 }

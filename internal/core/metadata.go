@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"polar/internal/layout"
+	"polar/internal/telemetry"
 )
 
 // ObjectMeta is the per-object record of Fig. 4: base address → class
@@ -42,6 +43,10 @@ type MetaStore struct {
 	// within a bucket are resolved with Layout.Equal.
 	dedup map[uint64][]*layout.Layout
 	stats MetaStats
+
+	// chainHist, when non-nil, observes the dedup-bucket chain length
+	// walked by each Intern (set by the runtime when telemetry is on).
+	chainHist *telemetry.Histogram
 }
 
 // NewMetaStore returns an empty store.
@@ -59,6 +64,9 @@ func (s *MetaStore) Intern(classHash uint64, l *layout.Layout) *layout.Layout {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	key := classHash ^ l.Hash()
+	if s.chainHist != nil {
+		s.chainHist.Observe(float64(len(s.dedup[key])))
+	}
 	for _, prev := range s.dedup[key] {
 		if prev.Equal(l) {
 			s.stats.LayoutsShared++
@@ -128,4 +136,18 @@ func (s *MetaStore) Stats() MetaStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.stats
+}
+
+// Counts returns the live (non-freed) and total record counts — the
+// inputs to the metadata-table load-factor gauge (O(n); called at
+// snapshot points, not on hot paths).
+func (s *MetaStore) Counts() (live, total int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, m := range s.objects {
+		if !m.Freed {
+			live++
+		}
+	}
+	return live, len(s.objects)
 }

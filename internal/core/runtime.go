@@ -6,6 +6,7 @@ import (
 
 	"polar/internal/classinfo"
 	"polar/internal/layout"
+	"polar/internal/telemetry"
 	"polar/internal/vm"
 )
 
@@ -36,6 +37,14 @@ type Config struct {
 	// TaintClass reports which members are input-tainted, and POLaR
 	// tunes dummy insertion and booby traps per class accordingly.
 	PerClass map[uint64]layout.Config
+	// Telemetry, when non-nil, attaches the observability layer: olr_*
+	// events go to its bus, and the runtime's histograms (offset-cache
+	// probe length, layout entropy, intern-chain length) feed its
+	// registry. Counters stay native — the member-access path is too hot
+	// for atomics — and are snapshotted into the registry by Stats().
+	// Note: sharing one Telemetry across runtimes aggregates their
+	// metrics; use a fresh Telemetry per runtime for isolation.
+	Telemetry *telemetry.Telemetry
 }
 
 // DefaultConfig mirrors the paper's evaluation configuration.
@@ -62,6 +71,10 @@ type Stats struct {
 	Meta         MetaStats
 }
 
+// maxViolationRecords caps the structured violation log so a
+// warn-policy run under attack cannot grow memory without bound.
+const maxViolationRecords = 1024
+
 // Runtime is the POLaR object-tracking runtime attached to one VM.
 // It is not safe for concurrent use (the VM is single-threaded).
 type Runtime struct {
@@ -77,6 +90,20 @@ type Runtime struct {
 	memcpys    uint64
 	accesses   uint64
 	violations map[ViolationKind]uint64
+
+	// Structured violation log (capped; see maxViolationRecords).
+	records        []ViolationRecord
+	droppedRecords uint64
+	// curCall is the olr_* builtin call currently being dispatched; it
+	// carries the instruction site for violation records. Set by the
+	// Attach wrappers, read only on the (rare) violation path.
+	curCall *vm.Call
+
+	// Observability layer (all nil/zero when Config.Telemetry is unset;
+	// the emission points then cost one branch each).
+	tel         *telemetry.Telemetry
+	histProbe   *telemetry.Histogram // olr_getptr probe length (1=cache hit)
+	histEntropy *telemetry.Histogram // entropy bits of each generated layout
 }
 
 // New creates a runtime for the classes in table.
@@ -88,7 +115,7 @@ func New(table *classinfo.Table, cfg Config) *Runtime {
 		cfg.CacheSize = 0 // explicit disable for ablation
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	return &Runtime{
+	r := &Runtime{
 		cfg:        cfg,
 		table:      table,
 		store:      NewMetaStore(),
@@ -97,9 +124,22 @@ func New(table *classinfo.Table, cfg Config) *Runtime {
 		secret:     rng.Uint64() | 1,
 		violations: make(map[ViolationKind]uint64),
 	}
+	if t := cfg.Telemetry; t != nil {
+		r.tel = t
+		r.histProbe = t.Registry.Histogram(telemetry.MetricCacheProbeLen, telemetry.ProbeLenBuckets)
+		r.histEntropy = t.Registry.Histogram(telemetry.MetricLayoutEntropy, telemetry.EntropyBuckets)
+		r.store.chainHist = t.Registry.Histogram(telemetry.MetricInternChainLen, telemetry.ChainLenBuckets)
+	}
+	return r
 }
 
-// Stats returns a snapshot of the counters.
+// Telemetry returns the attached observability layer (nil if none).
+func (r *Runtime) Telemetry() *telemetry.Telemetry { return r.cfg.Telemetry }
+
+// Stats returns a snapshot of the counters. When telemetry is attached
+// the snapshot is also published into the registry (counters under
+// "core.", plus the metadata-table load-factor gauge), so a registry
+// snapshot taken after Stats() reflects the runtime's full state.
 func (r *Runtime) Stats() Stats {
 	s := Stats{
 		Allocs:       r.allocs,
@@ -114,11 +154,33 @@ func (r *Runtime) Stats() Stats {
 	for k, v := range r.violations {
 		s.Violations[k] = v
 	}
+	if r.tel != nil {
+		s.Publish(r.tel.Registry)
+		live, total := r.store.Counts()
+		lf := 0.0
+		if total > 0 {
+			lf = float64(live) / float64(total)
+		}
+		r.tel.Registry.Gauge(telemetry.MetricMetaLoadFactor).Set(lf)
+	}
 	return s
 }
 
 // ViolationCount sums detections of the given kind.
 func (r *Runtime) ViolationCount(kind ViolationKind) uint64 { return r.violations[kind] }
+
+// ViolationRecords returns a copy of the structured violation log, in
+// detection order (capped at maxViolationRecords; DroppedViolations
+// reports overflow).
+func (r *Runtime) ViolationRecords() []ViolationRecord {
+	out := make([]ViolationRecord, len(r.records))
+	copy(out, r.records)
+	return out
+}
+
+// DroppedViolations returns how many violation records were discarded
+// after the log filled.
+func (r *Runtime) DroppedViolations() uint64 { return r.droppedRecords }
 
 // Store exposes the metadata table (tests, diagnostics).
 func (r *Runtime) Store() *MetaStore { return r.store }
@@ -126,10 +188,41 @@ func (r *Runtime) Store() *MetaStore { return r.store }
 // LookupObject returns the metadata for an object base, if tracked.
 func (r *Runtime) LookupObject(base uint64) (*ObjectMeta, bool) { return r.store.Lookup(base) }
 
-func (r *Runtime) violate(kind ViolationKind, addr uint64, class string) error {
+// violate records a detection. classHash 0 means the class is unknown
+// (e.g. invalid free); meta, when non-nil, supplies the layout identity.
+// Every detection — under both policies — appends a structured record
+// and emits an EvViolation event; PolicyAbort additionally returns the
+// *Violation error.
+func (r *Runtime) violate(kind ViolationKind, addr uint64, classHash uint64, meta *ObjectMeta) error {
 	r.violations[kind]++
+	class := "?"
+	if classHash != 0 {
+		class = r.className(classHash)
+	}
+	var layoutID uint64
+	if meta != nil && meta.Layout != nil {
+		layoutID = meta.Layout.Hash()
+	}
+	site := r.curCall.Site()
+	if len(r.records) < maxViolationRecords {
+		r.records = append(r.records, ViolationRecord{
+			Kind: kind, KindName: kind.String(), Addr: addr, Class: class,
+			ClassHash: classHash, LayoutID: layoutID, Site: site,
+		})
+	} else {
+		r.droppedRecords++
+	}
+	if r.tel != nil {
+		r.tel.Emit(telemetry.Event{
+			Kind: telemetry.EvViolation, Addr: addr, Class: classHash,
+			Layout: layoutID, Site: site, Detail: kind.String(),
+		})
+	}
 	if r.cfg.Policy == PolicyAbort {
-		return &Violation{Kind: kind, Addr: addr, Class: class}
+		return &Violation{
+			Kind: kind, Addr: addr, Class: class,
+			ClassHash: classHash, LayoutID: layoutID, Site: site,
+		}
 	}
 	return nil
 }
@@ -147,21 +240,27 @@ func (r *Runtime) canary(base uint64, slotOff int) uint64 {
 
 // Attach registers the olr_* ABI on the VM. The class table used is the
 // one embedded in the module if present (hardened binary), else the
-// table given at construction.
+// table given at construction. Each wrapper stashes the call so the
+// violation path can stamp records with the instruction site.
 func (r *Runtime) Attach(v *vm.VM) {
 	v.RegisterBuiltin("olr_malloc", func(c *vm.Call) (int64, error) {
+		r.curCall = c
 		return r.olrMalloc(c.VM, uint64(c.Arg(0)))
 	})
 	v.RegisterBuiltin("olr_free", func(c *vm.Call) (int64, error) {
+		r.curCall = c
 		return 0, r.olrFree(c.VM, uint64(c.Arg(0)))
 	})
 	v.RegisterBuiltin("olr_getptr", func(c *vm.Call) (int64, error) {
+		r.curCall = c
 		return r.olrGetptr(uint64(c.Arg(0)), int(c.Arg(1)), uint64(c.Arg(2)))
 	})
 	v.RegisterBuiltin("olr_memcpy", func(c *vm.Call) (int64, error) {
+		r.curCall = c
 		return 0, r.olrMemcpy(c.VM, uint64(c.Arg(0)), uint64(c.Arg(1)), int(c.Arg(2)), uint64(c.Arg(3)))
 	})
 	v.RegisterBuiltin("olr_check", func(c *vm.Call) (int64, error) {
+		r.curCall = c
 		return r.olrCheck(c.VM, uint64(c.Arg(0)))
 	})
 }
@@ -172,7 +271,7 @@ func (r *Runtime) Attach(v *vm.VM) {
 func (r *Runtime) olrMalloc(v *vm.VM, classHash uint64) (int64, error) {
 	cls, ok := r.table.ByHash(classHash)
 	if !ok {
-		if err := r.violate(ViolationBadClass, 0, fmt.Sprintf("hash %#x", classHash)); err != nil {
+		if err := r.violate(ViolationBadClass, 0, classHash, nil); err != nil {
 			return 0, err
 		}
 		return 0, nil
@@ -196,19 +295,21 @@ func (r *Runtime) olrMalloc(v *vm.VM, classHash uint64) (int64, error) {
 	if err := r.armTraps(v, base, l); err != nil {
 		return 0, err
 	}
+	if r.tel != nil {
+		r.tel.Emit(telemetry.Event{
+			Kind: telemetry.EvAlloc, Addr: base, Size: l.TotalSize,
+			Class: classHash, Layout: l.Hash(), Detail: cls.Name(),
+		})
+	}
 	return int64(base), nil
 }
 
 func (r *Runtime) generateLayout(cls *classinfo.Class) (*layout.Layout, error) {
-	fields := make([]layout.FieldInfo, len(cls.Members))
-	for i, m := range cls.Members {
-		fields[i] = layout.FieldInfo{Size: m.Size, Align: m.Align, IsFptr: m.Kind == classinfo.KindFuncPointer}
-	}
 	cfg := r.cfg.Layout
 	if over, ok := r.cfg.PerClass[cls.Hash]; ok {
 		cfg = over
 	}
-	return layout.Generate(fields, cfg, r.rng)
+	return r.generateLayoutWith(cls, cfg)
 }
 
 // armTraps writes fresh canaries into every trap slot.
@@ -247,23 +348,25 @@ func (r *Runtime) checkTraps(v *vm.VM, base uint64, l *layout.Layout) (int, erro
 func (r *Runtime) olrFree(v *vm.VM, base uint64) error {
 	meta, ok := r.store.Lookup(base)
 	if !ok {
-		return r.violate(ViolationBadFree, base, "?")
+		return r.violate(ViolationBadFree, base, 0, nil)
 	}
 	if err := r.verifySeal(meta); err != nil {
 		return err
 	}
-	cls := r.className(meta.ClassHash)
 	if meta.Freed {
-		return r.violate(ViolationDoubleFree, base, cls)
+		return r.violate(ViolationDoubleFree, base, meta.ClassHash, meta)
 	}
 	if bad, err := r.checkTraps(v, base, meta.Layout); err != nil {
 		return err
 	} else if bad >= 0 {
-		if verr := r.violate(ViolationTrap, base+uint64(bad), cls); verr != nil {
+		if verr := r.violate(ViolationTrap, base+uint64(bad), meta.ClassHash, meta); verr != nil {
 			return verr
 		}
 	}
 	r.frees++
+	if r.tel != nil {
+		r.tel.Emit(telemetry.Event{Kind: telemetry.EvFree, Addr: base, Class: meta.ClassHash, Layout: meta.Layout.Hash()})
+	}
 	r.cache.invalidate(base, len(meta.Layout.Offsets))
 	if r.cfg.DetectUAF {
 		r.store.MarkFreed(base)
@@ -284,16 +387,30 @@ func (r *Runtime) olrFree(v *vm.VM, base uint64) error {
 func (r *Runtime) olrGetptr(base uint64, field int, classHash uint64) (int64, error) {
 	r.accesses++
 	if off, hit := r.cache.get(base, classHash, field); hit {
+		if r.tel != nil {
+			r.histProbe.Observe(1)
+			r.tel.Emit(telemetry.Event{Kind: telemetry.EvFieldHit, Addr: base, Class: classHash, Field: field})
+		}
 		return int64(base + uint64(off)), nil
 	}
 	meta, ok := r.store.Lookup(base)
+	if r.tel != nil {
+		// Probe length: 1 = cache hit (above), 2 = metadata lookup,
+		// 3 = metadata miss + static-table fallback.
+		if ok {
+			r.histProbe.Observe(2)
+		} else {
+			r.histProbe.Observe(3)
+		}
+		r.tel.Emit(telemetry.Event{Kind: telemetry.EvFieldMiss, Addr: base, Class: classHash, Field: field})
+	}
 	if ok {
 		if err := r.verifySeal(meta); err != nil {
 			return 0, err
 		}
 	}
 	if ok && r.cfg.DetectUAF && meta.Freed {
-		if err := r.violate(ViolationUAF, base, r.className(meta.ClassHash)); err != nil {
+		if err := r.violate(ViolationUAF, base, meta.ClassHash, meta); err != nil {
 			return 0, err
 		}
 		// Warn policy: fall through and resolve against the ghost layout,
@@ -305,7 +422,7 @@ func (r *Runtime) olrGetptr(base uint64, field int, classHash uint64) (int64, er
 		// compiler's static layout.
 		cls, found := r.table.ByHash(classHash)
 		if !found {
-			if err := r.violate(ViolationBadClass, base, fmt.Sprintf("hash %#x", classHash)); err != nil {
+			if err := r.violate(ViolationBadClass, base, classHash, nil); err != nil {
 				return 0, err
 			}
 			return int64(base), nil
@@ -320,7 +437,7 @@ func (r *Runtime) olrGetptr(base uint64, field int, classHash uint64) (int64, er
 		// the one recorded at allocation time — a type-confused access.
 		// The metadata of Fig. 4 carries the allocation's class hash, so
 		// this check is one compare on the lookup path.
-		if err := r.violate(ViolationTypeConfusion, base, r.className(meta.ClassHash)); err != nil {
+		if err := r.violate(ViolationTypeConfusion, base, meta.ClassHash, meta); err != nil {
 			return 0, err
 		}
 		// Warn policy: fall through and resolve against the actual
@@ -357,7 +474,7 @@ func (r *Runtime) olrMemcpy(v *vm.VM, dst, src uint64, n int, classHash uint64) 
 		}
 	}
 	if srcTracked && r.cfg.DetectUAF && srcMeta.Freed {
-		if err := r.violate(ViolationUAF, src, r.className(srcMeta.ClassHash)); err != nil {
+		if err := r.violate(ViolationUAF, src, srcMeta.ClassHash, srcMeta); err != nil {
 			return err
 		}
 	}
@@ -377,7 +494,7 @@ func (r *Runtime) olrMemcpy(v *vm.VM, dst, src uint64, n int, classHash uint64) 
 	if bad, err := r.checkTraps(v, src, srcMeta.Layout); err != nil {
 		return err
 	} else if bad >= 0 {
-		if verr := r.violate(ViolationTrap, src+uint64(bad), cls.Name()); verr != nil {
+		if verr := r.violate(ViolationTrap, src+uint64(bad), srcMeta.ClassHash, srcMeta); verr != nil {
 			return verr
 		}
 	}
@@ -386,7 +503,7 @@ func (r *Runtime) olrMemcpy(v *vm.VM, dst, src uint64, n int, classHash uint64) 
 		if dstMeta.ClassHash != srcMeta.ClassHash {
 			// Copying one class's image over a live object of another
 			// class is a type-confused write (§III.A.1 in memcpy form).
-			if err := r.violate(ViolationTypeConfusion, dst, r.className(dstMeta.ClassHash)); err != nil {
+			if err := r.violate(ViolationTypeConfusion, dst, dstMeta.ClassHash, dstMeta); err != nil {
 				return err
 			}
 			// Warn policy: perform the raw copy the unprotected program
@@ -416,6 +533,12 @@ func (r *Runtime) olrMemcpy(v *vm.VM, dst, src uint64, n int, classHash uint64) 
 			v.TrackObject(dst, cls.Struct)
 			if err := r.armTraps(v, dst, l); err != nil {
 				return err
+			}
+			if r.tel != nil {
+				r.tel.Emit(telemetry.Event{
+					Kind: telemetry.EvMemcpyRerand, Addr: dst, Size: n,
+					Class: srcMeta.ClassHash, Layout: l.Hash(), Detail: cls.Name(),
+				})
 			}
 			return r.copyMemberwise(v, dst, l, src, srcMeta.Layout, cls)
 		}
@@ -464,10 +587,25 @@ func (r *Runtime) layoutFitting(cls *classinfo.Class, srcLayout *layout.Layout, 
 
 func (r *Runtime) generateLayoutWith(cls *classinfo.Class, cfg layout.Config) (*layout.Layout, error) {
 	fields := make([]layout.FieldInfo, len(cls.Members))
+	nFptrs := 0
 	for i, m := range cls.Members {
 		fields[i] = layout.FieldInfo{Size: m.Size, Align: m.Align, IsFptr: m.Kind == classinfo.KindFuncPointer}
+		if fields[i].IsFptr {
+			nFptrs++
+		}
 	}
-	return layout.Generate(fields, cfg, r.rng)
+	l, err := layout.Generate(fields, cfg, r.rng)
+	if err != nil {
+		return nil, err
+	}
+	if r.tel != nil {
+		r.histEntropy.Observe(layout.EntropyBits(len(cls.Members), nFptrs, cfg))
+		r.tel.Emit(telemetry.Event{
+			Kind: telemetry.EvLayoutGen, Class: cls.Hash, Layout: l.Hash(),
+			Size: l.TotalSize, Detail: cls.Name(),
+		})
+	}
+	return l, nil
 }
 
 func (r *Runtime) copyMemberwise(v *vm.VM, dst uint64, dl *layout.Layout, src uint64, sl *layout.Layout, cls *classinfo.Class) error {
@@ -532,7 +670,7 @@ func (r *Runtime) olrCheck(v *vm.VM, base uint64) (int64, error) {
 	if bad < 0 {
 		return 1, nil
 	}
-	if verr := r.violate(ViolationTrap, base+uint64(bad), r.className(meta.ClassHash)); verr != nil {
+	if verr := r.violate(ViolationTrap, base+uint64(bad), meta.ClassHash, meta); verr != nil {
 		return 0, verr
 	}
 	return 0, nil

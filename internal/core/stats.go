@@ -1,0 +1,121 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"polar/internal/telemetry"
+)
+
+// String renders the runtime counters as a one-line key=value summary.
+// Violations are listed by kind name in declaration order; "violations=0"
+// when none fired.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "allocs=%d frees=%d memcpys=%d member-access=%d cache-hits=%d cache-misses=%d",
+		s.Allocs, s.Frees, s.Memcpys, s.MemberAccess, s.CacheHits, s.CacheMisses)
+	total := uint64(0)
+	for _, kind := range AllViolationKinds() {
+		if n := s.Violations[kind]; n > 0 {
+			fmt.Fprintf(&b, " %s=%d", kind, n)
+			total += n
+		}
+	}
+	if total == 0 {
+		b.WriteString(" violations=0")
+	}
+	fmt.Fprintf(&b, " layouts-unique=%d layouts-shared=%d", s.Meta.LayoutsUnique, s.Meta.LayoutsShared)
+	return b.String()
+}
+
+// MarshalJSON implements json.Marshaler with stable snake_case keys.
+// The violations map is keyed by kind name (sorted by encoding/json),
+// so equal states always encode identically.
+func (s Stats) MarshalJSON() ([]byte, error) {
+	viol := make(map[string]uint64, len(s.Violations))
+	for k, v := range s.Violations {
+		viol[k.String()] = v
+	}
+	return json.Marshal(map[string]any{
+		"allocs":        s.Allocs,
+		"frees":         s.Frees,
+		"memcpys":       s.Memcpys,
+		"member_access": s.MemberAccess,
+		"cache_hits":    s.CacheHits,
+		"cache_misses":  s.CacheMisses,
+		"violations":    viol,
+		"meta":          s.Meta,
+	})
+}
+
+// Publish snapshots the counters into a telemetry registry under the
+// "core." prefix. The runtime counts natively (the olr_getptr path is
+// too hot for registry indirection); Publish is the registry bridge,
+// called by Runtime.Stats() when telemetry is attached.
+func (s Stats) Publish(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("core.allocs").Set(s.Allocs)
+	reg.Counter("core.frees").Set(s.Frees)
+	reg.Counter("core.memcpys").Set(s.Memcpys)
+	reg.Counter("core.member_access").Set(s.MemberAccess)
+	reg.Counter("core.cache_hits").Set(s.CacheHits)
+	reg.Counter("core.cache_misses").Set(s.CacheMisses)
+	for _, kind := range AllViolationKinds() {
+		if n := s.Violations[kind]; n > 0 {
+			reg.Counter("core.violation." + kind.String()).Set(n)
+		}
+	}
+	s.Meta.Publish(reg)
+}
+
+// TotalViolations sums detections across all kinds.
+func (s Stats) TotalViolations() uint64 {
+	var total uint64
+	for _, n := range s.Violations {
+		total += n
+	}
+	return total
+}
+
+// String renders the metadata-table counters as a one-line summary.
+func (s MetaStats) String() string {
+	return fmt.Sprintf("registered=%d retired=%d layouts-unique=%d layouts-shared=%d",
+		s.Registered, s.Retired, s.LayoutsUnique, s.LayoutsShared)
+}
+
+// MarshalJSON implements json.Marshaler with stable snake_case keys.
+func (s MetaStats) MarshalJSON() ([]byte, error) {
+	return json.Marshal(map[string]uint64{
+		"registered":     s.Registered,
+		"retired":        s.Retired,
+		"layouts_unique": s.LayoutsUnique,
+		"layouts_shared": s.LayoutsShared,
+	})
+}
+
+// Publish snapshots the counters into a telemetry registry under the
+// "core.meta." prefix.
+func (s MetaStats) Publish(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("core.meta.registered").Set(s.Registered)
+	reg.Counter("core.meta.retired").Set(s.Retired)
+	reg.Counter("core.meta.layouts_unique").Set(s.LayoutsUnique)
+	reg.Counter("core.meta.layouts_shared").Set(s.LayoutsShared)
+}
+
+// SortedViolationNames returns the kind names present in the map,
+// sorted — a stable iteration order for reports.
+func (s Stats) SortedViolationNames() []string {
+	names := make([]string, 0, len(s.Violations))
+	for k := range s.Violations {
+		names = append(names, k.String())
+	}
+	sort.Strings(names)
+	return names
+}

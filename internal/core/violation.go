@@ -31,6 +31,15 @@ const (
 	ViolationMetadata                               // metadata integrity MAC mismatch (§VI.A)
 )
 
+// AllViolationKinds lists every kind in declaration order (report and
+// registry iteration).
+func AllViolationKinds() []ViolationKind {
+	return []ViolationKind{
+		ViolationTrap, ViolationUAF, ViolationDoubleFree, ViolationBadFree,
+		ViolationBadClass, ViolationTypeConfusion, ViolationMetadata,
+	}
+}
+
 // String implements fmt.Stringer.
 func (k ViolationKind) String() string {
 	switch k {
@@ -57,11 +66,21 @@ func (k ViolationKind) String() string {
 var ErrViolation = errors.New("polar: security violation")
 
 // Violation is the error returned (under PolicyAbort) when the runtime
-// detects an attack symptom.
+// detects an attack symptom. Beyond the historical Kind/Addr/Class it
+// carries the full structured record (class hash, layout identity,
+// instruction site) so forensics need not re-derive them.
 type Violation struct {
 	Kind  ViolationKind
 	Addr  uint64
 	Class string
+	// ClassHash is the CIE hash of the class involved (0 if unknown).
+	ClassHash uint64
+	// LayoutID is the identity hash of the object's randomized layout
+	// (0 when no metadata was involved).
+	LayoutID uint64
+	// Site is the instruction site "@fn.block" of the triggering olr_*
+	// call ("" when unknown).
+	Site string
 }
 
 // Error implements error.
@@ -71,6 +90,29 @@ func (v *Violation) Error() string {
 
 // Unwrap lets errors.Is(err, ErrViolation) match.
 func (v *Violation) Unwrap() error { return ErrViolation }
+
+// Record returns the violation as a structured record.
+func (v *Violation) Record() ViolationRecord {
+	return ViolationRecord{
+		Kind: v.Kind, Addr: v.Addr, Class: v.Class,
+		ClassHash: v.ClassHash, LayoutID: v.LayoutID, Site: v.Site,
+	}
+}
+
+// ViolationRecord is the structured detection record the runtime
+// accumulates under every policy (PolicyWarn keeps running but still
+// records). Consumed by internal/exploit (per-kind attack accounting)
+// and internal/evalrun (security report), and emitted on the telemetry
+// bus as an EvViolation event.
+type ViolationRecord struct {
+	Kind      ViolationKind `json:"-"`
+	KindName  string        `json:"kind"`
+	Addr      uint64        `json:"addr"`
+	Class     string        `json:"class"`
+	ClassHash uint64        `json:"class_hash"`
+	LayoutID  uint64        `json:"layout_id"`
+	Site      string        `json:"site,omitempty"`
+}
 
 // Policy decides what the runtime does on detection.
 type Policy int

@@ -1,0 +1,339 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"polar/internal/classinfo"
+	"polar/internal/ir"
+	"polar/internal/layout"
+	"polar/internal/telemetry"
+	"polar/internal/vm"
+)
+
+// violationHarness wires a VM and a telemetry-recording runtime over two
+// registered classes, so each ViolationKind can be triggered by calling
+// the olr_* entry points directly (no IR program needed per trigger).
+type violationHarness struct {
+	t     *testing.T
+	v     *vm.VM
+	r     *Runtime
+	rec   *telemetry.Recorder
+	hashA uint64
+	hashB uint64
+}
+
+func newViolationHarness(t *testing.T, mod func(*Config)) *violationHarness {
+	t.Helper()
+	m := ir.NewModule("viol")
+	m.MustStruct(ir.NewStruct("A",
+		ir.Field{Name: "fp", Type: ir.Fptr},
+		ir.Field{Name: "x", Type: ir.I64},
+		ir.Field{Name: "y", Type: ir.I32},
+	))
+	m.MustStruct(ir.NewStruct("B",
+		ir.Field{Name: "u", Type: ir.I64},
+		ir.Field{Name: "w", Type: ir.I64},
+	))
+	fb := ir.NewFunc(m, "main", ir.I64)
+	fb.Ret(ir.Const(0))
+	if err := ir.Validate(m); err != nil {
+		t.Fatalf("module invalid: %v", err)
+	}
+	table, err := classinfo.FromModule(m, nil)
+	if err != nil {
+		t.Fatalf("classinfo: %v", err)
+	}
+	v, err := vm.New(m)
+	if err != nil {
+		t.Fatalf("vm: %v", err)
+	}
+	tel := telemetry.New()
+	rec := telemetry.NewRecorder(0)
+	tel.Bus.Attach(rec)
+	cfg := DefaultConfig(7)
+	cfg.Telemetry = tel
+	if mod != nil {
+		mod(&cfg)
+	}
+	r := New(table, cfg)
+	a, ok := table.ByName("A")
+	if !ok {
+		t.Fatal("class A missing from table")
+	}
+	b, ok := table.ByName("B")
+	if !ok {
+		t.Fatal("class B missing from table")
+	}
+	return &violationHarness{t: t, v: v, r: r, rec: rec, hashA: a.Hash, hashB: b.Hash}
+}
+
+func (h *violationHarness) alloc(hash uint64) uint64 {
+	h.t.Helper()
+	base, err := h.r.olrMalloc(h.v, hash)
+	if err != nil {
+		h.t.Fatalf("olrMalloc: %v", err)
+	}
+	return uint64(base)
+}
+
+// assertViolation pins the full detection contract for one kind: the
+// error wraps ErrViolation, exactly one structured record was logged,
+// exactly one EvViolation event was emitted, and record/event/error all
+// agree on address, class hash and layout id.
+func assertViolation(t *testing.T, h *violationHarness, err error, kind ViolationKind) ViolationRecord {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("%s: expected a violation error, got nil", kind)
+	}
+	if !errors.Is(err, ErrViolation) {
+		t.Fatalf("%s: errors.Is(err, ErrViolation) = false for %v", kind, err)
+	}
+	var viol *Violation
+	if !errors.As(err, &viol) {
+		t.Fatalf("%s: errors.As(*Violation) failed for %v", kind, err)
+	}
+	if viol.Unwrap() != ErrViolation {
+		t.Fatalf("%s: Unwrap() = %v, want ErrViolation", kind, viol.Unwrap())
+	}
+	if viol.Kind != kind {
+		t.Fatalf("%s: violation kind = %v", kind, viol.Kind)
+	}
+	recs := h.r.ViolationRecords()
+	if len(recs) != 1 {
+		t.Fatalf("%s: %d violation records, want exactly 1 (%v)", kind, len(recs), recs)
+	}
+	rec := recs[0]
+	if rec.Kind != kind || rec.KindName != kind.String() {
+		t.Fatalf("%s: record kind = %v/%q", kind, rec.Kind, rec.KindName)
+	}
+	if rec.Addr != viol.Addr || rec.ClassHash != viol.ClassHash ||
+		rec.LayoutID != viol.LayoutID || rec.Class != viol.Class || rec.Site != viol.Site {
+		t.Fatalf("%s: record %+v disagrees with error %+v", kind, rec, viol)
+	}
+	evs := h.rec.ByKind(telemetry.EvViolation)
+	if len(evs) != 1 {
+		t.Fatalf("%s: %d EvViolation events, want exactly 1", kind, len(evs))
+	}
+	ev := evs[0]
+	if ev.Detail != kind.String() || ev.Addr != rec.Addr ||
+		ev.Class != rec.ClassHash || ev.Layout != rec.LayoutID || ev.Site != rec.Site {
+		t.Fatalf("%s: event %+v disagrees with record %+v", kind, ev, rec)
+	}
+	return rec
+}
+
+// trapSlotOffset returns the byte offset of the object's first booby
+// trap (guaranteed to exist: class A carries a function pointer and
+// DefaultConfig arms traps).
+func trapSlotOffset(t *testing.T, h *violationHarness, base uint64) uint64 {
+	t.Helper()
+	meta, ok := h.r.store.Lookup(base)
+	if !ok {
+		t.Fatalf("no metadata for %#x", base)
+	}
+	for _, s := range meta.Layout.Slots {
+		if s.Trap {
+			return uint64(s.Offset)
+		}
+	}
+	t.Fatalf("no trap slot in layout of %#x", base)
+	return 0
+}
+
+// TestViolationRecordsPerKind triggers every ViolationKind and pins the
+// structured record and telemetry event each one produces. A guard at
+// the top keeps the table in lockstep with AllViolationKinds.
+func TestViolationRecordsPerKind(t *testing.T) {
+	forged, err := layout.Generate(
+		[]layout.FieldInfo{{Size: 8, Align: 8, IsFptr: true}, {Size: 8, Align: 8}, {Size: 4, Align: 4}},
+		layout.Config{Mode: layout.ModeIdentity}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		kind    ViolationKind
+		cfg     func(*Config)
+		trigger func(t *testing.T, h *violationHarness) error
+		check   func(t *testing.T, h *violationHarness, rec ViolationRecord)
+	}{
+		{
+			kind: ViolationBadClass,
+			trigger: func(t *testing.T, h *violationHarness) error {
+				_, err := h.r.olrMalloc(h.v, 0xdead)
+				return err
+			},
+			check: func(t *testing.T, h *violationHarness, rec ViolationRecord) {
+				if rec.Addr != 0 || rec.ClassHash != 0xdead || rec.LayoutID != 0 {
+					t.Fatalf("record = %+v", rec)
+				}
+				if rec.Class != "hash 0xdead" {
+					t.Fatalf("class rendered %q", rec.Class)
+				}
+			},
+		},
+		{
+			kind: ViolationBadFree,
+			trigger: func(t *testing.T, h *violationHarness) error {
+				return h.r.olrFree(h.v, 0x12345)
+			},
+			check: func(t *testing.T, h *violationHarness, rec ViolationRecord) {
+				if rec.Addr != 0x12345 || rec.ClassHash != 0 || rec.LayoutID != 0 {
+					t.Fatalf("record = %+v", rec)
+				}
+				if rec.Class != "?" {
+					t.Fatalf("unknown class rendered %q", rec.Class)
+				}
+			},
+		},
+		{
+			kind: ViolationDoubleFree,
+			trigger: func(t *testing.T, h *violationHarness) error {
+				base := h.alloc(h.hashA)
+				if err := h.r.olrFree(h.v, base); err != nil {
+					t.Fatalf("first free: %v", err)
+				}
+				return h.r.olrFree(h.v, base)
+			},
+			check: func(t *testing.T, h *violationHarness, rec ViolationRecord) {
+				if rec.ClassHash != h.hashA || rec.Class != "A" || rec.LayoutID == 0 {
+					t.Fatalf("record = %+v", rec)
+				}
+			},
+		},
+		{
+			kind: ViolationUAF,
+			trigger: func(t *testing.T, h *violationHarness) error {
+				base := h.alloc(h.hashA)
+				if err := h.r.olrFree(h.v, base); err != nil {
+					t.Fatalf("free: %v", err)
+				}
+				_, err := h.r.olrGetptr(base, 1, h.hashA)
+				return err
+			},
+			check: func(t *testing.T, h *violationHarness, rec ViolationRecord) {
+				if rec.ClassHash != h.hashA || rec.Class != "A" || rec.LayoutID == 0 {
+					t.Fatalf("record = %+v", rec)
+				}
+			},
+		},
+		{
+			kind: ViolationTypeConfusion,
+			trigger: func(t *testing.T, h *violationHarness) error {
+				base := h.alloc(h.hashA)
+				_, err := h.r.olrGetptr(base, 0, h.hashB)
+				return err
+			},
+			check: func(t *testing.T, h *violationHarness, rec ViolationRecord) {
+				// The record carries the ALLOCATION class, not the (bogus)
+				// access class — that is the forensic datum.
+				if rec.ClassHash != h.hashA || rec.Class != "A" || rec.LayoutID == 0 {
+					t.Fatalf("record = %+v", rec)
+				}
+			},
+		},
+		{
+			kind: ViolationTrap,
+			trigger: func(t *testing.T, h *violationHarness) error {
+				base := h.alloc(h.hashA)
+				off := trapSlotOffset(t, h, base)
+				cur, err := h.v.Mem.ReadU(base+off, 8)
+				if err != nil {
+					t.Fatalf("read canary: %v", err)
+				}
+				if err := h.v.Mem.WriteU(base+off, 8, cur^0xdeadbeef); err != nil {
+					t.Fatalf("clobber canary: %v", err)
+				}
+				_, cerr := h.r.olrCheck(h.v, base)
+				return cerr
+			},
+			check: func(t *testing.T, h *violationHarness, rec ViolationRecord) {
+				// Addr points at the corrupted slot, inside the object.
+				if rec.ClassHash != h.hashA || rec.LayoutID == 0 {
+					t.Fatalf("record = %+v", rec)
+				}
+			},
+		},
+		{
+			kind: ViolationMetadata,
+			cfg:  func(c *Config) { c.MetadataIntegrity = true },
+			trigger: func(t *testing.T, h *violationHarness) error {
+				base := h.alloc(h.hashA)
+				if !h.r.CorruptMetadataForTest(base, forged) {
+					t.Fatal("CorruptMetadataForTest found no object")
+				}
+				_, err := h.r.olrGetptr(base, 1, h.hashA)
+				return err
+			},
+			check: func(t *testing.T, h *violationHarness, rec ViolationRecord) {
+				if rec.ClassHash != h.hashA || rec.LayoutID != forged.Hash() {
+					t.Fatalf("record = %+v", rec)
+				}
+			},
+		},
+	}
+
+	covered := make(map[ViolationKind]bool, len(cases))
+	for _, tc := range cases {
+		covered[tc.kind] = true
+	}
+	for _, k := range AllViolationKinds() {
+		if !covered[k] {
+			t.Fatalf("no test case for violation kind %v", k)
+		}
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.kind.String(), func(t *testing.T) {
+			h := newViolationHarness(t, tc.cfg)
+			err := tc.trigger(t, h)
+			rec := assertViolation(t, h, err, tc.kind)
+			if tc.check != nil {
+				tc.check(t, h, rec)
+			}
+		})
+	}
+}
+
+// TestViolationRecordWarnPolicy: under PolicyWarn no error surfaces,
+// but the structured record and the telemetry event still do.
+func TestViolationRecordWarnPolicy(t *testing.T) {
+	h := newViolationHarness(t, func(c *Config) { c.Policy = PolicyWarn })
+	if err := h.r.olrFree(h.v, 0x777); err != nil {
+		t.Fatalf("warn policy returned error: %v", err)
+	}
+	recs := h.r.ViolationRecords()
+	if len(recs) != 1 || recs[0].Kind != ViolationBadFree || recs[0].Addr != 0x777 {
+		t.Fatalf("records = %+v", recs)
+	}
+	if evs := h.rec.ByKind(telemetry.EvViolation); len(evs) != 1 {
+		t.Fatalf("%d EvViolation events, want 1", len(evs))
+	}
+	if h.r.ViolationCount(ViolationBadFree) != 1 {
+		t.Fatal("violation counter not incremented")
+	}
+}
+
+// TestViolationRecordCap: the structured log stops at
+// maxViolationRecords and counts the overflow instead of growing.
+func TestViolationRecordCap(t *testing.T) {
+	h := newViolationHarness(t, func(c *Config) { c.Policy = PolicyWarn })
+	n := maxViolationRecords + 50
+	for i := 0; i < n; i++ {
+		if err := h.r.olrFree(h.v, uint64(0x1000+i)); err != nil {
+			t.Fatalf("warn policy returned error: %v", err)
+		}
+	}
+	if got := len(h.r.ViolationRecords()); got != maxViolationRecords {
+		t.Fatalf("record log length %d, want cap %d", got, maxViolationRecords)
+	}
+	if got := h.r.DroppedViolations(); got != 50 {
+		t.Fatalf("dropped = %d, want 50", got)
+	}
+	// The counter and the event stream keep full fidelity past the cap.
+	if got := h.r.ViolationCount(ViolationBadFree); got != uint64(n) {
+		t.Fatalf("counter = %d, want %d", got, n)
+	}
+}

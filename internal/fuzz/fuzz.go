@@ -15,6 +15,7 @@ import (
 	"math/rand"
 
 	"polar/internal/ir"
+	"polar/internal/telemetry"
 	"polar/internal/vm"
 )
 
@@ -31,6 +32,10 @@ type Config struct {
 	Fuel uint64
 	// Args are passed to @main on every execution.
 	Args []int64
+	// Telemetry, when non-nil, receives an EvCorpusAdd event per
+	// coverage-increasing input and campaign counters (fuzz.execs,
+	// fuzz.crashers, fuzz.edges) in its registry.
+	Telemetry *telemetry.Telemetry
 }
 
 // DefaultConfig returns a small deterministic campaign.
@@ -103,6 +108,9 @@ func Run(m *ir.Module, seeds [][]byte, cfg Config) (*Result, error) {
 		}
 		if nc || len(res.Corpus) == 0 {
 			res.Corpus = append(res.Corpus, append([]byte(nil), s...))
+			if cfg.Telemetry != nil {
+				cfg.Telemetry.Emit(telemetry.Event{Kind: telemetry.EvCorpusAdd, Size: len(s), Detail: "seed"})
+			}
 		}
 	}
 
@@ -125,7 +133,17 @@ func Run(m *ir.Module, seeds [][]byte, cfg Config) (*Result, error) {
 		}
 		if nc {
 			res.Corpus = append(res.Corpus, cand)
+			if cfg.Telemetry != nil {
+				cfg.Telemetry.Emit(telemetry.Event{Kind: telemetry.EvCorpusAdd, Size: len(cand), Detail: "mutant"})
+			}
 		}
+	}
+	if cfg.Telemetry != nil {
+		reg := cfg.Telemetry.Registry
+		reg.Counter("fuzz.execs").Set(uint64(res.Execs))
+		reg.Counter("fuzz.corpus").Set(uint64(len(res.Corpus)))
+		reg.Counter("fuzz.crashers").Set(uint64(len(res.Crashers)))
+		reg.Counter("fuzz.edges").Set(uint64(res.Edges))
 	}
 	return res, nil
 }

@@ -11,9 +11,12 @@
 package heap
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math/rand"
+
+	"polar/internal/telemetry"
 )
 
 // Error sentinels. Callers match with errors.Is.
@@ -62,6 +65,11 @@ type Allocator struct {
 	// here to demonstrate its orthogonality to in-object randomization.
 	rng   *rand.Rand
 	stats Stats
+
+	// sizeHist, when non-nil, observes the requested size of every
+	// allocation (instrumented or raw — everything funnels through
+	// Alloc) into the unified metrics registry.
+	sizeHist *telemetry.Histogram
 }
 
 // Option configures an Allocator.
@@ -79,6 +87,17 @@ func WithQuarantine(n int) Option {
 // unpredictable without any code instrumentation.
 func WithRandomPlacement(seed int64) Option {
 	return func(a *Allocator) { a.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// WithTelemetry attaches the observability layer: the allocator feeds
+// the allocation-size histogram. Disabled telemetry (the default) costs
+// one branch per allocation.
+func WithTelemetry(t *telemetry.Telemetry) Option {
+	return func(a *Allocator) {
+		if t != nil {
+			a.sizeHist = t.Registry.Histogram(telemetry.MetricHeapAllocSize, telemetry.AllocSizeBuckets)
+		}
+	}
 }
 
 // New returns an allocator managing [base, base+limit).
@@ -112,6 +131,9 @@ func classFor(n int) int {
 func (a *Allocator) Alloc(size int) (uint64, error) {
 	if size <= 0 {
 		return 0, fmt.Errorf("%w: %d", ErrBadSize, size)
+	}
+	if a.sizeHist != nil {
+		a.sizeHist.Observe(float64(size))
 	}
 	cls := classFor(size)
 	// Serve from free list first (LIFO).
@@ -232,6 +254,38 @@ func (a *Allocator) Contains(addr uint64) bool { return addr >= a.base && addr <
 
 // Stats returns a copy of the allocator counters.
 func (a *Allocator) Stats() Stats { return a.stats }
+
+// String renders the counters as a one-line key=value summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("allocs=%d frees=%d bytes-live=%d bytes-peak=%d reuses=%d fresh-carves=%d",
+		s.Allocs, s.Frees, s.BytesLive, s.BytesPeak, s.Reuses, s.FreshCarve)
+}
+
+// MarshalJSON implements json.Marshaler with stable snake_case keys.
+func (s Stats) MarshalJSON() ([]byte, error) {
+	return json.Marshal(map[string]uint64{
+		"allocs":       s.Allocs,
+		"frees":        s.Frees,
+		"bytes_live":   s.BytesLive,
+		"bytes_peak":   s.BytesPeak,
+		"reuses":       s.Reuses,
+		"fresh_carves": s.FreshCarve,
+	})
+}
+
+// Publish snapshots the counters into a telemetry registry under the
+// "heap." prefix.
+func (s Stats) Publish(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("heap.allocs").Set(s.Allocs)
+	reg.Counter("heap.frees").Set(s.Frees)
+	reg.Counter("heap.reuses").Set(s.Reuses)
+	reg.Counter("heap.fresh_carves").Set(s.FreshCarve)
+	reg.Gauge("heap.bytes_live").Set(float64(s.BytesLive))
+	reg.Gauge("heap.bytes_peak").Set(float64(s.BytesPeak))
+}
 
 // LiveCount returns the number of live chunks (O(n); for tests).
 func (a *Allocator) LiveCount() int {

@@ -21,6 +21,7 @@ import (
 
 	"polar/internal/classinfo"
 	"polar/internal/ir"
+	"polar/internal/telemetry"
 )
 
 // Result carries the hardened module and the CIE table embedded in it.
@@ -48,9 +49,24 @@ type RewriteCounts struct {
 // the entire set of objects", §V.A); an explicit empty, non-nil slice
 // selects none.
 func Apply(m *ir.Module, targets []string) (*Result, error) {
+	return ApplyTraced(m, targets, nil)
+}
+
+// ApplyTraced is Apply with pipeline-phase tracing: when tr is non-nil
+// the CIE analysis and the rewrite pass are emitted as "cie" and
+// "instrument" spans on the trace timeline.
+func ApplyTraced(m *ir.Module, targets []string, tr *telemetry.Tracer) (*Result, error) {
+	var sp *telemetry.Span
+	if tr != nil {
+		sp = tr.Begin("cie", "pipeline")
+	}
 	table, err := classinfo.FromModule(m, targets)
+	sp.End()
 	if err != nil {
 		return nil, err
+	}
+	if tr != nil {
+		sp = tr.Begin("instrument", "pipeline")
 	}
 	out := ir.Clone(m)
 	res := &Result{Module: out, Table: retable(out, table)}
@@ -61,6 +77,7 @@ func Apply(m *ir.Module, targets []string) (*Result, error) {
 	if err := ir.Validate(out); err != nil {
 		return nil, fmt.Errorf("instrument: produced invalid module: %w", err)
 	}
+	sp.End()
 	return res, nil
 }
 

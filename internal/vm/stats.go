@@ -1,0 +1,45 @@
+package vm
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"polar/internal/telemetry"
+)
+
+// String renders the counters as a one-line summary (the format CLI
+// tools print; keep it grep-friendly, key=value).
+func (s Stats) String() string {
+	return fmt.Sprintf("instructions=%d allocs=%d frees=%d memcpys=%d field-access=%d calls=%d max-depth=%d",
+		s.Instructions, s.Allocs, s.Frees, s.Memcpys, s.FieldAccess, s.Calls, s.MaxDepth)
+}
+
+// MarshalJSON implements json.Marshaler with stable snake_case keys.
+func (s Stats) MarshalJSON() ([]byte, error) {
+	return json.Marshal(map[string]uint64{
+		"instructions": s.Instructions,
+		"allocs":       s.Allocs,
+		"frees":        s.Frees,
+		"memcpys":      s.Memcpys,
+		"field_access": s.FieldAccess,
+		"calls":        s.Calls,
+		"max_depth":    uint64(s.MaxDepth),
+	})
+}
+
+// Publish snapshots the counters into a telemetry registry under the
+// "vm." prefix. The VM increments its Stats natively (the interpreter
+// loop is too hot for indirection); Publish is the bridge to the
+// unified registry, called after a run or at sampling points.
+func (s Stats) Publish(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("vm.instructions").Set(s.Instructions)
+	reg.Counter("vm.allocs").Set(s.Allocs)
+	reg.Counter("vm.frees").Set(s.Frees)
+	reg.Counter("vm.memcpys").Set(s.Memcpys)
+	reg.Counter("vm.field_access").Set(s.FieldAccess)
+	reg.Counter("vm.calls").Set(s.Calls)
+	reg.Gauge("vm.max_depth").Set(float64(s.MaxDepth))
+}

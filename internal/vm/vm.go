@@ -8,6 +8,7 @@ import (
 
 	"polar/internal/heap"
 	"polar/internal/ir"
+	"polar/internal/telemetry"
 )
 
 // Execution error sentinels.
@@ -79,6 +80,19 @@ type Call struct {
 	// the POLaR runtime for type info recovery; the taint engine also
 	// sees them via Hooks.Builtin).
 	RawArgs []ir.Value
+
+	// fn/blk locate the call instruction for diagnostics (see Site).
+	fn  *ir.Func
+	blk *ir.Block
+}
+
+// Site returns the instruction site of the call as "@fn.block" (empty
+// when unknown). The POLaR runtime stamps violation records with it.
+func (c *Call) Site() string {
+	if c == nil || c.fn == nil || c.blk == nil {
+		return ""
+	}
+	return "@" + c.fn.Name + "." + c.blk.Name
 }
 
 // Arg returns argument i or 0 if absent.
@@ -130,18 +144,17 @@ type VM struct {
 	argvScratch []int64
 	callScratch Call
 
-	traceW     io.Writer
-	traceMax   int
-	traceLines int
+	// instrLog is the instruction tracer (nil unless WithTrace); the
+	// line format is owned by telemetry.InstrLog.
+	instrLog *telemetry.InstrLog
+	// tel is the observability layer (nil = disabled; every emission is
+	// guarded by one nil check).
+	tel *telemetry.Telemetry
 }
 
 // traceInstr emits one trace line (called only when tracing is on).
 func (v *VM) traceInstr(fn *ir.Func, blk *ir.Block, in *ir.Instr) {
-	if v.traceMax > 0 && v.traceLines >= v.traceMax {
-		return
-	}
-	v.traceLines++
-	fmt.Fprintf(v.traceW, "@%s.%s\t%s\n", fn.Name, blk.Name, ir.FormatInstr(fn, in))
+	v.instrLog.Emit(fn.Name, blk.Name, ir.FormatInstr(fn, in))
 }
 
 // Option configures a VM.
@@ -181,9 +194,21 @@ func WithHeapRand(seed int64) Option {
 // WithTrace streams every executed instruction to w as
 // "@fn.block\tinstr" lines, stopping after maxLines (0 = unlimited).
 // Tracing is a debugging facility; it slows execution substantially.
+// The stream is produced by a telemetry.InstrLog; the text format and
+// this option's signature are stable.
 func WithTrace(w io.Writer, maxLines int) Option {
-	return func(v *VM) { v.traceW, v.traceMax = w, maxLines }
+	return func(v *VM) { v.instrLog = telemetry.NewInstrLog(w, maxLines) }
 }
+
+// WithTelemetry attaches the observability layer: the VM (and the heap
+// it creates) emit events and metrics into t. A nil t disables
+// telemetry with no overhead beyond a nil check.
+func WithTelemetry(t *telemetry.Telemetry) Option {
+	return func(v *VM) { v.tel = t }
+}
+
+// Telemetry returns the attached observability layer (may be nil).
+func (v *VM) Telemetry() *telemetry.Telemetry { return v.tel }
 
 // New prepares a VM for the module: validates it, lays out globals and
 // creates the heap.
@@ -206,6 +231,9 @@ func New(m *ir.Module, opts ...Option) (*VM, error) {
 	heapOpts := []heap.Option{heap.WithQuarantine(v.quarantine)}
 	if v.heapRand != 0 {
 		heapOpts = append(heapOpts, heap.WithRandomPlacement(v.heapRand))
+	}
+	if v.tel != nil {
+		heapOpts = append(heapOpts, heap.WithTelemetry(v.tel))
 	}
 	v.Heap = heap.New(HeapBase, HeapSize, heapOpts...)
 	v.fuelLeft = v.fuel
@@ -357,7 +385,7 @@ func (v *VM) call(fn *ir.Func, args []ir.Value, callerRegs []int64, callerDest i
 			}
 			v.fuelLeft--
 			v.Stats.Instructions++
-			if v.traceW != nil {
+			if v.instrLog != nil {
 				v.traceInstr(fn, b, in)
 			}
 
@@ -383,6 +411,13 @@ func (v *VM) call(fn *ir.Func, args []ir.Value, callerRegs []int64, callerDest i
 				if v.hooks != nil {
 					v.hooks.Alloc(in.Dest, addr, size, in.Struct)
 				}
+				if v.tel != nil {
+					name := ""
+					if in.Struct != nil {
+						name = in.Struct.Name
+					}
+					v.tel.Emit(telemetry.Event{Kind: telemetry.EvAlloc, Addr: addr, Size: size, Detail: name})
+				}
 			case ir.OpLocal:
 				size := uint64((in.Type.Size() + 15) &^ 15)
 				if v.stackTop+size > StackLimit {
@@ -406,6 +441,9 @@ func (v *VM) call(fn *ir.Func, args []ir.Value, callerRegs []int64, callerDest i
 				// the object-type tracking this delete removes.
 				if v.hooks != nil {
 					v.hooks.Free(addr)
+				}
+				if v.tel != nil {
+					v.tel.Emit(telemetry.Event{Kind: telemetry.EvFree, Addr: addr})
 				}
 				delete(v.objects, addr)
 			case ir.OpLoad:
@@ -584,7 +622,7 @@ func (v *VM) dispatchCall(fn *ir.Func, b *ir.Block, regs []int64, in *ir.Instr) 
 		argv = append(argv, v.resolve(regs, a))
 	}
 	v.argvScratch = argv[:0]
-	v.callScratch = Call{VM: v, Name: in.Callee, Args: argv, RawArgs: in.Args}
+	v.callScratch = Call{VM: v, Name: in.Callee, Args: argv, RawArgs: in.Args, fn: fn, blk: b}
 	ret, err := bi(&v.callScratch)
 	if err != nil {
 		return 0, v.fault(fn, b, err)

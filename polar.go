@@ -29,6 +29,7 @@ import (
 	"polar/internal/layout"
 	"polar/internal/policy"
 	"polar/internal/taint"
+	"polar/internal/telemetry"
 	"polar/internal/vm"
 )
 
@@ -44,6 +45,33 @@ type RuntimeStats = core.Stats
 // Violation is the error produced when the runtime detects an attack
 // symptom under the abort policy.
 type Violation = core.Violation
+
+// ViolationRecord is the structured record kept for every detection
+// (under both policies); see Result.Violations.
+type ViolationRecord = core.ViolationRecord
+
+// Telemetry is the unified observability layer: a typed event bus, a
+// metrics registry and an optional pipeline tracer. Create one with
+// NewTelemetry, pass it via WithTelemetry, and snapshot its Registry
+// after the run.
+type Telemetry = telemetry.Telemetry
+
+// MetricsSnapshot is a point-in-time copy of a telemetry registry.
+type MetricsSnapshot = telemetry.Snapshot
+
+// NewTelemetry returns an enabled observability layer whose event bus
+// feeds per-kind event counters in the registry.
+func NewTelemetry() *Telemetry { return telemetry.New() }
+
+// Tracer emits Chrome trace-event–format JSON (chrome://tracing).
+type Tracer = telemetry.Tracer
+
+// TraceSpan is an open phase on a Tracer's timeline.
+type TraceSpan = telemetry.Span
+
+// NewTracer returns a tracer writing trace-event JSON to w; attach it
+// with Telemetry.WithTracer and Close it when the pipeline is done.
+func NewTracer(w io.Writer) *Tracer { return telemetry.NewTracer(w) }
 
 // Parse reads the textual IR form (see internal/ir: Print/Parse).
 func Parse(src string) (*Module, error) { return ir.Parse(src) }
@@ -171,7 +199,17 @@ func (h *Hardened) PerClassConfig(className string) (layout.Config, bool) {
 // as in the paper's whole-program compatibility experiment §V.A;
 // normally pass a TaintClass report's TaintedClasses()).
 func Harden(m *Module, targets []string) (*Hardened, error) {
-	res, err := instrument.Apply(m, targets)
+	return HardenTraced(m, targets, nil)
+}
+
+// HardenTraced is Harden with pipeline tracing: when t carries a
+// tracer, the CIE and rewrite phases appear as spans on its timeline.
+func HardenTraced(m *Module, targets []string, t *Telemetry) (*Hardened, error) {
+	var tr *telemetry.Tracer
+	if t != nil {
+		tr = t.Tracer
+	}
+	res, err := instrument.ApplyTraced(m, targets, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -204,6 +242,7 @@ type options struct {
 	traceW        io.Writer
 	traceMax      int
 	policy        *policy.Policy
+	tel           *telemetry.Telemetry
 }
 
 // Option configures Run and RunHardened.
@@ -255,6 +294,12 @@ func WithTrace(w io.Writer, maxLines int) Option {
 // tuning, so the runtime re-applies it from the artifact.
 func WithPolicy(p *Policy) Option { return func(o *options) { o.policy = p } }
 
+// WithTelemetry attaches an observability layer to the run: olr_* and
+// VM events go to its bus, metrics to its registry, and — when a tracer
+// is attached — the run appears as a span on its timeline. Disabled
+// (nil, the default) telemetry costs one branch per emission point.
+func WithTelemetry(t *Telemetry) Option { return func(o *options) { o.tel = t } }
+
 // Result is the outcome of one execution.
 type Result struct {
 	// Value is @main's return value.
@@ -263,6 +308,11 @@ type Result struct {
 	Output []byte
 	// Runtime holds the POLaR counters (zero-valued for baseline runs).
 	Runtime RuntimeStats
+	// VM holds the interpreter counters.
+	VM vm.Stats
+	// Violations are the structured detection records, in order
+	// (populated on hardened runs; capped — see core.ViolationRecords).
+	Violations []ViolationRecord
 }
 
 // Run executes an unhardened module.
@@ -272,11 +322,32 @@ func Run(m *Module, opts ...Option) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	val, err := v.Run(o.args...)
+	val, err := runSpan(v, o)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Value: val, Output: v.Output()}, nil
+	publishVM(v, o)
+	return &Result{Value: val, Output: v.Output(), VM: v.Stats}, nil
+}
+
+// runSpan executes @main, wrapped in a "run" pipeline span when a
+// tracer is attached.
+func runSpan(v *vm.VM, o *options) (int64, error) {
+	if o.tel != nil && o.tel.Tracer != nil {
+		sp := o.tel.Tracer.Begin("run", "pipeline")
+		defer sp.End()
+	}
+	return v.Run(o.args...)
+}
+
+// publishVM snapshots interpreter and allocator counters into the
+// attached registry (no-op without telemetry).
+func publishVM(v *vm.VM, o *options) {
+	if o.tel == nil {
+		return
+	}
+	v.Stats.Publish(o.tel.Registry)
+	v.Heap.Stats().Publish(o.tel.Registry)
 }
 
 // RunHardened executes a hardened program under the POLaR runtime.
@@ -287,6 +358,7 @@ func RunHardened(h *Hardened, opts ...Option) (*Result, error) {
 		return nil, err
 	}
 	cfg := core.DefaultConfig(o.seed)
+	cfg.Telemetry = o.tel
 	if o.warnOnly {
 		cfg.Policy = core.PolicyWarn
 	}
@@ -332,11 +404,15 @@ func RunHardened(h *Hardened, opts ...Option) (*Result, error) {
 	}
 	rt := core.New(table, cfg)
 	rt.Attach(v)
-	val, err := v.Run(o.args...)
+	val, err := runSpan(v, o)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Value: val, Output: v.Output(), Runtime: rt.Stats()}, nil
+	publishVM(v, o)
+	return &Result{
+		Value: val, Output: v.Output(), Runtime: rt.Stats(),
+		VM: v.Stats, Violations: rt.ViolationRecords(),
+	}, nil
 }
 
 func gather(opts []Option) *options {
@@ -354,6 +430,9 @@ func newVM(m *Module, o *options) (*vm.VM, error) {
 	}
 	if o.traceW != nil {
 		vmOpts = append(vmOpts, vm.WithTrace(o.traceW, o.traceMax))
+	}
+	if o.tel != nil {
+		vmOpts = append(vmOpts, vm.WithTelemetry(o.tel))
 	}
 	return vm.New(m, vmOpts...)
 }
