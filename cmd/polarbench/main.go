@@ -5,16 +5,20 @@
 // Usage:
 //
 //	polarbench [-reps n] [-trials n] [-fuzz n] [-only table1,fig6,...]
-//	           [-seed n] [-format text|csv] [-metrics]
+//	           [-seed n] [-format text|csv] [-metrics] [-trace-json file]
 //
 // Experiments: table1, table2, table3, table4, fig6, fig7, security,
 // ablation. Default runs all of them. The text format is what
 // EXPERIMENTS.md records; csv is plotting-ready. -metrics appends a
 // deterministic JSON metrics snapshot after each experiment's output
-// (machine-readable companion to the tables).
+// (machine-readable companion to the tables). -trace-json records the
+// whole suite as one Chrome-trace timeline: an outer span per
+// experiment with nested spans for each workload, kernel, CVE case and
+// security scenario (load it in chrome://tracing or Perfetto).
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +36,7 @@ func main() {
 	seed := flag.Int64("seed", 11, "experiment seed")
 	format := flag.String("format", "text", "output format: text or csv")
 	metrics := flag.Bool("metrics", false, "print a JSON metrics snapshot after each experiment")
+	traceJSON := flag.String("trace-json", "", "write a Chrome trace-event timeline of the suite to this file")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -47,10 +52,47 @@ func main() {
 		os.Exit(2)
 	}
 
-	if err := run(sel, csv, *metrics, *reps, *trials, *fuzzIters, *seed); err != nil {
+	// Explicit cleanup rather than defer: os.Exit on a failed run must
+	// still leave a parseable trace behind.
+	cleanup := func() {}
+	if *traceJSON != "" {
+		var err error
+		if cleanup, err = startTrace(*traceJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "polarbench:", err)
+			os.Exit(1)
+		}
+	}
+	err := run(sel, csv, *metrics, *reps, *trials, *fuzzIters, *seed)
+	cleanup()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "polarbench:", err)
 		os.Exit(1)
 	}
+}
+
+// startTrace attaches a suite-wide tracer writing to path. The cleanup
+// closes the JSON array, flushes and closes the file — in that order —
+// so even an aborted suite leaves a parseable timeline.
+func startTrace(path string) (func(), error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	bw := bufio.NewWriter(f)
+	tr := telemetry.NewTracer(bw)
+	evalrun.SetTracer(tr)
+	return func() {
+		evalrun.SetTracer(nil)
+		if err := tr.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "polarbench: closing trace:", err)
+		}
+		if err := bw.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "polarbench: flushing trace:", err)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "polarbench: closing trace file:", err)
+		}
+	}, nil
 }
 
 // emitMetrics prints one experiment's registry snapshot (no-op unless
@@ -69,7 +111,9 @@ func emitMetrics(on bool, name string, fill func(*telemetry.Registry)) error {
 
 func run(sel func(string) bool, csv, metrics bool, reps, trials, fuzzIters int, seed int64) error {
 	if sel("table1") {
+		sp := evalrun.Span("table1", "experiment")
 		rows, err := evalrun.TableI(fuzzIters, seed)
+		sp.End()
 		if err != nil {
 			return err
 		}
@@ -83,7 +127,9 @@ func run(sel func(string) bool, csv, metrics bool, reps, trials, fuzzIters int, 
 		}
 	}
 	if sel("fig6") {
+		sp := evalrun.Span("fig6", "experiment")
 		rows, err := evalrun.Figure6(reps, seed)
+		sp.End()
 		if err != nil {
 			return err
 		}
@@ -99,7 +145,10 @@ func run(sel func(string) bool, csv, metrics bool, reps, trials, fuzzIters int, 
 	var jsRows []evalrun.JSRow
 	if sel("table2") || sel("fig7") {
 		var err error
-		if jsRows, err = evalrun.Figure7(reps, seed); err != nil {
+		sp := evalrun.Span("fig7", "experiment")
+		jsRows, err = evalrun.Figure7(reps, seed)
+		sp.End()
+		if err != nil {
 			return err
 		}
 	}
@@ -115,7 +164,9 @@ func run(sel func(string) bool, csv, metrics bool, reps, trials, fuzzIters int, 
 		}
 	}
 	if sel("table3") {
+		sp := evalrun.Span("table3", "experiment")
 		rows, err := evalrun.TableIII(seed)
+		sp.End()
 		if err != nil {
 			return err
 		}
@@ -129,7 +180,9 @@ func run(sel func(string) bool, csv, metrics bool, reps, trials, fuzzIters int, 
 		}
 	}
 	if sel("table4") {
+		sp := evalrun.Span("table4", "experiment")
 		rows, err := evalrun.TableIV()
+		sp.End()
 		if err != nil {
 			return err
 		}
@@ -153,7 +206,9 @@ func run(sel func(string) bool, csv, metrics bool, reps, trials, fuzzIters int, 
 		}
 	}
 	if sel("security") {
+		sp := evalrun.Span("security", "experiment")
 		rep, err := evalrun.Security(trials, seed)
+		sp.End()
 		if err != nil {
 			return err
 		}
@@ -167,7 +222,9 @@ func run(sel func(string) bool, csv, metrics bool, reps, trials, fuzzIters int, 
 		}
 	}
 	if sel("ablation") {
+		sp := evalrun.Span("ablation", "experiment")
 		rows, err := evalrun.Ablation(reps, seed)
+		sp.End()
 		if err != nil {
 			return err
 		}

@@ -6,6 +6,9 @@
 //
 //	polarstat program.ir
 //	polarstat -workload 458.sjeng
+//	polarstat -json program.ir
+//
+// -json emits the same report as deterministic JSON for scripts and CI.
 package main
 
 import (
@@ -21,14 +24,15 @@ import (
 
 func main() {
 	wl := flag.String("workload", "", "analyze a built-in workload by name")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON")
 	flag.Parse()
-	if err := run(*wl); err != nil {
+	if err := run(*wl, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "polarstat:", err)
 		os.Exit(1)
 	}
 }
 
-func run(wl string) error {
+func run(wl string, jsonOut bool) error {
 	var m *polar.Module
 	switch {
 	case wl != "":
@@ -48,6 +52,16 @@ func run(wl string) error {
 	default:
 		return fmt.Errorf("give -workload NAME or an IR file")
 	}
-	fmt.Print(irstat.Analyze(m, layout.DefaultConfig()).Render())
+	stats := irstat.Analyze(m, layout.DefaultConfig())
+	if jsonOut {
+		data, err := stats.EncodeJSON()
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(data)
+		fmt.Println()
+		return nil
+	}
+	fmt.Print(stats.Render())
 	return nil
 }

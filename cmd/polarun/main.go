@@ -3,7 +3,8 @@
 // Usage:
 //
 //	polarun [-hardened|-harden] [-input file] [-seed n] [-stats]
-//	        [-metrics] [-trace-json file] program.ir [args...]
+//	        [-metrics] [-trace-json file] [-profile file] [-http addr]
+//	        program.ir [args...]
 //
 // Plain modules run on the bare VM; pass -hardened for modules produced
 // by polarc (the POLaR runtime is attached and the class table
@@ -13,61 +14,146 @@
 //
 // Observability:
 //
-//	-stats       one-line counter summaries on stderr
-//	-metrics     deterministic JSON metrics snapshot (counters, gauges,
-//	             histograms) on stdout after the run
-//	-trace-json  Chrome trace-event timeline (parse → cie → instrument →
-//	             run phases, violation markers) written to the file;
-//	             load it in chrome://tracing or Perfetto
+//	-stats        one-line counter summaries on stderr
+//	-metrics      deterministic JSON metrics snapshot (counters, gauges,
+//	              histograms) on stdout after the run
+//	-trace-json   Chrome trace-event timeline (parse → cie → instrument →
+//	              run phases, violation markers) written to the file;
+//	              load it in chrome://tracing or Perfetto
+//	-profile      hot-site profile: interpreted cycles, member
+//	              resolutions and metadata probes per IR site. The text
+//	              top-N report goes to stderr and the pprof-compatible
+//	              protobuf to the named file (`go tool pprof file`)
+//	-profile-top  rows in the text report (default 15)
+//	-cpuprofile   Go-level CPU profile of the interpreter itself
+//	-memprofile   Go-level allocation profile, written after the run
+//	-http         serve /debug/polar/{metrics,events,hotsites} and
+//	              /debug/pprof/* on this address while the program runs
+//	-http-hold    keep serving after the run until interrupted
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 
 	"polar"
+	"polar/internal/telemetry/introspect"
+	"polar/internal/telemetry/profile"
 )
 
+// runConfig carries the parsed flags.
+type runConfig struct {
+	hardened, harden bool
+	inputPath        string
+	seed             int64
+	stats, warn      bool
+	trace            int
+	metrics          bool
+	traceJSON        string
+	policyPath       string
+	profilePath      string
+	profileTop       int
+	cpuProfile       string
+	memProfile       string
+	httpAddr         string
+	httpHold         bool
+}
+
 func main() {
-	hardened := flag.Bool("hardened", false, "attach the POLaR runtime (for polarc output)")
-	harden := flag.Bool("harden", false, "instrument the module in-process, then run hardened")
-	inputPath := flag.String("input", "", "file whose bytes become the untrusted program input")
-	seed := flag.Int64("seed", 1, "randomization seed for the POLaR runtime")
-	stats := flag.Bool("stats", false, "print runtime counters to stderr")
-	warn := flag.Bool("warn", false, "count violations instead of aborting")
-	trace := flag.Int("trace", 0, "trace the first N executed instructions to stderr")
-	metrics := flag.Bool("metrics", false, "print a JSON metrics snapshot to stdout after the run")
-	traceJSON := flag.String("trace-json", "", "write a Chrome trace-event timeline to this file")
-	policyPath := flag.String("policy", "", "apply a policy file's per-class tuning (with -hardened)")
+	var c runConfig
+	flag.BoolVar(&c.hardened, "hardened", false, "attach the POLaR runtime (for polarc output)")
+	flag.BoolVar(&c.harden, "harden", false, "instrument the module in-process, then run hardened")
+	flag.StringVar(&c.inputPath, "input", "", "file whose bytes become the untrusted program input")
+	flag.Int64Var(&c.seed, "seed", 1, "randomization seed for the POLaR runtime")
+	flag.BoolVar(&c.stats, "stats", false, "print runtime counters to stderr")
+	flag.BoolVar(&c.warn, "warn", false, "count violations instead of aborting")
+	flag.IntVar(&c.trace, "trace", 0, "trace the first N executed instructions to stderr")
+	flag.BoolVar(&c.metrics, "metrics", false, "print a JSON metrics snapshot to stdout after the run")
+	flag.StringVar(&c.traceJSON, "trace-json", "", "write a Chrome trace-event timeline to this file")
+	flag.StringVar(&c.policyPath, "policy", "", "apply a policy file's per-class tuning (with -hardened)")
+	flag.StringVar(&c.profilePath, "profile", "", "write a pprof-format hot-site profile to this file (text report on stderr)")
+	flag.IntVar(&c.profileTop, "profile-top", 15, "rows in the hot-site text report")
+	flag.StringVar(&c.cpuProfile, "cpuprofile", "", "write a Go CPU profile of the interpreter to this file")
+	flag.StringVar(&c.memProfile, "memprofile", "", "write a Go allocation profile to this file after the run")
+	flag.StringVar(&c.httpAddr, "http", "", "serve the live introspection endpoint on this address (e.g. :6070)")
+	flag.BoolVar(&c.httpHold, "http-hold", false, "with -http: keep serving after the run until interrupted")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: polarun [-hardened|-harden] [-input file] [-seed n] program.ir [args...]")
 		os.Exit(2)
 	}
-	if err := run(*hardened, *harden, *inputPath, *seed, *stats, *warn, *trace, *metrics, *traceJSON, *policyPath); err != nil {
+	if err := run(c); err != nil {
 		fmt.Fprintln(os.Stderr, "polarun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(hardened, harden bool, inputPath string, seed int64, stats, warn bool, trace int, metrics bool, traceJSON, policyPath string) error {
+func run(c runConfig) error {
 	// The observability layer is created up front so the parse phase is
-	// already on the trace timeline.
+	// already on the trace timeline. The live endpoint needs a bus and
+	// registry even when -metrics wasn't asked for.
 	var tel *polar.Telemetry
-	if metrics || traceJSON != "" {
+	if c.metrics || c.traceJSON != "" || c.httpAddr != "" {
 		tel = polar.NewTelemetry()
 	}
-	if traceJSON != "" {
-		f, err := os.Create(traceJSON)
+	if c.traceJSON != "" {
+		f, err := os.Create(c.traceJSON)
+		if err != nil {
+			return err
+		}
+		bw := bufio.NewWriter(f)
+		tr := polar.NewTracer(bw)
+		// Cleanup order matters and must run on every exit path —
+		// including error returns mid-pipeline — so even an aborted run
+		// leaves a parseable timeline: the tracer terminates the JSON
+		// array, the buffer flushes it, the file closes. Failures are
+		// surfaced (a silently truncated trace looks complete).
+		defer func() {
+			if err := tr.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "polarun: closing trace:", err)
+			}
+			if err := bw.Flush(); err != nil {
+				fmt.Fprintln(os.Stderr, "polarun: flushing trace:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "polarun: closing trace file:", err)
+			}
+		}()
+		tel.WithTracer(tr)
+	}
+	var prof *polar.SiteProfiler
+	if c.profilePath != "" || c.httpAddr != "" {
+		prof = polar.NewSiteProfiler()
+	}
+	if c.httpAddr != "" {
+		// Listen before the run so address errors surface immediately,
+		// then serve in the background for the program's lifetime.
+		ln, err := net.Listen("tcp", c.httpAddr)
+		if err != nil {
+			return fmt.Errorf("introspection endpoint: %w", err)
+		}
+		defer ln.Close()
+		fmt.Fprintf(os.Stderr, "polarun: introspection at http://%s/debug/polar/metrics\n", ln.Addr())
+		srv := &http.Server{Handler: introspect.New(tel, prof).Mux()}
+		go srv.Serve(ln)
+	}
+	if c.cpuProfile != "" {
+		f, err := os.Create(c.cpuProfile)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		tr := polar.NewTracer(f)
-		defer tr.Close()
-		tel.WithTracer(tr)
+		stop, err := profile.StartCPUProfile(f)
+		if err != nil {
+			return err
+		}
+		defer stop()
 	}
 
 	src, err := os.ReadFile(flag.Arg(0))
@@ -84,8 +170,8 @@ func run(hardened, harden bool, inputPath string, seed int64, stats, warn bool, 
 		return err
 	}
 	var input []byte
-	if inputPath != "" {
-		if input, err = os.ReadFile(inputPath); err != nil {
+	if c.inputPath != "" {
+		if input, err = os.ReadFile(c.inputPath); err != nil {
 			return err
 		}
 	}
@@ -98,18 +184,21 @@ func run(hardened, harden bool, inputPath string, seed int64, stats, warn bool, 
 		args = append(args, v)
 	}
 
-	opts := []polar.Option{polar.WithSeed(seed), polar.WithInput(input), polar.WithArgs(args...)}
-	if warn {
+	opts := []polar.Option{polar.WithSeed(c.seed), polar.WithInput(input), polar.WithArgs(args...)}
+	if c.warn {
 		opts = append(opts, polar.WithWarnPolicy())
 	}
-	if trace > 0 {
-		opts = append(opts, polar.WithTrace(os.Stderr, trace))
+	if c.trace > 0 {
+		opts = append(opts, polar.WithTrace(os.Stderr, c.trace))
 	}
 	if tel != nil {
 		opts = append(opts, polar.WithTelemetry(tel))
 	}
-	if policyPath != "" {
-		pol, err := polar.LoadPolicy(policyPath)
+	if prof != nil {
+		opts = append(opts, polar.WithProfiler(prof))
+	}
+	if c.policyPath != "" {
+		pol, err := polar.LoadPolicy(c.policyPath)
 		if err != nil {
 			return err
 		}
@@ -117,13 +206,13 @@ func run(hardened, harden bool, inputPath string, seed int64, stats, warn bool, 
 	}
 	var res *polar.Result
 	switch {
-	case harden:
+	case c.harden:
 		h, herr := polar.HardenTraced(m, nil, tel)
 		if herr != nil {
 			return herr
 		}
 		res, err = polar.RunHardened(h, opts...)
-	case hardened:
+	case c.hardened:
 		res, err = polar.RunHardened(&polar.Hardened{Module: m}, opts...)
 	default:
 		res, err = polar.Run(m, opts...)
@@ -133,19 +222,55 @@ func run(hardened, harden bool, inputPath string, seed int64, stats, warn bool, 
 	}
 	os.Stdout.Write(res.Output)
 	fmt.Printf("result: %d\n", res.Value)
-	if stats {
+	if c.stats {
 		fmt.Fprintf(os.Stderr, "vm: %s\n", res.VM)
-		if hardened || harden {
+		if c.hardened || c.harden {
 			fmt.Fprintf(os.Stderr, "runtime: %s\n", res.Runtime)
+			if res.ViolationsTruncated {
+				fmt.Fprintf(os.Stderr, "runtime: violation log truncated (%d records dropped)\n", res.ViolationsDropped)
+			}
 		}
 	}
-	if metrics {
+	if c.profilePath != "" {
+		fmt.Fprint(os.Stderr, prof.Report(c.profileTop))
+		f, err := os.Create(c.profilePath)
+		if err != nil {
+			return err
+		}
+		if err := prof.WritePprof(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if c.memProfile != "" {
+		f, err := os.Create(c.memProfile)
+		if err != nil {
+			return err
+		}
+		if err := profile.WriteAllocProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if c.metrics {
 		data, err := tel.Registry.Snapshot().EncodeJSON()
 		if err != nil {
 			return err
 		}
 		os.Stdout.Write(data)
 		fmt.Println()
+	}
+	if c.httpAddr != "" && c.httpHold {
+		fmt.Fprintln(os.Stderr, "polarun: run finished; holding introspection endpoint open (interrupt to exit)")
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		<-ch
 	}
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"polar/internal/classinfo"
 	"polar/internal/layout"
 	"polar/internal/telemetry"
+	"polar/internal/telemetry/profile"
 	"polar/internal/vm"
 )
 
@@ -45,6 +46,12 @@ type Config struct {
 	// Note: sharing one Telemetry across runtimes aggregates their
 	// metrics; use a fresh Telemetry per runtime for isolation.
 	Telemetry *telemetry.Telemetry
+	// Profiler, when non-nil, attributes member resolutions and
+	// metadata-table probes to their instruction sites — the SPAM-style
+	// per-access-path attribution the aggregate cache counters cannot
+	// give. Share it with the VM (vm.WithProfiler) so sites carry both
+	// interpreted cycles and probe counts.
+	Profiler *profile.SiteProfiler
 }
 
 // DefaultConfig mirrors the paper's evaluation configuration.
@@ -68,7 +75,11 @@ type Stats struct {
 	CacheHits    uint64
 	CacheMisses  uint64
 	Violations   map[ViolationKind]uint64
-	Meta         MetaStats
+	// ViolationsDropped counts detections that arrived after the
+	// structured record log filled (the counters above still include
+	// them; only the per-record detail is lost).
+	ViolationsDropped uint64
+	Meta              MetaStats
 }
 
 // maxViolationRecords caps the structured violation log so a
@@ -104,6 +115,12 @@ type Runtime struct {
 	tel         *telemetry.Telemetry
 	histProbe   *telemetry.Histogram // olr_getptr probe length (1=cache hit)
 	histEntropy *telemetry.Histogram // entropy bits of each generated layout
+
+	// Hot-site profiler (nil when Config.Profiler is unset). profSites
+	// caches the per-site counter cells keyed by the interned site
+	// string, so attribution is one map hit per access.
+	prof      *profile.SiteProfiler
+	profSites map[string]*profile.SiteCounts
 }
 
 // New creates a runtime for the classes in table.
@@ -130,7 +147,22 @@ func New(table *classinfo.Table, cfg Config) *Runtime {
 		r.histEntropy = t.Registry.Histogram(telemetry.MetricLayoutEntropy, telemetry.EntropyBuckets)
 		r.store.chainHist = t.Registry.Histogram(telemetry.MetricInternChainLen, telemetry.ChainLenBuckets)
 	}
+	if cfg.Profiler != nil {
+		r.prof = cfg.Profiler
+		r.profSites = make(map[string]*profile.SiteCounts)
+	}
 	return r
+}
+
+// profSite returns the profiler cell for the current olr_* call site.
+func (r *Runtime) profSite() *profile.SiteCounts {
+	site := r.curCall.Site()
+	sc, ok := r.profSites[site]
+	if !ok {
+		sc = r.prof.Site(site)
+		r.profSites[site] = sc
+	}
+	return sc
 }
 
 // Telemetry returns the attached observability layer (nil if none).
@@ -142,14 +174,15 @@ func (r *Runtime) Telemetry() *telemetry.Telemetry { return r.cfg.Telemetry }
 // snapshot taken after Stats() reflects the runtime's full state.
 func (r *Runtime) Stats() Stats {
 	s := Stats{
-		Allocs:       r.allocs,
-		Frees:        r.frees,
-		Memcpys:      r.memcpys,
-		MemberAccess: r.accesses,
-		CacheHits:    r.cache.hits,
-		CacheMisses:  r.cache.misses,
-		Violations:   make(map[ViolationKind]uint64, len(r.violations)),
-		Meta:         r.store.Stats(),
+		Allocs:            r.allocs,
+		Frees:             r.frees,
+		Memcpys:           r.memcpys,
+		MemberAccess:      r.accesses,
+		CacheHits:         r.cache.hits,
+		CacheMisses:       r.cache.misses,
+		Violations:        make(map[ViolationKind]uint64, len(r.violations)),
+		ViolationsDropped: r.droppedRecords,
+		Meta:              r.store.Stats(),
 	}
 	for k, v := range r.violations {
 		s.Violations[k] = v
@@ -181,6 +214,17 @@ func (r *Runtime) ViolationRecords() []ViolationRecord {
 // DroppedViolations returns how many violation records were discarded
 // after the log filled.
 func (r *Runtime) DroppedViolations() uint64 { return r.droppedRecords }
+
+// ViolationLog returns the structured violation log together with its
+// truncation state, so consumers cannot mistake a capped log for the
+// complete detection history.
+func (r *Runtime) ViolationLog() RecordSet {
+	return RecordSet{
+		Records:   r.ViolationRecords(),
+		Truncated: r.droppedRecords > 0,
+		Dropped:   r.droppedRecords,
+	}
+}
 
 // Store exposes the metadata table (tests, diagnostics).
 func (r *Runtime) Store() *MetaStore { return r.store }
@@ -386,12 +430,20 @@ func (r *Runtime) olrFree(v *vm.VM, base uint64) error {
 // performs the UAF and type-confusion checks.
 func (r *Runtime) olrGetptr(base uint64, field int, classHash uint64) (int64, error) {
 	r.accesses++
+	var psc *profile.SiteCounts
+	if r.prof != nil {
+		psc = r.profSite()
+		psc.IncGetptr()
+	}
 	if off, hit := r.cache.get(base, classHash, field); hit {
 		if r.tel != nil {
 			r.histProbe.Observe(1)
 			r.tel.Emit(telemetry.Event{Kind: telemetry.EvFieldHit, Addr: base, Class: classHash, Field: field})
 		}
 		return int64(base + uint64(off)), nil
+	}
+	if psc != nil {
+		psc.IncProbe()
 	}
 	meta, ok := r.store.Lookup(base)
 	if r.tel != nil {

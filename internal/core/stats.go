@@ -39,14 +39,15 @@ func (s Stats) MarshalJSON() ([]byte, error) {
 		viol[k.String()] = v
 	}
 	return json.Marshal(map[string]any{
-		"allocs":        s.Allocs,
-		"frees":         s.Frees,
-		"memcpys":       s.Memcpys,
-		"member_access": s.MemberAccess,
-		"cache_hits":    s.CacheHits,
-		"cache_misses":  s.CacheMisses,
-		"violations":    viol,
-		"meta":          s.Meta,
+		"allocs":             s.Allocs,
+		"frees":              s.Frees,
+		"memcpys":            s.Memcpys,
+		"member_access":      s.MemberAccess,
+		"cache_hits":         s.CacheHits,
+		"cache_misses":       s.CacheMisses,
+		"violations":         viol,
+		"violations_dropped": s.ViolationsDropped,
+		"meta":               s.Meta,
 	})
 }
 
@@ -69,6 +70,9 @@ func (s Stats) Publish(reg *telemetry.Registry) {
 			reg.Counter("core.violation." + kind.String()).Set(n)
 		}
 	}
+	// Always published (even at zero) so dashboards can alert on any
+	// transition away from "no detail lost".
+	reg.Counter("core.violations_dropped").Set(s.ViolationsDropped)
 	s.Meta.Publish(reg)
 }
 

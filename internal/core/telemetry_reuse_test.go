@@ -1,0 +1,80 @@
+package core
+
+import (
+	"testing"
+
+	"polar/internal/telemetry"
+)
+
+// TestMetadataLoadFactorUnderReuse drives a free-then-realloc workload
+// and pins the two slow-path metrics it shapes: the metadata-table
+// load factor (ghost records from UAF detection drag it below 1) and
+// the member-resolution probe-length histogram (first touch takes the
+// metadata slow path, repeats hit the offset cache).
+func TestMetadataLoadFactorUnderReuse(t *testing.T) {
+	h := newViolationHarness(t, nil)
+	const rounds = 32
+	var bases []uint64
+	for i := 0; i < rounds; i++ {
+		base := h.alloc(h.hashA)
+		for j := 0; j < 4; j++ {
+			if _, err := h.r.olrGetptr(base, 1, h.hashA); err != nil {
+				t.Fatalf("getptr: %v", err)
+			}
+		}
+		// Reuse pressure: free-then-realloc recycles addresses, so each
+		// re-registration replaces the previous ghost at the same base.
+		if i%2 == 0 {
+			if err := h.r.olrFree(h.v, base); err != nil {
+				t.Fatalf("free: %v", err)
+			}
+		} else {
+			bases = append(bases, base)
+		}
+	}
+	// Retire half the survivors last, with no reallocation after: these
+	// ghosts stay in the table and drag the load factor below 1.
+	live := bases[:len(bases)/2]
+	for _, base := range bases[len(bases)/2:] {
+		if err := h.r.olrFree(h.v, base); err != nil {
+			t.Fatalf("final free: %v", err)
+		}
+	}
+	st := h.r.Stats() // publishes into the registry
+	snap := h.r.Telemetry().Registry.Snapshot()
+
+	lf, ok := snap.Gauges[telemetry.MetricMetaLoadFactor]
+	if !ok {
+		t.Fatalf("gauge %s not published", telemetry.MetricMetaLoadFactor)
+	}
+	if lf <= 0 || lf >= 1 {
+		t.Fatalf("load factor = %v, want strictly between 0 and 1 (live objects + UAF ghosts)", lf)
+	}
+	storeLive, storeTotal := h.r.Store().Counts()
+	if storeLive != len(live) {
+		t.Fatalf("store live = %d, want %d survivors", storeLive, len(live))
+	}
+	if want := float64(storeLive) / float64(storeTotal); lf != want {
+		t.Fatalf("load factor = %v, want live/total = %v", lf, want)
+	}
+
+	hist, ok := snap.Histograms[telemetry.MetricCacheProbeLen]
+	if !ok {
+		t.Fatalf("histogram %s not registered", telemetry.MetricCacheProbeLen)
+	}
+	if hist.Count != st.MemberAccess {
+		t.Fatalf("probe histogram count = %d, want one observation per access (%d)", hist.Count, st.MemberAccess)
+	}
+	// ProbeLenBuckets = {1,2,3,4}: bucket 0 is cache hits (probe length
+	// 1), bucket 1 is metadata-lookup misses (probe length 2). The
+	// workload produces both in exact counter amounts.
+	if hist.Counts[0] != st.CacheHits {
+		t.Fatalf("probe-length-1 bucket = %d, want cache hits %d", hist.Counts[0], st.CacheHits)
+	}
+	if hist.Counts[1] != st.CacheMisses {
+		t.Fatalf("probe-length-2 bucket = %d, want cache misses %d", hist.Counts[1], st.CacheMisses)
+	}
+	if st.CacheHits == 0 || st.CacheMisses == 0 {
+		t.Fatalf("hits=%d misses=%d, want a workload exercising both paths", st.CacheHits, st.CacheMisses)
+	}
+}

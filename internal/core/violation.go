@@ -114,6 +114,18 @@ type ViolationRecord struct {
 	Site      string        `json:"site,omitempty"`
 }
 
+// RecordSet bundles the structured violation log with its truncation
+// state. The log is capped (maxViolationRecords) so a warn-policy run
+// under sustained attack cannot grow memory without bound; Truncated
+// tells consumers the records are a prefix of the detection history,
+// and Dropped says how many detections lost their per-record detail
+// (the per-kind counters still include them).
+type RecordSet struct {
+	Records   []ViolationRecord `json:"records"`
+	Truncated bool              `json:"truncated"`
+	Dropped   uint64            `json:"dropped,omitempty"`
+}
+
 // Policy decides what the runtime does on detection.
 type Policy int
 

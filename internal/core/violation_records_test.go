@@ -314,6 +314,10 @@ func TestViolationRecordWarnPolicy(t *testing.T) {
 	if h.r.ViolationCount(ViolationBadFree) != 1 {
 		t.Fatal("violation counter not incremented")
 	}
+	if vlog := h.r.ViolationLog(); vlog.Truncated || vlog.Dropped != 0 || len(vlog.Records) != 1 {
+		t.Fatalf("ViolationLog() = truncated=%v dropped=%d records=%d, want untruncated single record",
+			vlog.Truncated, vlog.Dropped, len(vlog.Records))
+	}
 }
 
 // TestViolationRecordCap: the structured log stops at
@@ -335,5 +339,19 @@ func TestViolationRecordCap(t *testing.T) {
 	// The counter and the event stream keep full fidelity past the cap.
 	if got := h.r.ViolationCount(ViolationBadFree); got != uint64(n) {
 		t.Fatalf("counter = %d, want %d", got, n)
+	}
+	// The truncation is visible everywhere a consumer could look: the
+	// record-set bundle, the stats snapshot and the published metric.
+	vlog := h.r.ViolationLog()
+	if !vlog.Truncated || vlog.Dropped != 50 || len(vlog.Records) != maxViolationRecords {
+		t.Fatalf("ViolationLog() = truncated=%v dropped=%d records=%d",
+			vlog.Truncated, vlog.Dropped, len(vlog.Records))
+	}
+	st := h.r.Stats()
+	if st.ViolationsDropped != 50 {
+		t.Fatalf("Stats().ViolationsDropped = %d, want 50", st.ViolationsDropped)
+	}
+	if got := h.r.Telemetry().Registry.Counter("core.violations_dropped").Value(); got != 50 {
+		t.Fatalf("core.violations_dropped metric = %d, want 50", got)
 	}
 }

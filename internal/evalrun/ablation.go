@@ -61,7 +61,9 @@ func Ablation(reps int, seed int64) ([]AblationRow, error) {
 			if err != nil {
 				return nil, err
 			}
+			sp := Span(cfgEntry.name+"/"+name, "ablation")
 			base, polar, err := measureWorkload(w, reps, seed, cfgEntry.cfg)
+			sp.End()
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s: %w", cfgEntry.name, name, err)
 			}

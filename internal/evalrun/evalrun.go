@@ -22,9 +22,29 @@ import (
 	"polar/internal/core"
 	"polar/internal/instrument"
 	"polar/internal/ir"
+	"polar/internal/telemetry"
 	"polar/internal/vm"
 	"polar/internal/workload"
 )
+
+// tracer, when set, receives one span per experiment sub-step (each
+// workload, kernel, CVE case and security scenario) so a whole
+// polarbench suite renders as one nested Chrome-trace timeline.
+var tracer *telemetry.Tracer
+
+// SetTracer attaches (or, with nil, detaches) the harness-wide tracer.
+// Experiments are single-threaded; call this before running them.
+func SetTracer(tr *telemetry.Tracer) { tracer = tr }
+
+// Span opens a span on the harness tracer; without one it returns nil,
+// which Span.End handles, so call sites need no guards. polarbench uses
+// the same helper for the outer per-experiment spans.
+func Span(name, cat string) *telemetry.Span {
+	if tracer == nil {
+		return nil
+	}
+	return tracer.Begin(name, cat)
+}
 
 // runOnce executes a prepared module once and returns the wall time of
 // the Run call and the final checksum.

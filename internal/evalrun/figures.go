@@ -25,7 +25,9 @@ type OverheadRow struct {
 func Figure6(reps int, seed int64) ([]OverheadRow, error) {
 	var rows []OverheadRow
 	for _, w := range workload.SPECFig6() {
+		sp := Span(w.Name, "fig6")
 		base, polar, err := measureWorkload(w, reps, seed, core.DefaultConfig(seed))
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -81,7 +83,9 @@ func (r JSRow) DiffPct() float64 {
 func Figure7(reps int, seed int64) ([]JSRow, error) {
 	var rows []JSRow
 	for _, k := range workload.JSBenchmarks() {
+		sp := Span(k.Suite+"/"+k.Name, "fig7")
 		base, polar, err := measureJSKernel(k, reps, seed)
+		sp.End()
 		if err != nil {
 			return nil, err
 		}

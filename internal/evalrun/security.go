@@ -22,24 +22,32 @@ type SecurityReport struct {
 // Security runs every scenario × defense cell plus the repeatability,
 // persistence and inter-chunk experiments.
 func Security(trials int, seed int64) (*SecurityReport, error) {
+	sp := Span("attack-matrix", "security")
 	matrix, err := exploit.RunAll(trials, seed)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 	rep := &SecurityReport{Matrix: matrix}
 	for _, def := range exploit.AllDefenses() {
+		sp := Span(fmt.Sprintf("repeat+persist/%s", def), "security")
 		r, err := exploit.RunRepeatability(def, trials/2, seed)
 		if err != nil {
+			sp.End()
 			return nil, err
 		}
 		rep.Repeats = append(rep.Repeats, r)
 		p, err := exploit.RunPersistence(def, trials/4, 10, seed)
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
 		rep.Persistence = append(rep.Persistence, p)
 	}
-	if rep.InterChunk, err = exploit.RunInterChunkComparison(trials, seed); err != nil {
+	sp = Span("inter-chunk", "security")
+	rep.InterChunk, err = exploit.RunInterChunkComparison(trials, seed)
+	sp.End()
+	if err != nil {
 		return nil, err
 	}
 	return rep, nil

@@ -30,6 +30,7 @@ type TaintRow struct {
 func TableI(fuzzIters int, seed int64) ([]TaintRow, error) {
 	var rows []TaintRow
 	for _, w := range workload.All() {
+		sp := Span(w.Name, "table1")
 		corpus := [][]byte{w.Input}
 		execs, edges := 0, 0
 		if fuzzIters > 0 {
@@ -58,6 +59,7 @@ func TableI(fuzzIters int, seed int64) ([]TaintRow, error) {
 			App: w.Name, Count: len(classes), PaperCount: w.PaperTaintedCount,
 			Samples: samples, FuzzExecs: execs, FuzzEdges: edges,
 		})
+		sp.End()
 	}
 	return rows, nil
 }
@@ -104,6 +106,7 @@ func (r CounterRow) CacheHitRate() float64 {
 func TableIII(seed int64) ([]CounterRow, error) {
 	var rows []CounterRow
 	for _, w := range workload.SPECFig6() {
+		sp := Span(w.Name, "table3")
 		ins, err := instrument.Apply(w.Module, nil)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", w.Name, err)
@@ -122,6 +125,7 @@ func TableIII(seed int64) ([]CounterRow, error) {
 			App: w.Name, Allocs: st.Allocs, Frees: st.Frees, Memcpys: st.Memcpys,
 			MemberAccess: st.MemberAccess, CacheHits: st.CacheHits,
 		})
+		sp.End()
 	}
 	return rows, nil
 }
@@ -156,6 +160,7 @@ func TableIV() ([]CVERow, error) {
 	png := workload.LibPNG()
 	var rows []CVERow
 	for _, c := range workload.LibPNGCVECases() {
+		sp := Span("CVE-"+c.CVE, "table4")
 		rep, err := taint.AnalyzeOne(png.Module, c.Input, taint.RunOptions{
 			IgnoreRunErrors: true, Fuel: 30_000_000,
 		})
@@ -169,6 +174,7 @@ func TableIV() ([]CVERow, error) {
 			Discovered: got, Expected: c.ExpectedObjects, PaperSays: c.PaperObjects,
 			Match: match,
 		})
+		sp.End()
 	}
 	return rows, nil
 }

@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"polar/internal/telemetry"
 )
 
 func newTestAllocator(opts ...Option) *Allocator {
@@ -226,5 +228,80 @@ func TestFindChunkLargeAllocationLimitation(t *testing.T) {
 	}
 	if _, _, _, ok := a.FindChunk(p + 90_000); ok {
 		t.Error("far interior of large chunk unexpectedly resolved (update the doc if FindChunk improved)")
+	}
+}
+
+// TestStatsPublishUnderReuse drives a free-then-realloc workload (the
+// reuse-heavy pattern of the UAF experiments) and checks that
+// Stats.Publish mirrors every counter and gauge into the registry and
+// that the allocation-size histogram saw every allocation — the ones
+// served from free lists as much as the fresh carves.
+func TestStatsPublishUnderReuse(t *testing.T) {
+	tel := telemetry.New()
+	a := newTestAllocator(WithTelemetry(tel))
+	const rounds = 64
+	for i := 0; i < rounds; i++ {
+		p, err := a.Alloc(40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := a.Alloc(100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Free(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Free(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := a.Stats()
+	if st.Allocs != 2*rounds || st.Frees != 2*rounds {
+		t.Fatalf("allocs=%d frees=%d, want %d each", st.Allocs, st.Frees, 2*rounds)
+	}
+	// After the first round every allocation is a free-list hit, so the
+	// workload exercises both serving paths and they partition Allocs.
+	if st.Reuses == 0 || st.FreshCarve == 0 {
+		t.Fatalf("reuses=%d fresh=%d, want both nonzero", st.Reuses, st.FreshCarve)
+	}
+	if st.Reuses+st.FreshCarve != st.Allocs {
+		t.Fatalf("reuses+fresh = %d, want allocs %d", st.Reuses+st.FreshCarve, st.Allocs)
+	}
+	if st.BytesLive != 0 {
+		t.Fatalf("bytes live = %d after freeing everything", st.BytesLive)
+	}
+	if st.BytesPeak == 0 {
+		t.Fatal("bytes peak not tracked")
+	}
+
+	st.Publish(tel.Registry)
+	snap := tel.Registry.Snapshot()
+	for name, want := range map[string]uint64{
+		"heap.allocs":       st.Allocs,
+		"heap.frees":        st.Frees,
+		"heap.reuses":       st.Reuses,
+		"heap.fresh_carves": st.FreshCarve,
+	} {
+		if got := snap.Counters[name]; got != want {
+			t.Errorf("counter %s = %d, want %d", name, got, want)
+		}
+	}
+	if got := snap.Gauges["heap.bytes_live"]; got != 0 {
+		t.Errorf("gauge heap.bytes_live = %v, want 0", got)
+	}
+	if got := snap.Gauges["heap.bytes_peak"]; got != float64(st.BytesPeak) {
+		t.Errorf("gauge heap.bytes_peak = %v, want %d", got, st.BytesPeak)
+	}
+
+	hist, ok := snap.Histograms[telemetry.MetricHeapAllocSize]
+	if !ok {
+		t.Fatalf("histogram %s not registered", telemetry.MetricHeapAllocSize)
+	}
+	if hist.Count != st.Allocs {
+		t.Errorf("size histogram count = %d, want every allocation (%d)", hist.Count, st.Allocs)
+	}
+	if want := float64(rounds * (40 + 100)); hist.Sum != want {
+		t.Errorf("size histogram sum = %v, want %v (requested, not rounded, sizes)", hist.Sum, want)
 	}
 }

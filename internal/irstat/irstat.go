@@ -7,6 +7,7 @@
 package irstat
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -18,40 +19,40 @@ import (
 
 // ClassStat describes one struct type.
 type ClassStat struct {
-	Name        string
-	Fields      int
-	FuncPtrs    int
-	Pointers    int
-	StaticSize  int
-	EntropyBits float64
+	Name        string  `json:"name"`
+	Fields      int     `json:"fields"`
+	FuncPtrs    int     `json:"func_ptrs"`
+	Pointers    int     `json:"pointers"`
+	StaticSize  int     `json:"static_size"`
+	EntropyBits float64 `json:"entropy_bits"`
 	// AllocSites/AccessSites/FreeSites/CopySites count the static
 	// instruction sites the POLaR pass would rewrite for this class.
-	AllocSites  int
-	AccessSites int
-	FreeSites   int
-	CopySites   int
-	RawSites    int // ptradd on known pointers to this class (§VI.B)
+	AllocSites  int `json:"alloc_sites"`
+	AccessSites int `json:"access_sites"`
+	FreeSites   int `json:"free_sites"`
+	CopySites   int `json:"copy_sites"`
+	RawSites    int `json:"raw_sites"` // ptradd on known pointers to this class (§VI.B)
 }
 
 // FuncStat describes one function.
 type FuncStat struct {
-	Name    string
-	Blocks  int
-	Instrs  int
-	MaxRegs int
+	Name    string `json:"name"`
+	Blocks  int    `json:"blocks"`
+	Instrs  int    `json:"instrs"`
+	MaxRegs int    `json:"max_regs"`
 }
 
 // ModuleStats is the full report.
 type ModuleStats struct {
-	Name       string
-	Structs    int
-	Globals    int
-	GlobalSize int
-	Funcs      []FuncStat
-	Classes    []ClassStat
+	Name       string      `json:"module"`
+	Structs    int         `json:"structs"`
+	Globals    int         `json:"globals"`
+	GlobalSize int         `json:"global_size"`
+	Funcs      []FuncStat  `json:"funcs"`
+	Classes    []ClassStat `json:"classes"`
 	// OpHistogram counts instructions by opcode name.
-	OpHistogram map[string]int
-	TotalInstrs int
+	OpHistogram map[string]int `json:"op_histogram"`
+	TotalInstrs int            `json:"total_instrs"`
 }
 
 var opNames = map[ir.Op]string{
@@ -181,6 +182,15 @@ func classOf(regClass map[int]string, v ir.Value) (string, bool) {
 	}
 	c, ok := regClass[v.Reg]
 	return c, ok
+}
+
+// EncodeJSON renders the report as deterministic indented JSON:
+// classes keep declaration order, functions stay sorted by size, and
+// the opcode histogram is a map (encoding/json sorts its keys), so
+// equal modules always encode identically — the machine-readable form
+// behind polarstat -json.
+func (s *ModuleStats) EncodeJSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
 }
 
 // Render produces the human-readable report.

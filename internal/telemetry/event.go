@@ -122,6 +122,25 @@ func (b *Bus) Attach(s Sink) {
 	b.mu.Unlock()
 }
 
+// Detach unsubscribes a sink previously passed to Attach (identity
+// comparison). Transient subscribers — the live event-stream endpoint
+// attaches one sink per HTTP client — must detach on disconnect or the
+// bus would deliver into dead streams forever. The sink list is
+// copy-on-write so a concurrent Emit keeps its own snapshot.
+func (b *Bus) Detach(s Sink) {
+	if b == nil || s == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i, have := range b.sinks {
+		if have == s {
+			b.sinks = append(append([]Sink(nil), b.sinks[:i]...), b.sinks[i+1:]...)
+			return
+		}
+	}
+}
+
 // Emit delivers e to every sink. Safe on a nil bus.
 func (b *Bus) Emit(e Event) {
 	if b == nil {

@@ -1,0 +1,186 @@
+// Package introspect serves the live observability surface over HTTP:
+//
+//	/debug/polar/metrics   deterministic JSON snapshot of the registry
+//	/debug/polar/events    sampled JSONL event stream (rate-limited,
+//	                       optional kind filter, bounded count)
+//	/debug/polar/hotsites  text hot-site profile (when a profiler is
+//	                       attached)
+//	/debug/pprof/*         the standard Go pprof endpoints
+//
+// The handler holds references, not copies: every request observes the
+// telemetry of the run in flight, which is the whole point of a live
+// endpoint. All endpoints are read-only.
+package introspect
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+	"sync"
+
+	"polar/internal/telemetry"
+	"polar/internal/telemetry/profile"
+	"polar/internal/telemetry/sample"
+)
+
+// Handler is the introspection surface for one telemetry instance.
+type Handler struct {
+	tel  *telemetry.Telemetry
+	prof *profile.SiteProfiler
+}
+
+// New builds the introspection handler. prof may be nil (the hotsites
+// endpoint then reports 404).
+func New(tel *telemetry.Telemetry, prof *profile.SiteProfiler) *Handler {
+	return &Handler{tel: tel, prof: prof}
+}
+
+// Mux returns a ServeMux with every introspection route registered.
+func (h *Handler) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/polar/metrics", h.metrics)
+	mux.HandleFunc("/debug/polar/events", h.events)
+	mux.HandleFunc("/debug/polar/hotsites", h.hotsites)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// metrics serves the registry snapshot as deterministic JSON.
+func (h *Handler) metrics(w http.ResponseWriter, r *http.Request) {
+	data, err := h.tel.Registry.Snapshot().EncodeJSON()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+	w.Write([]byte("\n"))
+}
+
+// events streams sampled events as JSONL until the client disconnects
+// or `max` events have been written.
+//
+// Query parameters:
+//
+//	every=N   forward 1 in N events (default 1 = everything)
+//	kinds=a,b comma-separated kind names (default all kinds)
+//	max=N     stop after N forwarded events (default 4096, 0 = unbounded)
+func (h *Handler) events(w http.ResponseWriter, r *http.Request) {
+	every := 1
+	if s := r.URL.Query().Get("every"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 1 {
+			http.Error(w, "bad every parameter", http.StatusBadRequest)
+			return
+		}
+		every = v
+	}
+	max := 4096
+	if s := r.URL.Query().Get("max"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 0 {
+			http.Error(w, "bad max parameter", http.StatusBadRequest)
+			return
+		}
+		max = v
+	}
+	var kinds []telemetry.EventKind
+	if s := r.URL.Query().Get("kinds"); s != "" {
+		byName := make(map[string]telemetry.EventKind)
+		for k := telemetry.EvAlloc; k <= telemetry.EvCorpusAdd; k++ {
+			byName[k.String()] = k
+		}
+		for _, name := range strings.Split(s, ",") {
+			k, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				http.Error(w, fmt.Sprintf("unknown event kind %q", name), http.StatusBadRequest)
+				return
+			}
+			kinds = append(kinds, k)
+		}
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	// Push the header out now: net/http buffers it until the first body
+	// write, which for a quiet bus could be arbitrarily far away — a
+	// streaming client should see the 200 immediately.
+	if flusher != nil {
+		flusher.Flush()
+	}
+	done := r.Context().Done()
+	limit := make(chan struct{})
+
+	// The chain bus → filter → rate sampler → JSONL-over-HTTP. The
+	// terminal sink stops counting once the context is cancelled or the
+	// budget is spent, and trips `limit` so the handler can return (which
+	// detaches the chain from the bus).
+	// Events may arrive from any VM goroutine; the mutex serializes
+	// writes into the response.
+	var mu sync.Mutex
+	enc := json.NewEncoder(w)
+	written := 0
+	closed := false
+	stop := func() {
+		closed = true
+		close(limit)
+	}
+	var terminal telemetry.FuncSink = func(e telemetry.Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		if closed {
+			return
+		}
+		select {
+		case <-done:
+			stop()
+			return
+		default:
+		}
+		if err := enc.Encode(e); err != nil {
+			stop()
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		written++
+		if max > 0 && written >= max {
+			stop()
+		}
+	}
+	var chain telemetry.Sink = sample.NewRated(terminal, every)
+	if len(kinds) > 0 {
+		chain = sample.NewFilter(chain, kinds...)
+	}
+	h.tel.Bus.Attach(chain)
+	defer h.tel.Bus.Detach(chain)
+	select {
+	case <-done:
+	case <-limit:
+	}
+}
+
+// hotsites serves the text top-N site report.
+func (h *Handler) hotsites(w http.ResponseWriter, r *http.Request) {
+	if h.prof == nil {
+		http.Error(w, "no site profiler attached (run with -profile)", http.StatusNotFound)
+		return
+	}
+	topN := 30
+	if s := r.URL.Query().Get("top"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			topN = v
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, h.prof.Report(topN))
+}

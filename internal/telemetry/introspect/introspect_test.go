@@ -1,0 +1,167 @@
+package introspect
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"polar/internal/telemetry"
+	"polar/internal/telemetry/profile"
+)
+
+func newServer(t *testing.T, prof *profile.SiteProfiler) (*telemetry.Telemetry, *httptest.Server) {
+	t.Helper()
+	tel := telemetry.New()
+	srv := httptest.NewServer(New(tel, prof).Mux())
+	t.Cleanup(srv.Close)
+	return tel, srv
+}
+
+func get(t *testing.T, url string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(body)
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	tel, srv := newServer(t, nil)
+	tel.Registry.Counter("test.hits").Add(7)
+	tel.Registry.Gauge("test.level").Set(0.5)
+
+	resp, body := get(t, srv.URL+"/debug/polar/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q", ct)
+	}
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("metrics body is not a Snapshot: %v\n%s", err, body)
+	}
+	if snap.Counters["test.hits"] != 7 {
+		t.Errorf("counter through endpoint = %d, want 7", snap.Counters["test.hits"])
+	}
+	if snap.Gauges["test.level"] != 0.5 {
+		t.Errorf("gauge through endpoint = %v, want 0.5", snap.Gauges["test.level"])
+	}
+}
+
+// TestEventsEndpoint emits events onto the live bus while a client
+// streams /debug/polar/events, and checks the JSONL lines, the max
+// bound, and the kind filter.
+func TestEventsEndpoint(t *testing.T) {
+	tel, srv := newServer(t, nil)
+
+	resp, err := http.Get(srv.URL + "/debug/polar/events?max=3&kinds=violation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+
+	// The handler attaches its sink after WriteHeader, so keep emitting
+	// until the client has its three lines.
+	done := make(chan []telemetry.Event, 1)
+	go func() {
+		var got []telemetry.Event
+		sc := bufio.NewScanner(resp.Body)
+		for len(got) < 3 && sc.Scan() {
+			var e telemetry.Event
+			if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+				t.Errorf("bad JSONL line %q: %v", sc.Text(), err)
+				break
+			}
+			got = append(got, e)
+		}
+		done <- got
+	}()
+
+	deadline := time.After(5 * time.Second)
+	var got []telemetry.Event
+	addr := uint64(0x9000)
+emit:
+	for {
+		tel.Bus.Emit(telemetry.Event{Kind: telemetry.EvAlloc, Addr: 0xbad})
+		tel.Bus.Emit(telemetry.Event{Kind: telemetry.EvViolation, Addr: addr})
+		addr++
+		select {
+		case got = <-done:
+			break emit
+		case <-deadline:
+			t.Fatal("client never received 3 violation events")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if len(got) != 3 {
+		t.Fatalf("streamed %d events, want 3", len(got))
+	}
+	for _, e := range got {
+		if e.Kind != telemetry.EvViolation {
+			t.Errorf("kind filter leaked %v", e.Kind)
+		}
+		if e.Addr == 0xbad {
+			t.Error("filtered alloc event leaked through")
+		}
+	}
+}
+
+func TestEventsEndpointBadParams(t *testing.T) {
+	_, srv := newServer(t, nil)
+	for _, q := range []string{"every=0", "every=x", "max=-1", "kinds=nonsense"} {
+		resp, body := get(t, srv.URL+"/debug/polar/events?"+q)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("?%s: status = %d, want 400 (body %q)", q, resp.StatusCode, body)
+		}
+	}
+}
+
+func TestHotsitesEndpoint(t *testing.T) {
+	// Without a profiler the route 404s with a hint.
+	_, bare := newServer(t, nil)
+	resp, body := get(t, bare.URL+"/debug/polar/hotsites")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("no-profiler status = %d, want 404", resp.StatusCode)
+	}
+	if !strings.Contains(body, "-profile") {
+		t.Errorf("404 body should point at the -profile flag: %q", body)
+	}
+
+	prof := profile.NewSiteProfiler()
+	prof.Site("@main.loop.body").AddCycles(99)
+	_, srv := newServer(t, prof)
+	resp, body = get(t, srv.URL+"/debug/polar/hotsites?top=5")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if !strings.Contains(body, "@main.loop.body") || !strings.Contains(body, "hot sites") {
+		t.Errorf("hotsites report malformed:\n%s", body)
+	}
+}
+
+func TestPprofIndexMounted(t *testing.T) {
+	_, srv := newServer(t, nil)
+	resp, body := get(t, srv.URL+"/debug/pprof/")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status = %d", resp.StatusCode)
+	}
+	if !strings.Contains(body, "profile") {
+		t.Errorf("pprof index missing profile links:\n%.200s", body)
+	}
+}

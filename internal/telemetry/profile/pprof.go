@@ -1,0 +1,164 @@
+package profile
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"time"
+)
+
+// WritePprof encodes the site profile as gzipped pprof protobuf
+// (https://github.com/google/pprof/blob/main/proto/profile.proto) so
+// `go tool pprof` can open it. Each IR site becomes one function +
+// location with a single-frame sample carrying three values:
+// [cycles, getptrs, probes]; "cycles" is the default sample type.
+//
+// The encoder below is a hand-rolled subset of protobuf (varint,
+// length-delimited submessages, packed repeated scalars) — the pprof
+// wire format is small and fixed, and the repository is stdlib-only by
+// design, so depending on a protobuf library for five message types
+// would be all cost.
+func (p *SiteProfiler) WritePprof(w io.Writer) error {
+	samples := p.Snapshot()
+
+	// String table: index 0 must be "".
+	strs := []string{""}
+	idx := map[string]int64{"": 0}
+	intern := func(s string) int64 {
+		if i, ok := idx[s]; ok {
+			return i
+		}
+		i := int64(len(strs))
+		strs = append(strs, s)
+		idx[s] = i
+		return i
+	}
+	cyclesStr := intern("cycles")
+	countStr := intern("count")
+	getptrStr := intern("getptrs")
+	probesStr := intern("probes")
+	fileStr := intern("polar-ir")
+
+	var prof msg
+	// sample_type = 1: cycles/count, getptrs/count, probes/count.
+	for _, typ := range []int64{cyclesStr, getptrStr, probesStr} {
+		var vt msg
+		vt.int64Field(1, typ)
+		vt.int64Field(2, countStr)
+		prof.subMsg(1, &vt)
+	}
+	for i, s := range samples {
+		id := uint64(i + 1)
+		nameStr := intern(s.Site)
+
+		var fn msg
+		fn.uint64Field(1, id)     // id
+		fn.int64Field(2, nameStr) // name
+		fn.int64Field(3, nameStr) // system_name
+		fn.int64Field(4, fileStr) // filename
+		prof.subMsg(5, &fn)       // function = 5
+
+		var line msg
+		line.uint64Field(1, id) // function_id
+		var loc msg
+		loc.uint64Field(1, id) // id
+		loc.subMsg(4, &line)   // line = 4
+		prof.subMsg(4, &loc)   // location = 4
+
+		var sm msg
+		sm.packedUint64(1, []uint64{id}) // location_id
+		sm.packedInt64(2, []int64{int64(s.Cycles), int64(s.Getptrs), int64(s.Probes)})
+		prof.subMsg(2, &sm) // sample = 2
+	}
+	for _, s := range strs {
+		prof.stringField(6, s) // string_table = 6
+	}
+	prof.int64Field(9, time.Now().UnixNano()) // time_nanos
+	var period msg
+	period.int64Field(1, cyclesStr)
+	period.int64Field(2, countStr)
+	prof.subMsg(11, &period)       // period_type = 11
+	prof.int64Field(12, 1)         // period = 12
+	prof.int64Field(14, cyclesStr) // default_sample_type = 14
+
+	gz := gzip.NewWriter(w)
+	if _, err := gz.Write(prof.buf); err != nil {
+		return fmt.Errorf("profile: write pprof: %w", err)
+	}
+	if err := gz.Close(); err != nil {
+		return fmt.Errorf("profile: close pprof stream: %w", err)
+	}
+	return nil
+}
+
+// msg accumulates one protobuf message.
+type msg struct {
+	buf []byte
+}
+
+const (
+	wireVarint = 0
+	wireBytes  = 2
+)
+
+func (m *msg) tag(field, wire int) {
+	m.varint(uint64(field)<<3 | uint64(wire))
+}
+
+func (m *msg) varint(v uint64) {
+	for v >= 0x80 {
+		m.buf = append(m.buf, byte(v)|0x80)
+		v >>= 7
+	}
+	m.buf = append(m.buf, byte(v))
+}
+
+func (m *msg) uint64Field(field int, v uint64) {
+	if v == 0 {
+		return
+	}
+	m.tag(field, wireVarint)
+	m.varint(v)
+}
+
+func (m *msg) int64Field(field int, v int64) {
+	if v == 0 {
+		return
+	}
+	m.tag(field, wireVarint)
+	m.varint(uint64(v))
+}
+
+func (m *msg) stringField(field int, s string) {
+	// Zero-length strings are still emitted: string_table[0] must be ""
+	// and present so indices stay aligned.
+	m.tag(field, wireBytes)
+	m.varint(uint64(len(s)))
+	m.buf = append(m.buf, s...)
+}
+
+func (m *msg) subMsg(field int, sub *msg) {
+	m.tag(field, wireBytes)
+	m.varint(uint64(len(sub.buf)))
+	m.buf = append(m.buf, sub.buf...)
+}
+
+func (m *msg) packedUint64(field int, vs []uint64) {
+	var body msg
+	for _, v := range vs {
+		body.varint(v)
+	}
+	m.tag(field, wireBytes)
+	m.varint(uint64(len(body.buf)))
+	m.buf = append(m.buf, body.buf...)
+}
+
+func (m *msg) packedInt64(field int, vs []int64) {
+	var body msg
+	for _, v := range vs {
+		body.varint(uint64(v))
+	}
+	m.tag(field, wireBytes)
+	m.varint(uint64(len(body.buf)))
+	m.buf = append(m.buf, body.buf...)
+}

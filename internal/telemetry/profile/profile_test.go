@@ -1,0 +1,255 @@
+package profile
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+)
+
+// fill charges a fixed workload to three sites with distinct heat so
+// ordering assertions are unambiguous.
+func fill(p *SiteProfiler) {
+	hot := p.Site("@main.loop.body")
+	hot.AddCycles(800)
+	for i := 0; i < 40; i++ {
+		hot.IncGetptr()
+	}
+	for i := 0; i < 10; i++ {
+		hot.IncProbe()
+	}
+	warm := p.Site("@main.entry")
+	warm.AddCycles(150)
+	warm.IncGetptr()
+	cold := p.Site("@helper.entry")
+	cold.AddCycles(50)
+}
+
+func TestSnapshotOrdering(t *testing.T) {
+	p := NewSiteProfiler()
+	fill(p)
+	// Equal-cycle sites must tie-break on name.
+	p.Site("@tie.b").AddCycles(150)
+	p.Site("@tie.a").AddCycles(150)
+
+	var sites []string
+	for _, s := range p.Snapshot() {
+		sites = append(sites, s.Site)
+	}
+	want := []string{"@main.loop.body", "@main.entry", "@tie.a", "@tie.b", "@helper.entry"}
+	if fmt.Sprint(sites) != fmt.Sprint(want) {
+		t.Fatalf("snapshot order = %v, want %v", sites, want)
+	}
+}
+
+func TestSiteReturnsSameCell(t *testing.T) {
+	p := NewSiteProfiler()
+	a := p.Site("@f.b")
+	b := p.Site("@f.b")
+	if a != b {
+		t.Fatal("Site returned distinct cells for the same site")
+	}
+	a.AddCycles(3)
+	b.AddCycles(4)
+	if got := p.Snapshot()[0].Cycles; got != 7 {
+		t.Fatalf("cycles = %d, want 7 (both cells alias)", got)
+	}
+}
+
+func TestTotals(t *testing.T) {
+	p := NewSiteProfiler()
+	fill(p)
+	cycles, getptrs, probes := p.Totals()
+	if cycles != 1000 || getptrs != 41 || probes != 10 {
+		t.Fatalf("Totals() = %d/%d/%d, want 1000/41/10", cycles, getptrs, probes)
+	}
+}
+
+func TestReport(t *testing.T) {
+	p := NewSiteProfiler()
+	fill(p)
+	rep := p.Report(2)
+	if !strings.Contains(rep, "3 total, 1000 interpreted cycles") {
+		t.Errorf("report header missing totals:\n%s", rep)
+	}
+	if !strings.Contains(rep, "@main.loop.body") || !strings.Contains(rep, "@main.entry") {
+		t.Errorf("report missing top-2 sites:\n%s", rep)
+	}
+	if strings.Contains(rep, "@helper.entry") {
+		t.Errorf("report includes site beyond top-2:\n%s", rep)
+	}
+	// hit% for the hot site: (40-10)/40 = 75.0.
+	if !strings.Contains(rep, "75.0") {
+		t.Errorf("report missing cache hit rate 75.0:\n%s", rep)
+	}
+	// topN beyond the site count clamps rather than panics.
+	if full := p.Report(100); !strings.Contains(full, "@helper.entry") {
+		t.Errorf("Report(100) should include every site:\n%s", full)
+	}
+}
+
+// TestWritePprofRoundTrip gunzips the emitted profile and walks the
+// protobuf with an independent minimal decoder: the string table must
+// carry the site names and the sample types, and each sample's packed
+// values must match the profiler counters.
+func TestWritePprofRoundTrip(t *testing.T) {
+	p := NewSiteProfiler()
+	fill(p)
+	var buf bytes.Buffer
+	if err := p.WritePprof(&buf); err != nil {
+		t.Fatal(err)
+	}
+	zr, err := gzip.NewReader(&buf)
+	if err != nil {
+		t.Fatalf("output is not gzip: %v", err)
+	}
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatalf("gunzip: %v", err)
+	}
+	if len(raw) == 0 {
+		t.Fatal("empty profile payload")
+	}
+
+	var (
+		strTable    []string
+		sampleTypes int
+		samples     [][]int64
+	)
+	if err := walkFields(raw, func(field int, wire int, varint uint64, body []byte) error {
+		switch field {
+		case 1: // sample_type
+			sampleTypes++
+		case 2: // sample
+			var values []int64
+			err := walkFields(body, func(f, w int, v uint64, b []byte) error {
+				if f == 2 && w == wireBytes { // packed value
+					return walkVarints(b, func(u uint64) {
+						values = append(values, int64(u))
+					})
+				}
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			samples = append(samples, values)
+		case 6: // string_table
+			strTable = append(strTable, string(body))
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("protobuf walk: %v", err)
+	}
+
+	if sampleTypes != 3 {
+		t.Errorf("sample_type entries = %d, want 3 (cycles/getptrs/probes)", sampleTypes)
+	}
+	if len(strTable) == 0 || strTable[0] != "" {
+		t.Fatalf("string_table[0] = %q, must be empty string", strTable)
+	}
+	have := make(map[string]bool, len(strTable))
+	for _, s := range strTable {
+		have[s] = true
+	}
+	for _, want := range []string{"cycles", "getptrs", "probes", "@main.loop.body", "@main.entry", "@helper.entry"} {
+		if !have[want] {
+			t.Errorf("string table missing %q (table: %q)", want, strTable)
+		}
+	}
+	if len(samples) != 3 {
+		t.Fatalf("samples = %d, want one per site", len(samples))
+	}
+	// Snapshot order is deterministic, so sample rows line up with it.
+	for i, s := range p.Snapshot() {
+		want := []int64{int64(s.Cycles), int64(s.Getptrs), int64(s.Probes)}
+		if fmt.Sprint(samples[i]) != fmt.Sprint(want) {
+			t.Errorf("sample[%d] values = %v, want %v (%s)", i, samples[i], want, s.Site)
+		}
+	}
+}
+
+func TestWritePprofEmptyProfiler(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewSiteProfiler().WritePprof(&buf); err != nil {
+		t.Fatal(err)
+	}
+	zr, err := gzip.NewReader(&buf)
+	if err != nil {
+		t.Fatalf("empty profile is not gzip: %v", err)
+	}
+	if _, err := io.ReadAll(zr); err != nil {
+		t.Fatalf("empty profile body corrupt: %v", err)
+	}
+}
+
+func TestWriteAllocProfile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAllocProfile(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gzip.NewReader(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("alloc profile is not gzipped pprof: %v", err)
+	}
+}
+
+// walkFields iterates the top-level fields of one protobuf message.
+// For varint fields body is nil; for length-delimited fields varint is 0.
+func walkFields(b []byte, visit func(field, wire int, varint uint64, body []byte) error) error {
+	for len(b) > 0 {
+		key, n := readVarint(b)
+		if n == 0 {
+			return fmt.Errorf("truncated tag")
+		}
+		b = b[n:]
+		field, wire := int(key>>3), int(key&7)
+		switch wire {
+		case wireVarint:
+			v, n := readVarint(b)
+			if n == 0 {
+				return fmt.Errorf("truncated varint in field %d", field)
+			}
+			b = b[n:]
+			if err := visit(field, wire, v, nil); err != nil {
+				return err
+			}
+		case wireBytes:
+			l, n := readVarint(b)
+			if n == 0 || uint64(len(b)-n) < l {
+				return fmt.Errorf("truncated bytes in field %d", field)
+			}
+			if err := visit(field, wire, 0, b[n:n+int(l)]); err != nil {
+				return err
+			}
+			b = b[n+int(l):]
+		default:
+			return fmt.Errorf("unexpected wire type %d for field %d", wire, field)
+		}
+	}
+	return nil
+}
+
+func walkVarints(b []byte, visit func(uint64)) error {
+	for len(b) > 0 {
+		v, n := readVarint(b)
+		if n == 0 {
+			return fmt.Errorf("truncated packed varint")
+		}
+		visit(v)
+		b = b[n:]
+	}
+	return nil
+}
+
+func readVarint(b []byte) (uint64, int) {
+	var v uint64
+	for i := 0; i < len(b) && i < 10; i++ {
+		v |= uint64(b[i]&0x7f) << (7 * i)
+		if b[i]&0x80 == 0 {
+			return v, i + 1
+		}
+	}
+	return 0, 0
+}

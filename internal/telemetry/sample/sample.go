@@ -1,0 +1,183 @@
+// Package sample provides sampling sinks for the telemetry event bus,
+// so high-rate event kinds (fieldptr-hit, cache-probe) can carry full
+// payloads at bounded cost instead of being count-only.
+//
+// Two strategies are provided, mirroring the standard trade-off between
+// stream sampling and retained sampling:
+//
+//   - Rated forwards one event in every N of a kind to a downstream
+//     sink — constant per-event cost, unbounded stream, deterministic
+//     (counter-based, no randomness), so two same-seed runs forward the
+//     identical event subsequence. This is what the live introspection
+//     endpoint streams.
+//   - Reservoir retains a fixed-size uniform sample of the whole stream
+//     (Vitter's algorithm R) under a seeded RNG — bounded memory, every
+//     event equally likely to survive, deterministic under a fixed seed
+//     and event order. This is what offline analysis snapshots.
+//
+// Both are telemetry.Sinks: attach them to a Bus (optionally behind a
+// Filter that selects only the high-rate kinds) and detach when done.
+package sample
+
+import (
+	"math/rand"
+	"sync"
+
+	"polar/internal/telemetry"
+)
+
+// Filter forwards only the configured kinds to the downstream sink.
+// With no kinds configured it forwards everything.
+type Filter struct {
+	sink  telemetry.Sink
+	kinds map[telemetry.EventKind]bool
+}
+
+// NewFilter returns a filter passing only the listed kinds to sink.
+func NewFilter(sink telemetry.Sink, kinds ...telemetry.EventKind) *Filter {
+	f := &Filter{sink: sink}
+	if len(kinds) > 0 {
+		f.kinds = make(map[telemetry.EventKind]bool, len(kinds))
+		for _, k := range kinds {
+			f.kinds[k] = true
+		}
+	}
+	return f
+}
+
+// Event implements telemetry.Sink.
+func (f *Filter) Event(e telemetry.Event) {
+	if f.kinds == nil || f.kinds[e.Kind] {
+		f.sink.Event(e)
+	}
+}
+
+// Rated forwards one event in every N per kind to the downstream sink.
+// The first event of a kind is always forwarded (so short streams are
+// never empty), then every Nth after it. Selection is a per-kind
+// counter — no randomness — so the forwarded subsequence is a
+// deterministic function of the event stream.
+type Rated struct {
+	mu   sync.Mutex
+	sink telemetry.Sink
+	// every[k] is the sampling period for kind k; 0 falls back to def.
+	every map[telemetry.EventKind]uint64
+	def   uint64
+	seen  map[telemetry.EventKind]uint64
+	kept  uint64
+	drop  uint64
+}
+
+// NewRated returns a rate sink forwarding 1-in-every to sink for every
+// kind (every <= 1 forwards everything).
+func NewRated(sink telemetry.Sink, every int) *Rated {
+	if every < 1 {
+		every = 1
+	}
+	return &Rated{
+		sink:  sink,
+		def:   uint64(every),
+		every: make(map[telemetry.EventKind]uint64),
+		seen:  make(map[telemetry.EventKind]uint64),
+	}
+}
+
+// SetKindRate overrides the sampling period for one kind (every <= 1
+// forwards all events of the kind).
+func (r *Rated) SetKindRate(kind telemetry.EventKind, every int) *Rated {
+	if every < 1 {
+		every = 1
+	}
+	r.mu.Lock()
+	r.every[kind] = uint64(every)
+	r.mu.Unlock()
+	return r
+}
+
+// Event implements telemetry.Sink.
+func (r *Rated) Event(e telemetry.Event) {
+	r.mu.Lock()
+	n := r.seen[e.Kind]
+	r.seen[e.Kind] = n + 1
+	period := r.every[e.Kind]
+	if period == 0 {
+		period = r.def
+	}
+	forward := n%period == 0
+	if forward {
+		r.kept++
+	} else {
+		r.drop++
+	}
+	r.mu.Unlock()
+	// Deliver outside the lock: the downstream sink may be slow (an HTTP
+	// stream); only the counters need the mutex.
+	if forward {
+		r.sink.Event(e)
+	}
+}
+
+// Counts returns how many events were forwarded and suppressed.
+func (r *Rated) Counts() (kept, dropped uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.kept, r.drop
+}
+
+// Publish snapshots the sampler counters into a registry so metrics
+// consumers can tell a sampled stream from a complete one.
+func (r *Rated) Publish(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	kept, dropped := r.Counts()
+	reg.Counter("sample.rated_kept").Set(kept)
+	reg.Counter("sample.rated_dropped").Set(dropped)
+}
+
+// Reservoir retains a uniform fixed-size sample of every event it sees
+// (algorithm R). Deterministic under a fixed seed and event order.
+type Reservoir struct {
+	mu     sync.Mutex
+	cap    int
+	rng    *rand.Rand
+	seen   uint64
+	events []telemetry.Event
+}
+
+// NewReservoir returns a reservoir keeping at most cap events (cap <= 0
+// defaults to 256), sampled under the given seed.
+func NewReservoir(cap int, seed int64) *Reservoir {
+	if cap <= 0 {
+		cap = 256
+	}
+	return &Reservoir{cap: cap, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Event implements telemetry.Sink.
+func (r *Reservoir) Event(e telemetry.Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seen++
+	if len(r.events) < r.cap {
+		r.events = append(r.events, e)
+		return
+	}
+	if j := r.rng.Int63n(int64(r.seen)); j < int64(r.cap) {
+		r.events[j] = e
+	}
+}
+
+// Events returns a copy of the current sample.
+func (r *Reservoir) Events() []telemetry.Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]telemetry.Event(nil), r.events...)
+}
+
+// Seen returns how many events flowed through the reservoir.
+func (r *Reservoir) Seen() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seen
+}

@@ -1,0 +1,154 @@
+package sample
+
+import (
+	"reflect"
+	"testing"
+
+	"polar/internal/telemetry"
+)
+
+// stream fabricates n events of kind k with distinguishable payloads.
+func stream(k telemetry.EventKind, n int) []telemetry.Event {
+	evs := make([]telemetry.Event, n)
+	for i := range evs {
+		evs[i] = telemetry.Event{Kind: k, Addr: uint64(0x1000 + i)}
+	}
+	return evs
+}
+
+func TestRatedForwardsFirstThenEveryNth(t *testing.T) {
+	rec := telemetry.NewRecorder(0)
+	r := NewRated(rec, 10)
+	for _, e := range stream(telemetry.EvFieldHit, 25) {
+		r.Event(e)
+	}
+	got := rec.Events()
+	if len(got) != 3 {
+		t.Fatalf("forwarded %d events, want 3 (first, 11th, 21st)", len(got))
+	}
+	for i, wantAddr := range []uint64{0x1000, 0x100a, 0x1014} {
+		if got[i].Addr != wantAddr {
+			t.Errorf("forwarded[%d].Addr = %#x, want %#x", i, got[i].Addr, wantAddr)
+		}
+	}
+	kept, dropped := r.Counts()
+	if kept != 3 || dropped != 22 {
+		t.Errorf("Counts() = %d kept, %d dropped; want 3, 22", kept, dropped)
+	}
+}
+
+func TestRatedPerKindRates(t *testing.T) {
+	rec := telemetry.NewRecorder(0)
+	r := NewRated(rec, 1).SetKindRate(telemetry.EvFieldHit, 100)
+	for i := 0; i < 200; i++ {
+		r.Event(telemetry.Event{Kind: telemetry.EvFieldHit})
+		r.Event(telemetry.Event{Kind: telemetry.EvViolation})
+	}
+	if n := len(rec.ByKind(telemetry.EvFieldHit)); n != 2 {
+		t.Errorf("fieldptr-hit forwarded %d, want 2 (1 in 100 of 200)", n)
+	}
+	if n := len(rec.ByKind(telemetry.EvViolation)); n != 200 {
+		t.Errorf("violation forwarded %d, want all 200 (default rate 1)", n)
+	}
+}
+
+func TestRatedPublish(t *testing.T) {
+	r := NewRated(telemetry.FuncSink(func(telemetry.Event) {}), 4)
+	for _, e := range stream(telemetry.EvAlloc, 9) {
+		r.Event(e)
+	}
+	reg := telemetry.NewRegistry()
+	r.Publish(reg)
+	snap := reg.Snapshot()
+	if snap.Counters["sample.rated_kept"] != 3 || snap.Counters["sample.rated_dropped"] != 6 {
+		t.Fatalf("published kept/dropped = %d/%d, want 3/6",
+			snap.Counters["sample.rated_kept"], snap.Counters["sample.rated_dropped"])
+	}
+}
+
+func TestFilterSelectsKinds(t *testing.T) {
+	rec := telemetry.NewRecorder(0)
+	f := NewFilter(rec, telemetry.EvViolation)
+	f.Event(telemetry.Event{Kind: telemetry.EvAlloc})
+	f.Event(telemetry.Event{Kind: telemetry.EvViolation})
+	f.Event(telemetry.Event{Kind: telemetry.EvFree})
+	if got := rec.Events(); len(got) != 1 || got[0].Kind != telemetry.EvViolation {
+		t.Fatalf("filtered events = %+v, want the one violation", got)
+	}
+	// No kinds configured = pass everything.
+	rec2 := telemetry.NewRecorder(0)
+	all := NewFilter(rec2)
+	all.Event(telemetry.Event{Kind: telemetry.EvAlloc})
+	all.Event(telemetry.Event{Kind: telemetry.EvFree})
+	if len(rec2.Events()) != 2 {
+		t.Fatal("kindless filter should forward everything")
+	}
+}
+
+// TestReservoirDeterministicUnderSeed is the reproducibility contract:
+// the same seed and event order give byte-identical samples, and a
+// different seed gives a different one (for a stream long enough that
+// replacement must occur).
+func TestReservoirDeterministicUnderSeed(t *testing.T) {
+	run := func(seed int64) []telemetry.Event {
+		r := NewReservoir(32, seed)
+		for _, e := range stream(telemetry.EvFieldHit, 5000) {
+			r.Event(e)
+		}
+		return r.Events()
+	}
+	a, b := run(42), run(42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed, same stream: samples differ")
+	}
+	if c := run(43); reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical samples over 5000 events")
+	}
+	if len(a) != 32 {
+		t.Fatalf("sample size = %d, want cap 32", len(a))
+	}
+}
+
+func TestReservoirShortStreamKeepsEverything(t *testing.T) {
+	r := NewReservoir(64, 1)
+	in := stream(telemetry.EvAlloc, 10)
+	for _, e := range in {
+		r.Event(e)
+	}
+	if got := r.Events(); !reflect.DeepEqual(got, in) {
+		t.Fatalf("short stream mangled: got %d events", len(got))
+	}
+	if r.Seen() != 10 {
+		t.Fatalf("Seen() = %d, want 10", r.Seen())
+	}
+}
+
+// TestReservoirUniformity sanity-checks algorithm R: over many trials,
+// early and late stream positions survive at comparable rates.
+func TestReservoirUniformity(t *testing.T) {
+	const n, capacity, trials = 400, 40, 200
+	surv := make([]int, n)
+	for trial := 0; trial < trials; trial++ {
+		r := NewReservoir(capacity, int64(trial))
+		for _, e := range stream(telemetry.EvFieldHit, n) {
+			r.Event(e)
+		}
+		for _, e := range r.Events() {
+			surv[e.Addr-0x1000]++
+		}
+	}
+	firstHalf, secondHalf := 0, 0
+	for i, c := range surv {
+		if i < n/2 {
+			firstHalf += c
+		} else {
+			secondHalf += c
+		}
+	}
+	// Expected share is 50/50 (=4000 each); allow ±15% relative skew.
+	ratio := float64(firstHalf) / float64(secondHalf)
+	if ratio < 0.85 || ratio > 1.18 {
+		t.Fatalf("first/second half survival ratio %.3f — not uniform (first=%d second=%d)",
+			ratio, firstHalf, secondHalf)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"polar/internal/heap"
 	"polar/internal/ir"
 	"polar/internal/telemetry"
+	"polar/internal/telemetry/profile"
 )
 
 // Execution error sentinels.
@@ -87,12 +88,31 @@ type Call struct {
 }
 
 // Site returns the instruction site of the call as "@fn.block" (empty
-// when unknown). The POLaR runtime stamps violation records with it.
+// when unknown). The POLaR runtime stamps violation records with it and
+// the hot-site profiler attributes member accesses by it, so the string
+// is interned per block when a VM is available.
 func (c *Call) Site() string {
 	if c == nil || c.fn == nil || c.blk == nil {
 		return ""
 	}
+	if c.VM != nil && c.VM.siteNames != nil {
+		return c.VM.siteName(c.fn, c.blk)
+	}
 	return "@" + c.fn.Name + "." + c.blk.Name
+}
+
+// siteName returns the interned "@fn.block" name for a block (callers
+// must have checked v.siteNames != nil or accept allocation).
+func (v *VM) siteName(fn *ir.Func, b *ir.Block) string {
+	if v.siteNames == nil {
+		return "@" + fn.Name + "." + b.Name
+	}
+	if s, ok := v.siteNames[b]; ok {
+		return s
+	}
+	s := "@" + fn.Name + "." + b.Name
+	v.siteNames[b] = s
+	return s
 }
 
 // Arg returns argument i or 0 if absent.
@@ -150,6 +170,16 @@ type VM struct {
 	// tel is the observability layer (nil = disabled; every emission is
 	// guarded by one nil check).
 	tel *telemetry.Telemetry
+
+	// prof is the hot-site profiler (nil unless WithProfiler); profSites
+	// caches the per-block counter cells so the steady-state cost is one
+	// map hit per basic-block entry, not per instruction.
+	prof      *profile.SiteProfiler
+	profSites map[*ir.Block]*profile.SiteCounts
+	// siteNames interns the "@fn.block" site strings so repeated
+	// Call.Site() resolutions (per-access profiler attribution) do not
+	// reallocate.
+	siteNames map[*ir.Block]string
 }
 
 // traceInstr emits one trace line (called only when tracing is on).
@@ -207,6 +237,18 @@ func WithTelemetry(t *telemetry.Telemetry) Option {
 	return func(v *VM) { v.tel = t }
 }
 
+// WithProfiler attaches a hot-site profiler: every basic-block entry
+// charges the block's instruction count to its "@fn.block" site.
+// Early block exits (a mid-block ret, a fault) slightly overcharge the
+// exiting block; site ranking — the profiler's purpose — is unaffected.
+// A nil p disables profiling with no overhead beyond a nil check.
+func WithProfiler(p *profile.SiteProfiler) Option {
+	return func(v *VM) { v.prof = p }
+}
+
+// Profiler returns the attached hot-site profiler (may be nil).
+func (v *VM) Profiler() *profile.SiteProfiler { return v.prof }
+
 // Telemetry returns the attached observability layer (may be nil).
 func (v *VM) Telemetry() *telemetry.Telemetry { return v.tel }
 
@@ -236,6 +278,10 @@ func New(m *ir.Module, opts ...Option) (*VM, error) {
 		heapOpts = append(heapOpts, heap.WithTelemetry(v.tel))
 	}
 	v.Heap = heap.New(HeapBase, HeapSize, heapOpts...)
+	if v.prof != nil {
+		v.profSites = make(map[*ir.Block]*profile.SiteCounts)
+		v.siteNames = make(map[*ir.Block]string)
+	}
 	v.fuelLeft = v.fuel
 	if v.covOn {
 		v.coverage = make([]byte, coverageSize)
@@ -371,6 +417,14 @@ func (v *VM) call(fn *ir.Func, args []ir.Value, callerRegs []int64, callerDest i
 	prevBlk := -1
 	for {
 		b := fn.Blocks[blk]
+		if v.profSites != nil {
+			c, ok := v.profSites[b]
+			if !ok {
+				c = v.prof.Site(v.siteName(fn, b))
+				v.profSites[b] = c
+			}
+			c.AddCycles(uint64(len(b.Instrs)))
+		}
 		if v.coverage != nil {
 			e := edgeHash(fn, prevBlk, blk)
 			c := &v.coverage[e]

@@ -30,6 +30,7 @@ import (
 	"polar/internal/policy"
 	"polar/internal/taint"
 	"polar/internal/telemetry"
+	"polar/internal/telemetry/profile"
 	"polar/internal/vm"
 )
 
@@ -49,6 +50,10 @@ type Violation = core.Violation
 // ViolationRecord is the structured record kept for every detection
 // (under both policies); see Result.Violations.
 type ViolationRecord = core.ViolationRecord
+
+// ViolationLog bundles the detection records with their truncation
+// state (the structured log is capped; the counters are not).
+type ViolationLog = core.RecordSet
 
 // Telemetry is the unified observability layer: a typed event bus, a
 // metrics registry and an optional pipeline tracer. Create one with
@@ -72,6 +77,15 @@ type TraceSpan = telemetry.Span
 // NewTracer returns a tracer writing trace-event JSON to w; attach it
 // with Telemetry.WithTracer and Close it when the pipeline is done.
 func NewTracer(w io.Writer) *Tracer { return telemetry.NewTracer(w) }
+
+// SiteProfiler accumulates the VM-level hot-site profile: interpreted
+// cycles, member resolutions and metadata-table probes attributed to IR
+// instruction sites ("@fn.block"). Create one with NewSiteProfiler,
+// attach it via WithProfiler, then render Report(n) or WritePprof.
+type SiteProfiler = profile.SiteProfiler
+
+// NewSiteProfiler returns an empty hot-site profiler.
+func NewSiteProfiler() *SiteProfiler { return profile.NewSiteProfiler() }
 
 // Parse reads the textual IR form (see internal/ir: Print/Parse).
 func Parse(src string) (*Module, error) { return ir.Parse(src) }
@@ -243,6 +257,7 @@ type options struct {
 	traceMax      int
 	policy        *policy.Policy
 	tel           *telemetry.Telemetry
+	prof          *profile.SiteProfiler
 }
 
 // Option configures Run and RunHardened.
@@ -300,6 +315,12 @@ func WithPolicy(p *Policy) Option { return func(o *options) { o.policy = p } }
 // (nil, the default) telemetry costs one branch per emission point.
 func WithTelemetry(t *Telemetry) Option { return func(o *options) { o.tel = t } }
 
+// WithProfiler attaches a hot-site profiler to the run: the VM charges
+// interpreted cycles to each basic block it enters, and the runtime
+// attributes member resolutions and metadata probes to the olr_* call
+// sites. Sharing one profiler across runs aggregates their profiles.
+func WithProfiler(p *SiteProfiler) Option { return func(o *options) { o.prof = p } }
+
 // Result is the outcome of one execution.
 type Result struct {
 	// Value is @main's return value.
@@ -313,6 +334,12 @@ type Result struct {
 	// Violations are the structured detection records, in order
 	// (populated on hardened runs; capped — see core.ViolationRecords).
 	Violations []ViolationRecord
+	// ViolationsTruncated reports that the record log filled and
+	// Violations is a prefix of the detection history;
+	// ViolationsDropped counts the records lost past the cap. The
+	// per-kind counters in Runtime.Violations still include them.
+	ViolationsTruncated bool
+	ViolationsDropped   uint64
 }
 
 // Run executes an unhardened module.
@@ -359,6 +386,7 @@ func RunHardened(h *Hardened, opts ...Option) (*Result, error) {
 	}
 	cfg := core.DefaultConfig(o.seed)
 	cfg.Telemetry = o.tel
+	cfg.Profiler = o.prof
 	if o.warnOnly {
 		cfg.Policy = core.PolicyWarn
 	}
@@ -409,9 +437,11 @@ func RunHardened(h *Hardened, opts ...Option) (*Result, error) {
 		return nil, err
 	}
 	publishVM(v, o)
+	vlog := rt.ViolationLog()
 	return &Result{
 		Value: val, Output: v.Output(), Runtime: rt.Stats(),
-		VM: v.Stats, Violations: rt.ViolationRecords(),
+		VM: v.Stats, Violations: vlog.Records,
+		ViolationsTruncated: vlog.Truncated, ViolationsDropped: vlog.Dropped,
 	}, nil
 }
 
@@ -433,6 +463,9 @@ func newVM(m *Module, o *options) (*vm.VM, error) {
 	}
 	if o.tel != nil {
 		vmOpts = append(vmOpts, vm.WithTelemetry(o.tel))
+	}
+	if o.prof != nil {
+		vmOpts = append(vmOpts, vm.WithProfiler(o.prof))
 	}
 	return vm.New(m, vmOpts...)
 }
