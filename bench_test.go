@@ -19,6 +19,9 @@ package polar
 
 import (
 	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"polar/internal/core"
@@ -501,6 +504,54 @@ func BenchmarkLayoutGenerate(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkParallelRuns measures what the Program/Instance split buys:
+// one prepared hardened program executed b.N times across a bounded
+// worker pool of cheap instances sharing the compiled form and the
+// layout-dedup pool. CI's overhead guard compares the 4-worker rate
+// against serial (the split is working if 4 workers run ≥2× faster).
+func BenchmarkParallelRuns(b *testing.B) {
+	src, err := os.ReadFile("examples/quickstart/quickstart.ir")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := Parse(string(src))
+	if err != nil {
+		b.Fatal(err)
+	}
+	h, err := Harden(m, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prep, err := PrepareHardened(h)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						i := next.Add(1) - 1
+						if i >= int64(b.N) {
+							return
+						}
+						if _, err := prep.Run(WithSeed(i + 1)); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
 		})
 	}
 }

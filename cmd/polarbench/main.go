@@ -5,7 +5,8 @@
 // Usage:
 //
 //	polarbench [-reps n] [-trials n] [-fuzz n] [-only table1,fig6,...]
-//	           [-seed n] [-format text|csv] [-metrics] [-trace-json file]
+//	           [-seed n] [-parallel n] [-format text|csv] [-metrics]
+//	           [-trace-json file]
 //
 // Experiments: table1, table2, table3, table4, fig6, fig7, security,
 // ablation. Default runs all of them. The text format is what
@@ -15,6 +16,14 @@
 // whole suite as one Chrome-trace timeline: an outer span per
 // experiment with nested spans for each workload, kernel, CVE case and
 // security scenario (load it in chrome://tracing or Perfetto).
+//
+// -parallel spreads each experiment's sub-steps over N workers
+// (default GOMAXPROCS). Every sub-step runs under a seed derived from
+// (-seed, task ID), so the non-timing experiments (table1, table3,
+// table4, security) emit byte-identical output at any parallelism;
+// the timing experiments keep each workload's repetitions pinned to
+// one worker so min-of-N stays valid, but wall-clock numbers naturally
+// vary run to run.
 package main
 
 import (
@@ -34,6 +43,7 @@ func main() {
 	fuzzIters := flag.Int("fuzz", 300, "fuzzing iterations per app for Table I")
 	only := flag.String("only", "", "comma-separated subset of experiments")
 	seed := flag.Int64("seed", 11, "experiment seed")
+	parallel := flag.Int("parallel", 0, "experiment worker pool width (0 = GOMAXPROCS, 1 = serial)")
 	format := flag.String("format", "text", "output format: text or csv")
 	metrics := flag.Bool("metrics", false, "print a JSON metrics snapshot after each experiment")
 	traceJSON := flag.String("trace-json", "", "write a Chrome trace-event timeline of the suite to this file")
@@ -46,6 +56,7 @@ func main() {
 		}
 	}
 	sel := func(k string) bool { return len(want) == 0 || want[k] }
+	evalrun.SetParallelism(*parallel)
 	csv := *format == "csv"
 	if *format != "text" && *format != "csv" {
 		fmt.Fprintf(os.Stderr, "polarbench: unknown format %q\n", *format)

@@ -3,14 +3,23 @@
 // Usage:
 //
 //	polarun [-hardened|-harden] [-input file] [-seed n] [-stats]
-//	        [-metrics] [-trace-json file] [-profile file] [-http addr]
-//	        program.ir [args...]
+//	        [-runs n] [-parallel n] [-metrics] [-trace-json file]
+//	        [-profile file] [-http addr] program.ir [args...]
 //
 // Plain modules run on the bare VM; pass -hardened for modules produced
 // by polarc (the POLaR runtime is attached and the class table
 // recomputed from the declarations), or -harden to instrument a plain
 // module in-process before running it. The program's printed output
 // goes to stdout and @main's return value becomes a "result: N" line.
+//
+// -runs executes the program N times from one compiled form (the
+// module is validated and laid out once; every run is a cheap
+// instance). -parallel spreads the runs over a worker pool. Each run
+// gets a seed derived from (-seed, run index), every run's output is
+// verified identical to the first (layout randomization is
+// semantics-preserving), and per-run metric registries are merged in
+// run order so the -metrics snapshot is deterministic at any
+// parallelism.
 //
 // Observability:
 //
@@ -27,24 +36,33 @@
 //	-profile-top  rows in the text report (default 15)
 //	-cpuprofile   Go-level CPU profile of the interpreter itself
 //	-memprofile   Go-level allocation profile, written after the run
-//	-http         serve /debug/polar/{metrics,events,hotsites} and
-//	              /debug/pprof/* on this address while the program runs
+//	-http         serve /debug/polar/{metrics,events,hotsites,
+//	              violations,reservoir} and /debug/pprof/* on this
+//	              address while the program runs
 //	-http-hold    keep serving after the run until interrupted
+//	-reservoir    capacity of the event sample behind
+//	              /debug/polar/reservoir (with -http; default 256)
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
+	"sync"
+	"sync/atomic"
 
 	"polar"
+	"polar/internal/evalrun"
 	"polar/internal/telemetry/introspect"
 	"polar/internal/telemetry/profile"
+	"polar/internal/telemetry/sample"
 )
 
 // runConfig carries the parsed flags.
@@ -54,6 +72,8 @@ type runConfig struct {
 	seed             int64
 	stats, warn      bool
 	trace            int
+	runs             int
+	parallel         int
 	metrics          bool
 	traceJSON        string
 	policyPath       string
@@ -63,6 +83,7 @@ type runConfig struct {
 	memProfile       string
 	httpAddr         string
 	httpHold         bool
+	reservoirCap     int
 }
 
 func main() {
@@ -74,6 +95,8 @@ func main() {
 	flag.BoolVar(&c.stats, "stats", false, "print runtime counters to stderr")
 	flag.BoolVar(&c.warn, "warn", false, "count violations instead of aborting")
 	flag.IntVar(&c.trace, "trace", 0, "trace the first N executed instructions to stderr")
+	flag.IntVar(&c.runs, "runs", 1, "execute the program this many times from one compiled form")
+	flag.IntVar(&c.parallel, "parallel", 0, "worker pool width for -runs (0 = GOMAXPROCS, 1 = serial)")
 	flag.BoolVar(&c.metrics, "metrics", false, "print a JSON metrics snapshot to stdout after the run")
 	flag.StringVar(&c.traceJSON, "trace-json", "", "write a Chrome trace-event timeline to this file")
 	flag.StringVar(&c.policyPath, "policy", "", "apply a policy file's per-class tuning (with -hardened)")
@@ -83,6 +106,7 @@ func main() {
 	flag.StringVar(&c.memProfile, "memprofile", "", "write a Go allocation profile to this file after the run")
 	flag.StringVar(&c.httpAddr, "http", "", "serve the live introspection endpoint on this address (e.g. :6070)")
 	flag.BoolVar(&c.httpHold, "http-hold", false, "with -http: keep serving after the run until interrupted")
+	flag.IntVar(&c.reservoirCap, "reservoir", 256, "event-sample capacity behind /debug/polar/reservoir (with -http)")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: polarun [-hardened|-harden] [-input file] [-seed n] program.ir [args...]")
@@ -131,6 +155,7 @@ func run(c runConfig) error {
 	if c.profilePath != "" || c.httpAddr != "" {
 		prof = polar.NewSiteProfiler()
 	}
+	var ih *introspect.Handler
 	if c.httpAddr != "" {
 		// Listen before the run so address errors surface immediately,
 		// then serve in the background for the program's lifetime.
@@ -140,7 +165,14 @@ func run(c runConfig) error {
 		}
 		defer ln.Close()
 		fmt.Fprintf(os.Stderr, "polarun: introspection at http://%s/debug/polar/metrics\n", ln.Addr())
-		srv := &http.Server{Handler: introspect.New(tel, prof).Mux()}
+		ih = introspect.New(tel, prof)
+		// A reservoir sample of the event stream backs the
+		// /debug/polar/reservoir download; the bus fans every event into
+		// it alongside the live subscribers.
+		rsv := sample.NewReservoir(c.reservoirCap, c.seed)
+		tel.Bus.Attach(rsv)
+		ih.SetReservoir(rsv)
+		srv := &http.Server{Handler: ih.Mux()}
 		go srv.Serve(ln)
 	}
 	if c.cpuProfile != "" {
@@ -184,41 +216,105 @@ func run(c runConfig) error {
 		args = append(args, v)
 	}
 
-	opts := []polar.Option{polar.WithSeed(c.seed), polar.WithInput(input), polar.WithArgs(args...)}
-	if c.warn {
-		opts = append(opts, polar.WithWarnPolicy())
-	}
-	if c.trace > 0 {
-		opts = append(opts, polar.WithTrace(os.Stderr, c.trace))
-	}
-	if tel != nil {
-		opts = append(opts, polar.WithTelemetry(tel))
-	}
-	if prof != nil {
-		opts = append(opts, polar.WithProfiler(prof))
-	}
-	if c.policyPath != "" {
-		pol, err := polar.LoadPolicy(c.policyPath)
-		if err != nil {
-			return err
-		}
-		opts = append(opts, polar.WithPolicy(pol))
-	}
-	var res *polar.Result
+	// Compile once: the module is validated and its globals laid out a
+	// single time; every run below stamps a cheap instance off the
+	// shared program.
+	var prep *polar.Prepared
 	switch {
 	case c.harden:
 		h, herr := polar.HardenTraced(m, nil, tel)
 		if herr != nil {
 			return herr
 		}
-		res, err = polar.RunHardened(h, opts...)
+		prep, err = polar.PrepareHardened(h)
 	case c.hardened:
-		res, err = polar.RunHardened(&polar.Hardened{Module: m}, opts...)
+		prep, err = polar.PrepareHardened(&polar.Hardened{Module: m})
 	default:
-		res, err = polar.Run(m, opts...)
+		prep, err = polar.Prepare(m)
 	}
 	if err != nil {
 		return err
+	}
+	var pol *polar.Policy
+	if c.policyPath != "" {
+		if pol, err = polar.LoadPolicy(c.policyPath); err != nil {
+			return err
+		}
+	}
+
+	runs := c.runs
+	if runs < 1 {
+		runs = 1
+	}
+	// Run 0 keeps the live telemetry (bus, tracer) and the instruction
+	// trace; later runs get private registries that are merged below in
+	// run order, so the -metrics snapshot is deterministic at any
+	// parallelism. A single run keeps the exact -seed; multiple runs
+	// derive per-run seeds so layouts differ while outputs must not.
+	tels := make([]*polar.Telemetry, runs)
+	results := make([]*polar.Result, runs)
+	optsFor := func(i int) []polar.Option {
+		seed := c.seed
+		if runs > 1 {
+			seed = evalrun.TaskSeed(c.seed, fmt.Sprintf("run/%d", i))
+		}
+		opts := []polar.Option{polar.WithSeed(seed), polar.WithInput(input), polar.WithArgs(args...)}
+		if c.warn {
+			opts = append(opts, polar.WithWarnPolicy())
+		}
+		if c.trace > 0 && i == 0 {
+			opts = append(opts, polar.WithTrace(os.Stderr, c.trace))
+		}
+		if tel != nil {
+			t := tel
+			if i > 0 {
+				t = polar.NewTelemetry()
+				tels[i] = t
+			}
+			opts = append(opts, polar.WithTelemetry(t))
+		}
+		if prof != nil {
+			opts = append(opts, polar.WithProfiler(prof))
+		}
+		if pol != nil {
+			opts = append(opts, polar.WithPolicy(pol))
+		}
+		if ih != nil && (c.hardened || c.harden) {
+			opts = append(opts, polar.WithRuntimeObserver(func(rt polar.LiveRuntime) { ih.SetViolations(rt) }))
+		}
+		return opts
+	}
+	if err := forEachRun(runs, c.parallel, func(i int) error {
+		var sp *polar.TraceSpan
+		if tel != nil && tel.Tracer != nil {
+			sp = tel.Tracer.Begin(fmt.Sprintf("run/%d", i), "pipeline")
+		}
+		r, rerr := prep.Run(optsFor(i)...)
+		sp.End()
+		if rerr != nil {
+			if runs > 1 {
+				return fmt.Errorf("run %d: %w", i, rerr)
+			}
+			return rerr
+		}
+		results[i] = r
+		return nil
+	}); err != nil {
+		return err
+	}
+	res := results[0]
+	for i := 1; i < runs; i++ {
+		if tels[i] != nil {
+			if err := tel.Registry.Merge(tels[i].Registry.Snapshot()); err != nil {
+				return fmt.Errorf("merging run %d metrics: %w", i, err)
+			}
+		}
+		if results[i].Value != res.Value || !bytes.Equal(results[i].Output, res.Output) {
+			return fmt.Errorf("run %d diverged from run 0: layout randomization must be semantics-preserving", i)
+		}
+	}
+	if runs > 1 {
+		fmt.Fprintf(os.Stderr, "polarun: %d runs, all outputs identical\n", runs)
 	}
 	os.Stdout.Write(res.Output)
 	fmt.Printf("result: %d\n", res.Value)
@@ -271,6 +367,50 @@ func run(c runConfig) error {
 		ch := make(chan os.Signal, 1)
 		signal.Notify(ch, os.Interrupt)
 		<-ch
+	}
+	return nil
+}
+
+// forEachRun spreads fn(0..n-1) over a bounded worker pool. workers < 1
+// means GOMAXPROCS. Errors are collected per index and the lowest-index
+// one wins, so a failing batch reports deterministically at any
+// parallelism.
+func forEachRun(n, workers int, fn func(int) error) error {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
 	}
 	return nil
 }

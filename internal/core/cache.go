@@ -12,9 +12,13 @@ package core
 // where the hash check fires; entries for an object are explicitly
 // invalidated when it is freed or its base address is re-registered, so
 // dangling accesses also fall through to detection.
+// The entry array (8192 entries ≈ 320 KB by default) is allocated
+// lazily on the first put, so runtimes stamped out per-instance but
+// never exercised (or exercised read-only) stay cheap to construct.
 type offsetCache struct {
 	entries []cacheEntry
 	mask    uint64
+	size    int // capacity (power of two); 0 = caching disabled
 	hits    uint64
 	misses  uint64
 }
@@ -37,7 +41,7 @@ func newOffsetCache(size int) *offsetCache {
 	for n < size {
 		n <<= 1
 	}
-	return &offsetCache{entries: make([]cacheEntry, n), mask: uint64(n - 1)}
+	return &offsetCache{size: n, mask: uint64(n - 1)}
 }
 
 func (c *offsetCache) slot(base uint64, field int) uint64 {
@@ -61,10 +65,14 @@ func (c *offsetCache) get(base uint64, class uint64, field int) (int32, bool) {
 	return 0, false
 }
 
-// put installs a resolution result.
+// put installs a resolution result, allocating the entry array on
+// first use.
 func (c *offsetCache) put(base uint64, class uint64, field int, offset int32) {
 	if c.entries == nil {
-		return
+		if c.size == 0 {
+			return
+		}
+		c.entries = make([]cacheEntry, c.size)
 	}
 	c.entries[c.slot(base, field)] = cacheEntry{
 		base: base, class: class, field: int32(field), offset: offset, valid: true,

@@ -30,52 +30,115 @@ type MetaStats struct {
 	LayoutsShared uint64 // registrations served by the dedup table
 }
 
-// MetaStore is the POLaR object-tracking table plus the layout
-// deduplication table (§V.B: "remove the duplicate metadata when two
-// objects have the same randomized memory layout").
+// numMetaShards is the shard count of the object table (power of two so
+// shard selection is a mask). 16 shards keep the per-shard maps small
+// and let register/free/lookup from many instances proceed without
+// funneling through one lock.
+const numMetaShards = 16
+
+// metaShard is one slice of the object table: its own lock, its own
+// map, its own event counters (summed on Stats so the hot path never
+// touches shared counters).
+type metaShard struct {
+	mu         sync.RWMutex
+	objects    map[uint64]*ObjectMeta
+	registered uint64
+	retired    uint64
+}
+
+// LayoutInterner is the layout deduplication table (§V.B: "remove the
+// duplicate metadata when two objects have the same randomized memory
+// layout"). It is independent of any object table so multiple runtimes
+// — e.g. many VM instances of one Program — can share one interner and
+// pool their dedup hits, while keeping private object tables (instance
+// address spaces collide, layouts don't).
 //
-// The zero value is not usable; call NewMetaStore. Safe for concurrent
-// use.
-type MetaStore struct {
-	mu      sync.Mutex
-	objects map[uint64]*ObjectMeta
+// Safe for concurrent use.
+type LayoutInterner struct {
+	mu sync.Mutex
 	// dedup buckets layouts by (class hash ^ layout hash); collisions
 	// within a bucket are resolved with Layout.Equal.
-	dedup map[uint64][]*layout.Layout
-	stats MetaStats
+	dedup  map[uint64][]*layout.Layout
+	unique uint64
+	shared uint64
 
 	// chainHist, when non-nil, observes the dedup-bucket chain length
 	// walked by each Intern (set by the runtime when telemetry is on).
 	chainHist *telemetry.Histogram
 }
 
-// NewMetaStore returns an empty store.
-func NewMetaStore() *MetaStore {
-	return &MetaStore{
-		objects: make(map[uint64]*ObjectMeta),
-		dedup:   make(map[uint64][]*layout.Layout),
-	}
+// NewLayoutInterner returns an empty dedup table.
+func NewLayoutInterner() *LayoutInterner {
+	return &LayoutInterner{dedup: make(map[uint64][]*layout.Layout)}
 }
 
 // Intern returns the canonical layout equal to l for the class,
 // registering it if new. The returned layout must be used in place of l
 // so identical layouts share one metadata record.
-func (s *MetaStore) Intern(classHash uint64, l *layout.Layout) *layout.Layout {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+func (in *LayoutInterner) Intern(classHash uint64, l *layout.Layout) *layout.Layout {
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	key := classHash ^ l.Hash()
-	if s.chainHist != nil {
-		s.chainHist.Observe(float64(len(s.dedup[key])))
+	if in.chainHist != nil {
+		in.chainHist.Observe(float64(len(in.dedup[key])))
 	}
-	for _, prev := range s.dedup[key] {
+	for _, prev := range in.dedup[key] {
 		if prev.Equal(l) {
-			s.stats.LayoutsShared++
+			in.shared++
 			return prev
 		}
 	}
-	s.dedup[key] = append(s.dedup[key], l)
-	s.stats.LayoutsUnique++
+	in.dedup[key] = append(in.dedup[key], l)
+	in.unique++
 	return l
+}
+
+// MetaStore is the POLaR object-tracking table plus the layout
+// deduplication table. The object table is sharded by base-address hash
+// (RWMutex per shard) so concurrent instances don't serialize on one
+// lock; the dedup table lives in a LayoutInterner that may be shared
+// across stores.
+//
+// The zero value is not usable; call NewMetaStore. Safe for concurrent
+// use.
+type MetaStore struct {
+	shards   [numMetaShards]metaShard
+	interner *LayoutInterner
+}
+
+// NewMetaStore returns an empty store with a private interner.
+func NewMetaStore() *MetaStore { return NewSharedMetaStore(nil) }
+
+// NewSharedMetaStore returns an empty store deduplicating layouts
+// through in (a private interner is created when in is nil). Sharing
+// one interner across stores pools their dedup tables; the object
+// shards stay private.
+func NewSharedMetaStore(in *LayoutInterner) *MetaStore {
+	if in == nil {
+		in = NewLayoutInterner()
+	}
+	s := &MetaStore{interner: in}
+	for i := range s.shards {
+		s.shards[i].objects = make(map[uint64]*ObjectMeta)
+	}
+	return s
+}
+
+// Interner exposes the layout-dedup table (for sharing across stores).
+func (s *MetaStore) Interner() *LayoutInterner { return s.interner }
+
+// shard picks the shard owning base. The multiply spreads the (heavily
+// aligned) base addresses; the xor folds the high-entropy bits down
+// into the mask.
+func (s *MetaStore) shard(base uint64) *metaShard {
+	h := base * 0x9e3779b97f4a7c15
+	h ^= h >> 32
+	return &s.shards[h&(numMetaShards-1)]
+}
+
+// Intern forwards to the store's layout interner.
+func (s *MetaStore) Intern(classHash uint64, l *layout.Layout) *layout.Layout {
+	return s.interner.Intern(classHash, l)
 }
 
 // Register installs metadata for a freshly allocated object, replacing
@@ -83,71 +146,82 @@ func (s *MetaStore) Intern(classHash uint64, l *layout.Layout) *layout.Layout {
 // replaced one (nil if none), so callers can invalidate caches covering
 // the old object's fields.
 func (s *MetaStore) Register(base uint64, classHash uint64, l *layout.Layout, size int) (*ObjectMeta, *ObjectMeta) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	old := s.objects[base]
+	sh := s.shard(base)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	old := sh.objects[base]
 	m := &ObjectMeta{Base: base, ClassHash: classHash, Layout: l, Size: size}
-	s.objects[base] = m
-	s.stats.Registered++
+	sh.objects[base] = m
+	sh.registered++
 	return m, old
 }
 
 // Lookup returns the metadata at base (live or ghost).
 func (s *MetaStore) Lookup(base uint64) (*ObjectMeta, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	m, ok := s.objects[base]
+	sh := s.shard(base)
+	sh.mu.RLock()
+	m, ok := sh.objects[base]
+	sh.mu.RUnlock()
 	return m, ok
 }
 
 // MarkFreed flags the object as freed but keeps the ghost record.
 func (s *MetaStore) MarkFreed(base uint64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if m, ok := s.objects[base]; ok && !m.Freed {
+	sh := s.shard(base)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if m, ok := sh.objects[base]; ok && !m.Freed {
 		m.Freed = true
-		s.stats.Retired++
+		sh.retired++
 	}
 }
 
 // Drop removes metadata entirely (used when ghosts should not linger,
 // e.g. when the VM recycles a chunk for an untracked allocation).
 func (s *MetaStore) Drop(base uint64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	delete(s.objects, base)
+	sh := s.shard(base)
+	sh.mu.Lock()
+	delete(sh.objects, base)
+	sh.mu.Unlock()
 }
 
 // LiveCount returns the number of non-freed records (O(n); tests only).
 func (s *MetaStore) LiveCount() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	n := 0
-	for _, m := range s.objects {
-		if !m.Freed {
-			n++
-		}
-	}
-	return n
+	live, _ := s.Counts()
+	return live
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters, merged across shards.
 func (s *MetaStore) Stats() MetaStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	var st MetaStats
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		st.Registered += sh.registered
+		st.Retired += sh.retired
+		sh.mu.RUnlock()
+	}
+	s.interner.mu.Lock()
+	st.LayoutsUnique = s.interner.unique
+	st.LayoutsShared = s.interner.shared
+	s.interner.mu.Unlock()
+	return st
 }
 
 // Counts returns the live (non-freed) and total record counts — the
 // inputs to the metadata-table load-factor gauge (O(n); called at
 // snapshot points, not on hot paths).
 func (s *MetaStore) Counts() (live, total int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, m := range s.objects {
-		if !m.Freed {
-			live++
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, m := range sh.objects {
+			if !m.Freed {
+				live++
+			}
 		}
+		total += len(sh.objects)
+		sh.mu.RUnlock()
 	}
-	return live, len(s.objects)
+	return live, total
 }

@@ -33,6 +33,13 @@ type Config struct {
 	// MetadataIntegrity seals every metadata record with a keyed MAC
 	// verified on lookup — the §VI.A hardening (see integrity.go).
 	MetadataIntegrity bool
+	// Interner, when non-nil, is a shared layout-dedup table: runtimes
+	// given the same interner pool their canonical layouts, so many
+	// instances of one program pay the layout-generation cost once per
+	// distinct layout instead of once per instance. Object tables stay
+	// private (instance address spaces collide; layouts don't). Nil
+	// means a private interner.
+	Interner *LayoutInterner
 	// PerClass overrides the layout configuration for individual
 	// classes (keyed by class hash). This is §IV.B.1's feedback loop:
 	// TaintClass reports which members are input-tainted, and POLaR
@@ -121,6 +128,9 @@ type Runtime struct {
 	// string, so attribution is one map hit per access.
 	prof      *profile.SiteProfiler
 	profSites map[string]*profile.SiteCounts
+	// profGens caches the per-class layout-generation counter cells
+	// (keyed by class hash), mirroring profSites.
+	profGens map[uint64]*profile.GenCounts
 }
 
 // New creates a runtime for the classes in table.
@@ -135,7 +145,7 @@ func New(table *classinfo.Table, cfg Config) *Runtime {
 	r := &Runtime{
 		cfg:        cfg,
 		table:      table,
-		store:      NewMetaStore(),
+		store:      NewSharedMetaStore(cfg.Interner),
 		cache:      newOffsetCache(cfg.CacheSize),
 		rng:        rng,
 		secret:     rng.Uint64() | 1,
@@ -145,11 +155,12 @@ func New(table *classinfo.Table, cfg Config) *Runtime {
 		r.tel = t
 		r.histProbe = t.Registry.Histogram(telemetry.MetricCacheProbeLen, telemetry.ProbeLenBuckets)
 		r.histEntropy = t.Registry.Histogram(telemetry.MetricLayoutEntropy, telemetry.EntropyBuckets)
-		r.store.chainHist = t.Registry.Histogram(telemetry.MetricInternChainLen, telemetry.ChainLenBuckets)
+		r.store.interner.chainHist = t.Registry.Histogram(telemetry.MetricInternChainLen, telemetry.ChainLenBuckets)
 	}
 	if cfg.Profiler != nil {
 		r.prof = cfg.Profiler
 		r.profSites = make(map[string]*profile.SiteCounts)
+		r.profGens = make(map[uint64]*profile.GenCounts)
 	}
 	return r
 }
@@ -649,6 +660,14 @@ func (r *Runtime) generateLayoutWith(cls *classinfo.Class, cfg layout.Config) (*
 	l, err := layout.Generate(fields, cfg, r.rng)
 	if err != nil {
 		return nil, err
+	}
+	if r.prof != nil {
+		gc, ok := r.profGens[cls.Hash]
+		if !ok {
+			gc = r.prof.ClassGen(cls.Name())
+			r.profGens[cls.Hash] = gc
+		}
+		gc.Inc()
 	}
 	if r.tel != nil {
 		r.histEntropy.Observe(layout.EntropyBits(len(cls.Members), nFptrs, cfg))

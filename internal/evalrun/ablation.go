@@ -51,28 +51,44 @@ func ablationConfigs(seed int64) []struct {
 // Ablation measures the overhead of each configuration variant on the
 // member-access-bound (mcf), allocation-bound (sjeng) and copy-bound
 // (h264ref) apps — the three profiles that exercise the three ablatable
-// mechanisms.
+// mechanisms. The config × app grid is flattened over the worker pool;
+// all reps of one cell stay on one worker.
 func Ablation(reps int, seed int64) ([]AblationRow, error) {
 	apps := []string{"429.mcf", "458.sjeng", "464.h264ref"}
-	var rows []AblationRow
-	for _, cfgEntry := range ablationConfigs(seed) {
+	cfgs := ablationConfigs(seed)
+	type cell struct {
+		cfgName string
+		cfg     core.Config
+		app     string
+	}
+	var cells []cell
+	for _, cfgEntry := range cfgs {
 		for _, name := range apps {
-			w, err := workload.ByName(name)
-			if err != nil {
-				return nil, err
-			}
-			sp := Span(cfgEntry.name+"/"+name, "ablation")
-			base, polar, err := measureWorkload(w, reps, seed, cfgEntry.cfg)
-			sp.End()
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", cfgEntry.name, name, err)
-			}
-			rows = append(rows, AblationRow{
-				Config:      cfgEntry.name,
-				App:         name,
-				OverheadPct: overheadPct(base, polar),
-			})
+			cells = append(cells, cell{cfgEntry.name, cfgEntry.cfg, name})
 		}
+	}
+	rows := make([]AblationRow, len(cells))
+	err := forEach(len(cells), func(i int) error {
+		c := cells[i]
+		w, err := workload.ByName(c.app)
+		if err != nil {
+			return err
+		}
+		sp := Span(c.cfgName+"/"+c.app, "ablation")
+		defer sp.End()
+		base, polar, err := measureWorkload(w, reps, TaskSeed(seed, "ablation/"+c.cfgName+"/"+c.app), c.cfg)
+		if err != nil {
+			return fmt.Errorf("%s/%s: %w", c.cfgName, c.app, err)
+		}
+		rows[i] = AblationRow{
+			Config:      c.cfgName,
+			App:         c.app,
+			OverheadPct: overheadPct(base, polar),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

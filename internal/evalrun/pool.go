@@ -1,0 +1,88 @@
+package evalrun
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// parallelism is the experiment fan-out width (see SetParallelism).
+// The harness state is package-level, matching SetTracer: configure it
+// before running experiments.
+var parallelism = runtime.GOMAXPROCS(0)
+
+// SetParallelism sets how many experiment sub-steps (workloads,
+// kernels, CVE cases, defenses) run concurrently. n < 1 restores the
+// default, GOMAXPROCS. Width 1 is fully serial.
+func SetParallelism(n int) {
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	parallelism = n
+}
+
+// Parallelism returns the current fan-out width.
+func Parallelism() int { return parallelism }
+
+// TaskSeed derives the seed one named task runs under: a hash of the
+// root seed and the task's stable identifier. Every task's randomness
+// is therefore a pure function of (rootSeed, taskID) — independent of
+// execution order and worker assignment — which is what makes parallel
+// and serial runs of the same experiment byte-identical for the
+// non-timing outputs. The sign bit is cleared so derived seeds stay
+// non-negative like the root seeds the flags accept.
+func TaskSeed(root int64, taskID string) int64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(root))
+	h.Write(b[:])
+	h.Write([]byte(taskID))
+	return int64(h.Sum64() &^ (1 << 63))
+}
+
+// forEach runs fn(0..n-1) across a bounded worker pool of Parallelism
+// goroutines and returns the lowest-index error (nil if none ran
+// into one). Each index executes entirely on one worker, so a task's
+// timing repetitions are never split across goroutines (min-of-N
+// stays valid); callers write results into slot i of a pre-sized
+// slice, so collection order is deterministic regardless of completion
+// order.
+func forEach(n int, fn func(i int) error) error {
+	workers := parallelism
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -20,7 +20,8 @@ type SecurityReport struct {
 }
 
 // Security runs every scenario × defense cell plus the repeatability,
-// persistence and inter-chunk experiments.
+// persistence and inter-chunk experiments. The per-defense experiments
+// run across the worker pool under task-derived seeds.
 func Security(trials int, seed int64) (*SecurityReport, error) {
 	sp := Span("attack-matrix", "security")
 	matrix, err := exploit.RunAll(trials, seed)
@@ -29,20 +30,28 @@ func Security(trials int, seed int64) (*SecurityReport, error) {
 		return nil, err
 	}
 	rep := &SecurityReport{Matrix: matrix}
-	for _, def := range exploit.AllDefenses() {
+	defs := exploit.AllDefenses()
+	rep.Repeats = make([]exploit.RepeatResult, len(defs))
+	rep.Persistence = make([]exploit.PersistenceResult, len(defs))
+	err = forEach(len(defs), func(i int) error {
+		def := defs[i]
 		sp := Span(fmt.Sprintf("repeat+persist/%s", def), "security")
-		r, err := exploit.RunRepeatability(def, trials/2, seed)
+		defer sp.End()
+		tseed := TaskSeed(seed, "security/"+def.String())
+		r, err := exploit.RunRepeatability(def, trials/2, tseed)
 		if err != nil {
-			sp.End()
-			return nil, err
+			return err
 		}
-		rep.Repeats = append(rep.Repeats, r)
-		p, err := exploit.RunPersistence(def, trials/4, 10, seed)
-		sp.End()
+		rep.Repeats[i] = r
+		p, err := exploit.RunPersistence(def, trials/4, 10, tseed)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rep.Persistence = append(rep.Persistence, p)
+		rep.Persistence[i] = p
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	sp = Span("inter-chunk", "security")
 	rep.InterChunk, err = exploit.RunInterChunkComparison(trials, seed)

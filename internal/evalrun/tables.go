@@ -26,19 +26,25 @@ type TaintRow struct {
 // TableI runs TaintClass (fuzzing + taint analysis) over every
 // application workload and reports the tainted-object inventories.
 // fuzzIters bounds the per-app fuzzing campaign (0 = skip fuzzing and
-// analyze only the canonical input).
+// analyze only the canonical input). Apps run across the worker pool;
+// each fuzzes under its task-derived seed, so the rows are identical
+// at any parallelism.
 func TableI(fuzzIters int, seed int64) ([]TaintRow, error) {
-	var rows []TaintRow
-	for _, w := range workload.All() {
+	ws := workload.All()
+	rows := make([]TaintRow, len(ws))
+	err := forEach(len(ws), func(i int) error {
+		w := ws[i]
 		sp := Span(w.Name, "table1")
+		defer sp.End()
+		tseed := TaskSeed(seed, "table1/"+w.Name)
 		corpus := [][]byte{w.Input}
 		execs, edges := 0, 0
 		if fuzzIters > 0 {
 			fr, err := fuzz.Run(w.Module, corpus, fuzz.Config{
-				Iterations: fuzzIters, MaxInputLen: 4096, Seed: seed, Fuel: 30_000_000, Args: w.Args,
+				Iterations: fuzzIters, MaxInputLen: 4096, Seed: tseed, Fuel: 30_000_000, Args: w.Args,
 			})
 			if err != nil {
-				return nil, fmt.Errorf("%s: fuzz: %w", w.Name, err)
+				return fmt.Errorf("%s: fuzz: %w", w.Name, err)
 			}
 			corpus = append(corpus, fr.Corpus...)
 			corpus = append(corpus, fr.Crashers...)
@@ -48,18 +54,21 @@ func TableI(fuzzIters int, seed int64) ([]TaintRow, error) {
 			IgnoreRunErrors: true, Fuel: 60_000_000, Args: w.Args,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("%s: taint: %w", w.Name, err)
+			return fmt.Errorf("%s: taint: %w", w.Name, err)
 		}
 		classes := rep.TaintedClasses()
 		samples := classes
 		if len(samples) > 6 {
 			samples = samples[:6]
 		}
-		rows = append(rows, TaintRow{
+		rows[i] = TaintRow{
 			App: w.Name, Count: len(classes), PaperCount: w.PaperTaintedCount,
 			Samples: samples, FuzzExecs: execs, FuzzEdges: edges,
-		})
-		sp.End()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -102,30 +111,37 @@ func (r CounterRow) CacheHitRate() float64 {
 }
 
 // TableIII runs each SPEC mini-app hardened and reports the runtime
-// counters (the scaled-down analogue of the paper's Table III).
+// counters (the scaled-down analogue of the paper's Table III). Apps
+// run across the worker pool under task-derived seeds.
 func TableIII(seed int64) ([]CounterRow, error) {
-	var rows []CounterRow
-	for _, w := range workload.SPECFig6() {
+	ws := workload.SPECFig6()
+	rows := make([]CounterRow, len(ws))
+	err := forEach(len(ws), func(i int) error {
+		w := ws[i]
 		sp := Span(w.Name, "table3")
+		defer sp.End()
 		ins, err := instrument.Apply(w.Module, nil)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", w.Name, err)
+			return fmt.Errorf("%s: %w", w.Name, err)
 		}
 		v, err := vm.New(ins.Module, vm.WithInput(w.Input))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rt := core.New(ins.Table, core.DefaultConfig(seed))
+		rt := core.New(ins.Table, core.DefaultConfig(TaskSeed(seed, "table3/"+w.Name)))
 		rt.Attach(v)
 		if _, err := v.Run(w.Args...); err != nil {
-			return nil, fmt.Errorf("%s: run: %w", w.Name, err)
+			return fmt.Errorf("%s: run: %w", w.Name, err)
 		}
 		st := rt.Stats()
-		rows = append(rows, CounterRow{
+		rows[i] = CounterRow{
 			App: w.Name, Allocs: st.Allocs, Frees: st.Frees, Memcpys: st.Memcpys,
 			MemberAccess: st.MemberAccess, CacheHits: st.CacheHits,
-		})
-		sp.End()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -155,26 +171,31 @@ type CVERow struct {
 
 // TableIV runs TaintClass over each CVE-shaped input against the
 // mini-libpng parser and checks the exploit-related objects are
-// discovered.
+// discovered. Cases run across the worker pool, each against its own
+// parser module (workload constructors build fresh modules).
 func TableIV() ([]CVERow, error) {
-	png := workload.LibPNG()
-	var rows []CVERow
-	for _, c := range workload.LibPNGCVECases() {
+	cases := workload.LibPNGCVECases()
+	rows := make([]CVERow, len(cases))
+	err := forEach(len(cases), func(i int) error {
+		c := cases[i]
 		sp := Span("CVE-"+c.CVE, "table4")
-		rep, err := taint.AnalyzeOne(png.Module, c.Input, taint.RunOptions{
+		defer sp.End()
+		rep, err := taint.AnalyzeOne(workload.LibPNG().Module, c.Input, taint.RunOptions{
 			IgnoreRunErrors: true, Fuel: 30_000_000,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("CVE-%s: %w", c.CVE, err)
+			return fmt.Errorf("CVE-%s: %w", c.CVE, err)
 		}
 		got := rep.TaintedClasses()
-		match := containsAll(got, c.ExpectedObjects)
-		rows = append(rows, CVERow{
+		rows[i] = CVERow{
 			CVE: c.CVE, Description: c.Description,
 			Discovered: got, Expected: c.ExpectedObjects, PaperSays: c.PaperObjects,
-			Match: match,
-		})
-		sp.End()
+			Match: containsAll(got, c.ExpectedObjects),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

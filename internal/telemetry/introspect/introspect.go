@@ -1,11 +1,15 @@
 // Package introspect serves the live observability surface over HTTP:
 //
-//	/debug/polar/metrics   deterministic JSON snapshot of the registry
-//	/debug/polar/events    sampled JSONL event stream (rate-limited,
-//	                       optional kind filter, bounded count)
-//	/debug/polar/hotsites  text hot-site profile (when a profiler is
-//	                       attached)
-//	/debug/pprof/*         the standard Go pprof endpoints
+//	/debug/polar/metrics     deterministic JSON snapshot of the registry
+//	/debug/polar/events      sampled JSONL event stream (rate-limited,
+//	                         optional kind filter, bounded count)
+//	/debug/polar/hotsites    text hot-site profile (when a profiler is
+//	                         attached)
+//	/debug/polar/violations  the structured violation log as JSON (when
+//	                         a violation source is attached)
+//	/debug/polar/reservoir   download of the reservoir event sample
+//	                         (when a reservoir is attached)
+//	/debug/pprof/*           the standard Go pprof endpoints
 //
 // The handler holds references, not copies: every request observes the
 // telemetry of the run in flight, which is the whole point of a live
@@ -21,15 +25,26 @@ import (
 	"strings"
 	"sync"
 
+	"polar/internal/core"
 	"polar/internal/telemetry"
 	"polar/internal/telemetry/profile"
 	"polar/internal/telemetry/sample"
 )
 
+// ViolationSource provides the live structured violation log.
+// *core.Runtime satisfies it.
+type ViolationSource interface {
+	ViolationLog() core.RecordSet
+}
+
 // Handler is the introspection surface for one telemetry instance.
 type Handler struct {
 	tel  *telemetry.Telemetry
 	prof *profile.SiteProfiler
+
+	mu   sync.RWMutex
+	viol ViolationSource
+	res  *sample.Reservoir
 }
 
 // New builds the introspection handler. prof may be nil (the hotsites
@@ -38,12 +53,31 @@ func New(tel *telemetry.Telemetry, prof *profile.SiteProfiler) *Handler {
 	return &Handler{tel: tel, prof: prof}
 }
 
+// SetViolations attaches the live violation source (typically the
+// *core.Runtime of the run in flight). The violations endpoint reports
+// 404 until one is attached.
+func (h *Handler) SetViolations(src ViolationSource) {
+	h.mu.Lock()
+	h.viol = src
+	h.mu.Unlock()
+}
+
+// SetReservoir attaches a reservoir sampler whose current sample the
+// reservoir endpoint serves. 404 until one is attached.
+func (h *Handler) SetReservoir(r *sample.Reservoir) {
+	h.mu.Lock()
+	h.res = r
+	h.mu.Unlock()
+}
+
 // Mux returns a ServeMux with every introspection route registered.
 func (h *Handler) Mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/polar/metrics", h.metrics)
 	mux.HandleFunc("/debug/polar/events", h.events)
 	mux.HandleFunc("/debug/polar/hotsites", h.hotsites)
+	mux.HandleFunc("/debug/polar/violations", h.violations)
+	mux.HandleFunc("/debug/polar/reservoir", h.reservoir)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -167,6 +201,58 @@ func (h *Handler) events(w http.ResponseWriter, r *http.Request) {
 	case <-done:
 	case <-limit:
 	}
+}
+
+// violations serves the structured violation log as JSON. The
+// RecordSet's Truncated/Dropped fields ride along, so a client cannot
+// mistake a capped log for the complete detection history.
+func (h *Handler) violations(w http.ResponseWriter, r *http.Request) {
+	h.mu.RLock()
+	src := h.viol
+	h.mu.RUnlock()
+	if src == nil {
+		http.Error(w, "no violation source attached (violations exist only on hardened runs)", http.StatusNotFound)
+		return
+	}
+	data, err := json.MarshalIndent(src.ViolationLog(), "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+	w.Write([]byte("\n"))
+}
+
+// reservoir serves a download of the current reservoir sample: the
+// retained events plus how many were seen in total (so clients can
+// compute the sampling fraction).
+func (h *Handler) reservoir(w http.ResponseWriter, r *http.Request) {
+	h.mu.RLock()
+	res := h.res
+	h.mu.RUnlock()
+	if res == nil {
+		http.Error(w, "no reservoir attached", http.StatusNotFound)
+		return
+	}
+	events := res.Events()
+	if events == nil {
+		events = []telemetry.Event{}
+	}
+	out := struct {
+		Seen   uint64            `json:"seen"`
+		Kept   int               `json:"kept"`
+		Events []telemetry.Event `json:"events"`
+	}{Seen: res.Seen(), Kept: len(events), Events: events}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="reservoir.json"`)
+	w.Write(data)
+	w.Write([]byte("\n"))
 }
 
 // hotsites serves the text top-N site report.

@@ -10,8 +10,10 @@ import (
 	"testing"
 	"time"
 
+	"polar/internal/core"
 	"polar/internal/telemetry"
 	"polar/internal/telemetry/profile"
+	"polar/internal/telemetry/sample"
 )
 
 func newServer(t *testing.T, prof *profile.SiteProfiler) (*telemetry.Telemetry, *httptest.Server) {
@@ -163,5 +165,78 @@ func TestPprofIndexMounted(t *testing.T) {
 	}
 	if !strings.Contains(body, "profile") {
 		t.Errorf("pprof index missing profile links:\n%.200s", body)
+	}
+}
+
+type fakeViolations struct{ rs core.RecordSet }
+
+func (f fakeViolations) ViolationLog() core.RecordSet { return f.rs }
+
+func TestViolationsEndpoint(t *testing.T) {
+	// Without a source (baseline runs) the route 404s with a hint.
+	tel := telemetry.New()
+	h := New(tel, nil)
+	srv := httptest.NewServer(h.Mux())
+	t.Cleanup(srv.Close)
+	resp, body := get(t, srv.URL+"/debug/polar/violations")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("no-source status = %d, want 404", resp.StatusCode)
+	}
+	if !strings.Contains(body, "hardened") {
+		t.Errorf("404 body should point at hardened runs: %q", body)
+	}
+
+	h.SetViolations(fakeViolations{rs: core.RecordSet{
+		Records: []core.ViolationRecord{{KindName: "uaf", Addr: 0x4000, Class: "Widget", Site: "@main.entry"}},
+		Dropped: 2, Truncated: true,
+	}})
+	resp, body = get(t, srv.URL+"/debug/polar/violations")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var rs core.RecordSet
+	if err := json.Unmarshal([]byte(body), &rs); err != nil {
+		t.Fatalf("violations body is not a RecordSet: %v\n%s", err, body)
+	}
+	if len(rs.Records) != 1 || rs.Records[0].KindName != "uaf" || rs.Records[0].Addr != 0x4000 {
+		t.Errorf("records through endpoint = %+v", rs.Records)
+	}
+	if !rs.Truncated || rs.Dropped != 2 {
+		t.Errorf("truncation through endpoint = %v/%d, want true/2", rs.Truncated, rs.Dropped)
+	}
+}
+
+func TestReservoirEndpoint(t *testing.T) {
+	tel := telemetry.New()
+	h := New(tel, nil)
+	srv := httptest.NewServer(h.Mux())
+	t.Cleanup(srv.Close)
+	if resp, _ := get(t, srv.URL+"/debug/polar/reservoir"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("no-reservoir status = %d, want 404", resp.StatusCode)
+	}
+
+	rsv := sample.NewReservoir(8, 1)
+	tel.Bus.Attach(rsv)
+	h.SetReservoir(rsv)
+	for i := 0; i < 20; i++ {
+		tel.Bus.Emit(telemetry.Event{Kind: telemetry.EvAlloc, Addr: uint64(i)})
+	}
+	resp, body := get(t, srv.URL+"/debug/polar/reservoir")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	if cd := resp.Header.Get("Content-Disposition"); !strings.Contains(cd, "reservoir.json") {
+		t.Errorf("Content-Disposition = %q, want an attachment filename", cd)
+	}
+	var dl struct {
+		Seen   uint64            `json:"seen"`
+		Kept   int               `json:"kept"`
+		Events []telemetry.Event `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &dl); err != nil {
+		t.Fatalf("reservoir body: %v\n%s", err, body)
+	}
+	if dl.Seen != 20 || dl.Kept != 8 || len(dl.Events) != 8 {
+		t.Errorf("reservoir download seen=%d kept=%d events=%d, want 20/8/8", dl.Seen, dl.Kept, len(dl.Events))
 	}
 }

@@ -1,0 +1,89 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestRegistryMerge(t *testing.T) {
+	dst := NewRegistry()
+	dst.Counter("runs").Add(3)
+	dst.Gauge("ratio").Set(0.25)
+	h := dst.Histogram("lat", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+
+	src := NewRegistry()
+	src.Counter("runs").Add(2)
+	src.Counter("new").Inc()
+	src.Gauge("ratio").Set(0.75)
+	sh := src.Histogram("lat", []float64{1, 10})
+	sh.Observe(50)
+
+	if err := dst.Merge(src.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	snap := dst.Snapshot()
+	if snap.Counters["runs"] != 5 {
+		t.Errorf("runs = %d, want 5 (counters add)", snap.Counters["runs"])
+	}
+	if snap.Counters["new"] != 1 {
+		t.Errorf("new = %d, want 1 (missing counters created)", snap.Counters["new"])
+	}
+	if snap.Gauges["ratio"] != 0.75 {
+		t.Errorf("ratio = %v, want 0.75 (gauges take the merged value)", snap.Gauges["ratio"])
+	}
+	hs := snap.Histograms["lat"]
+	if hs.Count != 3 || hs.Sum != 55.5 {
+		t.Errorf("lat count=%d sum=%v, want 3/55.5", hs.Count, hs.Sum)
+	}
+	if hs.Counts[0] != 1 || hs.Counts[1] != 1 || hs.Counts[2] != 1 {
+		t.Errorf("lat buckets = %v, want one observation per bucket", hs.Counts)
+	}
+}
+
+func TestRegistryMergeBoundsMismatch(t *testing.T) {
+	dst := NewRegistry()
+	dst.Histogram("lat", []float64{1, 10}).Observe(2)
+	src := NewRegistry()
+	src.Histogram("lat", []float64{1, 100}).Observe(2)
+	if err := dst.Merge(src.Snapshot()); err == nil {
+		t.Fatal("merging histograms with different bounds must fail")
+	}
+}
+
+// TestRegistryMergeOrderDeterminism is the property the parallel
+// harness relies on: per-worker registries merged in task order yield
+// the same snapshot regardless of how the work was scheduled.
+func TestRegistryMergeOrderDeterminism(t *testing.T) {
+	build := func(seedOrder []int) Snapshot {
+		workers := make([]*Registry, len(seedOrder))
+		var wg sync.WaitGroup
+		for i, seed := range seedOrder {
+			wg.Add(1)
+			go func(i, seed int) {
+				defer wg.Done()
+				r := NewRegistry()
+				r.Counter("ops").Add(uint64(seed) * 10)
+				r.Histogram("v", []float64{5}).Observe(float64(seed))
+				workers[i] = r
+			}(i, seed)
+		}
+		wg.Wait()
+		// Merge in index order, never completion order.
+		dst := NewRegistry()
+		for _, w := range workers {
+			if err := dst.Merge(w.Snapshot()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return dst.Snapshot()
+	}
+	a := build([]int{1, 2, 3, 4})
+	b := build([]int{1, 2, 3, 4})
+	if a.Counters["ops"] != b.Counters["ops"] || a.Histograms["v"].Count != b.Histograms["v"].Count ||
+		math.Float64bits(a.Histograms["v"].Sum) != math.Float64bits(b.Histograms["v"].Sum) {
+		t.Fatalf("merged snapshots differ across runs: %+v vs %+v", a, b)
+	}
+}

@@ -154,6 +154,52 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	return h
 }
 
+// Merge folds src's metrics into r: counters add (commutative, so any
+// merge order yields the same totals), gauges take src's value (last
+// writer wins — gauges are instantaneous, not additive), histograms add
+// bucket-wise when the bounds match and are adopted wholesale when r
+// has no histogram of that name. Merging a histogram whose bounds
+// disagree with an existing one returns an error rather than silently
+// mixing incomparable buckets.
+//
+// This is how per-worker registries fold into one deterministic
+// snapshot after a parallel run: each worker records into a private
+// registry, and the coordinator merges them in worker order.
+func (r *Registry) Merge(src Snapshot) error {
+	for name, v := range src.Counters {
+		r.Counter(name).Add(v)
+	}
+	for name, v := range src.Gauges {
+		r.Gauge(name).Set(v)
+	}
+	for name, hs := range src.Histograms {
+		h := r.Histogram(name, hs.Bounds)
+		if len(h.bounds) != len(hs.Bounds) {
+			return fmt.Errorf("telemetry: merge histogram %q: bounds mismatch (%d vs %d)", name, len(h.bounds), len(hs.Bounds))
+		}
+		for i, b := range h.bounds {
+			if b != hs.Bounds[i] {
+				return fmt.Errorf("telemetry: merge histogram %q: bounds mismatch at %d (%g vs %g)", name, i, b, hs.Bounds[i])
+			}
+		}
+		if len(hs.Counts) != len(h.counts) {
+			return fmt.Errorf("telemetry: merge histogram %q: %d counts for %d buckets", name, len(hs.Counts), len(h.counts))
+		}
+		for i, n := range hs.Counts {
+			h.counts[i].Add(n)
+		}
+		h.count.Add(hs.Count)
+		for {
+			old := h.sum.Load()
+			new := math.Float64bits(math.Float64frombits(old) + hs.Sum)
+			if h.sum.CompareAndSwap(old, new) {
+				break
+			}
+		}
+	}
+	return nil
+}
+
 // HistogramSnapshot is the serialized form of one histogram.
 type HistogramSnapshot struct {
 	Bounds []float64 `json:"bounds"`

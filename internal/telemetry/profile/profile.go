@@ -51,17 +51,38 @@ type SiteSample struct {
 	Probes  uint64 `json:"probes"`
 }
 
+// GenCounts counts layout generations charged to one class. Atomic for
+// the same reason as SiteCounts: one profiler may serve concurrent
+// runtimes.
+type GenCounts struct {
+	class string
+	gens  atomic.Uint64
+}
+
+// Inc counts one layout generation for the class.
+func (c *GenCounts) Inc() { c.gens.Add(1) }
+
+// GenSample is one row of the per-class layout-generation snapshot.
+type GenSample struct {
+	Class string `json:"class"`
+	Gens  uint64 `json:"layout_gen"`
+}
+
 // SiteProfiler aggregates SiteCounts by instruction site. Callers
 // (the VM, the POLaR runtime) resolve a *SiteCounts once per site via
 // Site and then count lock-free.
 type SiteProfiler struct {
-	mu    sync.Mutex
-	sites map[string]*SiteCounts
+	mu        sync.Mutex
+	sites     map[string]*SiteCounts
+	classGens map[string]*GenCounts
 }
 
 // NewSiteProfiler returns an empty profiler.
 func NewSiteProfiler() *SiteProfiler {
-	return &SiteProfiler{sites: make(map[string]*SiteCounts)}
+	return &SiteProfiler{
+		sites:     make(map[string]*SiteCounts),
+		classGens: make(map[string]*GenCounts),
+	}
 }
 
 // Site returns the counter cell for an instruction site ("@fn.block"),
@@ -76,6 +97,38 @@ func (p *SiteProfiler) Site(site string) *SiteCounts {
 		p.sites[site] = c
 	}
 	return c
+}
+
+// ClassGen returns the layout-generation counter cell for a class,
+// creating it if needed. Callers should cache the pointer — this method
+// takes the profiler lock.
+func (p *SiteProfiler) ClassGen(class string) *GenCounts {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c, ok := p.classGens[class]
+	if !ok {
+		c = &GenCounts{class: class}
+		p.classGens[class] = c
+	}
+	return c
+}
+
+// ClassGens returns the per-class layout-generation counts, most
+// generations first; ties break on class name.
+func (p *SiteProfiler) ClassGens() []GenSample {
+	p.mu.Lock()
+	out := make([]GenSample, 0, len(p.classGens))
+	for _, c := range p.classGens {
+		out = append(out, GenSample{Class: c.class, Gens: c.gens.Load()})
+	}
+	p.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Gens != out[j].Gens {
+			return out[i].Gens > out[j].Gens
+		}
+		return out[i].Class < out[j].Class
+	})
+	return out
 }
 
 // Snapshot returns every site's counts, hottest (most cycles) first;
@@ -136,6 +189,13 @@ func (p *SiteProfiler) Report(topN int) string {
 		}
 		fmt.Fprintf(&b, "  %-32s %12d %5.1f%% %5.1f%% %10d %10d %7s\n",
 			s.Site, s.Cycles, flat, cumPct, s.Getptrs, s.Probes, hit)
+	}
+	if gens := p.ClassGens(); len(gens) > 0 {
+		fmt.Fprintf(&b, "layout generations by class:\n")
+		fmt.Fprintf(&b, "  %-32s %12s\n", "class", "layout_gen")
+		for _, g := range gens {
+			fmt.Fprintf(&b, "  %-32s %12d\n", g.Class, g.Gens)
+		}
 	}
 	return b.String()
 }

@@ -1,0 +1,129 @@
+package vm
+
+import (
+	"fmt"
+
+	"polar/internal/heap"
+	"polar/internal/ir"
+	"polar/internal/telemetry/profile"
+)
+
+// Program is the immutable, execution-ready form of a module: validated
+// once, globals laid out once, function handles and per-block site names
+// precomputed once. A Program is safe for concurrent use — any number of
+// goroutines may stamp out Instances from it simultaneously — and the
+// module it wraps must not be mutated after Compile.
+//
+// The split exists because the paper's evaluation is embarrassingly
+// parallel (every workload × config × rep is an independent run): the
+// per-run cost should be a cheap Instance, not a re-validation and
+// re-layout of the whole module.
+type Program struct {
+	mod *ir.Module
+
+	// globals maps global name -> address; the layout is fixed at
+	// compile time and identical for every instance.
+	globals map[string]uint64
+	// globalInits records the (address, bytes) writes each fresh
+	// instance replays to initialize its memory image.
+	globalInits []globalInit
+
+	// funcs and funcHandles resolve call targets and function-pointer
+	// constants without the per-call linear scan Module.Func performs.
+	funcs       map[string]*ir.Func
+	funcHandles map[string]int64
+
+	// siteNames interns the "@fn.block" site string for every block in
+	// the module, so Call.Site and the profiler never re-intern
+	// identical strings across runs (they used to be rebuilt per VM).
+	siteNames map[*ir.Block]string
+}
+
+type globalInit struct {
+	addr uint64
+	data []byte
+}
+
+// Compile validates m and precomputes everything runs share. The module
+// must not be mutated afterwards; Clone it first if the caller keeps
+// rewriting it.
+func Compile(m *ir.Module) (*Program, error) {
+	if err := ir.Validate(m); err != nil {
+		return nil, err
+	}
+	p := &Program{
+		mod:         m,
+		globals:     make(map[string]uint64, len(m.Globals)),
+		funcs:       make(map[string]*ir.Func, len(m.Funcs)),
+		funcHandles: make(map[string]int64, len(m.Funcs)),
+		siteNames:   make(map[*ir.Block]string),
+	}
+	addr := uint64(GlobalBase)
+	for _, g := range m.Globals {
+		addr = (addr + 15) &^ 15
+		p.globals[g.Name] = addr
+		if len(g.Init) > 0 {
+			p.globalInits = append(p.globalInits, globalInit{addr: addr, data: g.Init})
+		}
+		addr += uint64(g.Size)
+	}
+	for i, f := range m.Funcs {
+		p.funcs[f.Name] = f
+		p.funcHandles[f.Name] = int64(0x7f00_0000_0000 + uint64(i)*16)
+		for _, b := range f.Blocks {
+			p.siteNames[b] = "@" + f.Name + "." + b.Name
+		}
+	}
+	return p, nil
+}
+
+// Module returns the compiled module. Treat it as read-only.
+func (p *Program) Module() *ir.Module { return p.mod }
+
+// Func resolves a function by name (nil if absent) without scanning.
+func (p *Program) Func(name string) *ir.Func { return p.funcs[name] }
+
+// SiteName returns the interned "@fn.block" site string for a block of
+// the compiled module ("" for foreign blocks).
+func (p *Program) SiteName(b *ir.Block) string { return p.siteNames[b] }
+
+// NewInstance stamps out a fresh VM over the program: a private memory
+// image, heap and register state sharing the compiled metadata. The
+// instance itself is single-threaded (run one per goroutine), but any
+// number of instances may run concurrently.
+func (p *Program) NewInstance(opts ...Option) (*VM, error) {
+	v := &VM{
+		Mod:      p.mod,
+		prog:     p,
+		Mem:      newMemory(),
+		builtins: make(map[string]Builtin),
+		fuel:     defaultFuel,
+		stackTop: StackBase,
+		objects:  make(map[uint64]*ir.StructType),
+	}
+	for _, o := range opts {
+		o(v)
+	}
+	heapOpts := []heap.Option{heap.WithQuarantine(v.quarantine)}
+	if v.heapRand != 0 {
+		heapOpts = append(heapOpts, heap.WithRandomPlacement(v.heapRand))
+	}
+	if v.tel != nil {
+		heapOpts = append(heapOpts, heap.WithTelemetry(v.tel))
+	}
+	v.Heap = heap.New(HeapBase, HeapSize, heapOpts...)
+	if v.prof != nil {
+		v.profSites = make(map[*ir.Block]*profile.SiteCounts)
+	}
+	v.fuelLeft = v.fuel
+	if v.covOn {
+		v.coverage = make([]byte, coverageSize)
+	}
+	for _, gi := range p.globalInits {
+		if err := v.Mem.WriteBytes(gi.addr, gi.data); err != nil {
+			return nil, fmt.Errorf("vm: init global at 0x%x: %w", gi.addr, err)
+		}
+	}
+	registerDefaultBuiltins(v)
+	return v, nil
+}

@@ -1,0 +1,120 @@
+package vm
+
+import (
+	"sync"
+	"testing"
+
+	"polar/internal/ir"
+)
+
+// progModule exercises every piece of precomputed Program state: an
+// initialized global, a cross-function call, a function-handle
+// round-trip through memory and printed output.
+func progModule(t *testing.T) *ir.Module {
+	t.Helper()
+	m := ir.NewModule("prog")
+	if _, err := m.AddGlobal("g", 16, []byte{0x34, 0x12}); err != nil {
+		t.Fatal(err)
+	}
+	cb := ir.NewFunc(m, "callee", ir.I64)
+	cb.Ret(ir.Const(5))
+	b := ir.NewFunc(m, "main", ir.I64)
+	g := b.Load(ir.I16, ir.Global("g"))
+	c := b.Call("callee")
+	slot := b.Local(ir.Fptr)
+	b.Store(ir.Fptr, ir.FuncRef("callee"), slot)
+	h := b.Load(ir.Fptr, slot)
+	nz := b.Cmp(ir.CmpNe, h, ir.Const(0))
+	b.CallVoid("print_i64", g)
+	b.Ret(b.Bin(ir.BinAdd, b.Bin(ir.BinAdd, g, c), nz))
+	return m
+}
+
+func TestCompileRejectsInvalidModule(t *testing.T) {
+	m := ir.NewModule("bad")
+	b := ir.NewFunc(m, "main", ir.I64)
+	b.Ret(b.Call("missing"))
+	if _, err := Compile(m); err == nil {
+		t.Fatal("Compile accepted a module with an undefined callee")
+	}
+}
+
+// TestProgramConcurrentInstances is the deployment shape the
+// Program/Instance split exists for: one compiled program, many
+// simultaneous cheap instances. Each instance owns its memory, heap and
+// output buffer; the shared globals layout, function index and handle
+// table are read-only. Run under -race this is the regression test for
+// that contract.
+func TestProgramConcurrentInstances(t *testing.T) {
+	prog, err := Compile(progModule(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 16
+	const runsPerWorker = 8
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < runsPerWorker; r++ {
+				v, err := prog.NewInstance()
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				got, err := v.Run()
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if want := int64(0x1234 + 5 + 1); got != want {
+					t.Errorf("worker %d run %d: got %d, want %d", w, r, got, want)
+					return
+				}
+				if out := string(v.Output()); out != "4660\n" {
+					t.Errorf("worker %d run %d: output %q", w, r, out)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+}
+
+// TestProgramGlobalsReplayedPerInstance checks instance isolation: a
+// run that overwrites its global sees the write, while a fresh instance
+// off the same program starts from the declared initializer again.
+func TestProgramGlobalsReplayedPerInstance(t *testing.T) {
+	m := ir.NewModule("iso")
+	if _, err := m.AddGlobal("g", 8, []byte{7}); err != nil {
+		t.Fatal(err)
+	}
+	b := ir.NewFunc(m, "main", ir.I64)
+	old := b.Load(ir.I8, ir.Global("g"))
+	b.Store(ir.I8, ir.Const(99), ir.Global("g"))
+	b.Ret(old)
+	prog, err := Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		v, err := prog.NewInstance()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := v.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != 7 {
+			t.Fatalf("instance %d read %d from global, want the initializer 7", i, got)
+		}
+	}
+}

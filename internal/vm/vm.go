@@ -89,30 +89,19 @@ type Call struct {
 
 // Site returns the instruction site of the call as "@fn.block" (empty
 // when unknown). The POLaR runtime stamps violation records with it and
-// the hot-site profiler attributes member accesses by it, so the string
-// is interned per block when a VM is available.
+// the hot-site profiler attributes member accesses by it; the string is
+// interned once per block in the Program, so repeated resolutions never
+// reallocate.
 func (c *Call) Site() string {
 	if c == nil || c.fn == nil || c.blk == nil {
 		return ""
 	}
-	if c.VM != nil && c.VM.siteNames != nil {
-		return c.VM.siteName(c.fn, c.blk)
+	if c.VM != nil && c.VM.prog != nil {
+		if s := c.VM.prog.SiteName(c.blk); s != "" {
+			return s
+		}
 	}
 	return "@" + c.fn.Name + "." + c.blk.Name
-}
-
-// siteName returns the interned "@fn.block" name for a block (callers
-// must have checked v.siteNames != nil or accept allocation).
-func (v *VM) siteName(fn *ir.Func, b *ir.Block) string {
-	if v.siteNames == nil {
-		return "@" + fn.Name + "." + b.Name
-	}
-	if s, ok := v.siteNames[b]; ok {
-		return s
-	}
-	s := "@" + fn.Name + "." + b.Name
-	v.siteNames[b] = s
-	return s
 }
 
 // Arg returns argument i or 0 if absent.
@@ -129,17 +118,20 @@ const (
 	coverageSize = 1 << 16
 )
 
-// VM executes one module. It is not safe for concurrent use; run one VM
-// per goroutine.
+// VM is one execution instance of a Program. A single VM is not safe
+// for concurrent use — run one VM per goroutine — but many VMs stamped
+// from the same Program may run concurrently.
 type VM struct {
 	Mod   *ir.Module
 	Mem   *Memory
 	Heap  *heap.Allocator
 	Stats Stats
 
+	// prog is the shared immutable Program this instance executes.
+	prog *Program
+
 	hooks    Hooks
 	builtins map[string]Builtin
-	globals  map[string]uint64
 
 	input  []byte
 	output []byte
@@ -173,13 +165,11 @@ type VM struct {
 
 	// prof is the hot-site profiler (nil unless WithProfiler); profSites
 	// caches the per-block counter cells so the steady-state cost is one
-	// map hit per basic-block entry, not per instruction.
+	// map hit per basic-block entry, not per instruction. The cells are
+	// per-instance because the profiler is an instance option; the site
+	// strings they key on are interned once in the Program.
 	prof      *profile.SiteProfiler
 	profSites map[*ir.Block]*profile.SiteCounts
-	// siteNames interns the "@fn.block" site strings so repeated
-	// Call.Site() resolutions (per-access profiler attribution) do not
-	// reallocate.
-	siteNames map[*ir.Block]string
 }
 
 // traceInstr emits one trace line (called only when tracing is on).
@@ -253,61 +243,27 @@ func (v *VM) Profiler() *profile.SiteProfiler { return v.prof }
 func (v *VM) Telemetry() *telemetry.Telemetry { return v.tel }
 
 // New prepares a VM for the module: validates it, lays out globals and
-// creates the heap.
+// creates the heap. It is the single-run compatibility wrapper over the
+// Program/Instance split — callers that execute a module more than once
+// should Compile it once and stamp NewInstance per run instead.
 func New(m *ir.Module, opts ...Option) (*VM, error) {
-	if err := ir.Validate(m); err != nil {
+	p, err := Compile(m)
+	if err != nil {
 		return nil, err
 	}
-	v := &VM{
-		Mod:      m,
-		Mem:      newMemory(),
-		builtins: make(map[string]Builtin),
-		globals:  make(map[string]uint64),
-		fuel:     defaultFuel,
-		stackTop: StackBase,
-		objects:  make(map[uint64]*ir.StructType),
-	}
-	for _, o := range opts {
-		o(v)
-	}
-	heapOpts := []heap.Option{heap.WithQuarantine(v.quarantine)}
-	if v.heapRand != 0 {
-		heapOpts = append(heapOpts, heap.WithRandomPlacement(v.heapRand))
-	}
-	if v.tel != nil {
-		heapOpts = append(heapOpts, heap.WithTelemetry(v.tel))
-	}
-	v.Heap = heap.New(HeapBase, HeapSize, heapOpts...)
-	if v.prof != nil {
-		v.profSites = make(map[*ir.Block]*profile.SiteCounts)
-		v.siteNames = make(map[*ir.Block]string)
-	}
-	v.fuelLeft = v.fuel
-	if v.covOn {
-		v.coverage = make([]byte, coverageSize)
-	}
-	addr := uint64(GlobalBase)
-	for _, g := range m.Globals {
-		addr = (addr + 15) &^ 15
-		v.globals[g.Name] = addr
-		if len(g.Init) > 0 {
-			if err := v.Mem.WriteBytes(addr, g.Init); err != nil {
-				return nil, fmt.Errorf("vm: init global %s: %w", g.Name, err)
-			}
-		}
-		addr += uint64(g.Size)
-	}
-	registerDefaultBuiltins(v)
-	return v, nil
+	return p.NewInstance(opts...)
 }
 
 // RegisterBuiltin installs (or replaces) a native function. The POLaR
 // runtime uses this to provide the olr_* ABI.
 func (v *VM) RegisterBuiltin(name string, fn Builtin) { v.builtins[name] = fn }
 
+// Program returns the shared immutable Program this VM executes.
+func (v *VM) Program() *Program { return v.prog }
+
 // GlobalAddr returns the address of a module global.
 func (v *VM) GlobalAddr(name string) (uint64, bool) {
-	a, ok := v.globals[name]
+	a, ok := v.prog.globals[name]
 	return a, ok
 }
 
@@ -340,7 +296,7 @@ func (v *VM) HooksAttached() Hooks { return v.hooks }
 
 // Run executes @main with the given integer arguments.
 func (v *VM) Run(args ...int64) (int64, error) {
-	f := v.Mod.Func("main")
+	f := v.prog.Func("main")
 	if f == nil {
 		return 0, ir.ErrNoMain
 	}
@@ -353,7 +309,7 @@ func (v *VM) Run(args ...int64) (int64, error) {
 
 // CallFunc executes an arbitrary module function with integer arguments.
 func (v *VM) CallFunc(name string, args ...int64) (int64, error) {
-	f := v.Mod.Func(name)
+	f := v.prog.Func(name)
 	if f == nil {
 		return 0, fmt.Errorf("%w: @%s", ErrUnknownFunc, name)
 	}
@@ -420,7 +376,7 @@ func (v *VM) call(fn *ir.Func, args []ir.Value, callerRegs []int64, callerDest i
 		if v.profSites != nil {
 			c, ok := v.profSites[b]
 			if !ok {
-				c = v.prof.Site(v.siteName(fn, b))
+				c = v.prof.Site(v.prog.SiteName(b))
 				v.profSites[b] = c
 			}
 			c.AddCycles(uint64(len(b.Instrs)))
@@ -661,7 +617,7 @@ func (v *VM) call(fn *ir.Func, args []ir.Value, callerRegs []int64, callerDest i
 }
 
 func (v *VM) dispatchCall(fn *ir.Func, b *ir.Block, regs []int64, in *ir.Instr) (int64, error) {
-	if callee := v.Mod.Func(in.Callee); callee != nil {
+	if callee := v.prog.Func(in.Callee); callee != nil {
 		return v.call(callee, in.Args, regs, in.Dest)
 	}
 	bi, ok := v.builtins[in.Callee]
@@ -697,27 +653,17 @@ func (v *VM) resolve(regs []int64, val ir.Value) int64 {
 	case ir.ValReg:
 		return regs[val.Reg]
 	case ir.ValGlobal:
-		return int64(v.globals[val.Sym])
+		return int64(v.prog.globals[val.Sym])
 	case ir.ValFunc:
-		return v.funcHandle(val.Sym)
+		return v.prog.funcHandles[val.Sym]
 	default:
 		return 0
 	}
 }
 
-// funcHandle returns a stable pseudo-address for a function (used as the
-// value of stored function pointers). Handles live far above the heap so
-// they never collide with data addresses.
-func (v *VM) funcHandle(name string) int64 {
-	for i, f := range v.Mod.Funcs {
-		if f.Name == name {
-			return int64(0x7f00_0000_0000 + uint64(i)*16)
-		}
-	}
-	return 0
-}
-
-// FuncByHandle resolves a funcHandle back to its function.
+// FuncByHandle resolves a function-pointer handle back to its function.
+// Handles are stable pseudo-addresses precomputed at Compile time; they
+// live far above the heap so they never collide with data addresses.
 func (v *VM) FuncByHandle(h int64) (*ir.Func, bool) {
 	idx := (uint64(h) - 0x7f00_0000_0000) / 16
 	if uint64(h) < 0x7f00_0000_0000 || int(idx) >= len(v.Mod.Funcs) {

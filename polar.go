@@ -258,6 +258,7 @@ type options struct {
 	policy        *policy.Policy
 	tel           *telemetry.Telemetry
 	prof          *profile.SiteProfiler
+	runtimeObs    func(LiveRuntime)
 }
 
 // Option configures Run and RunHardened.
@@ -321,6 +322,25 @@ func WithTelemetry(t *Telemetry) Option { return func(o *options) { o.tel = t } 
 // sites. Sharing one profiler across runs aggregates their profiles.
 func WithProfiler(p *SiteProfiler) Option { return func(o *options) { o.prof = p } }
 
+// LiveRuntime is the live view of the POLaR runtime attached to a run
+// in flight. It structurally matches the introspection endpoint's
+// violation source, so an observer callback can hand it straight to a
+// live HTTP surface.
+type LiveRuntime interface {
+	// ViolationLog returns the structured violation log with its
+	// truncation state, as of the moment of the call.
+	ViolationLog() ViolationLog
+}
+
+// WithRuntimeObserver registers fn to receive the live runtime just
+// before a hardened run begins executing. The runtime outlives the
+// call — an introspection endpoint may keep querying it while (and
+// after) the program runs. Ignored on baseline runs, which have no
+// POLaR runtime.
+func WithRuntimeObserver(fn func(LiveRuntime)) Option {
+	return func(o *options) { o.runtimeObs = fn }
+}
+
 // Result is the outcome of one execution.
 type Result struct {
 	// Value is @main's return value.
@@ -342,19 +362,104 @@ type Result struct {
 	ViolationsDropped   uint64
 }
 
-// Run executes an unhardened module.
-func Run(m *Module, opts ...Option) (*Result, error) {
-	o := gather(opts)
-	v, err := newVM(ir.Clone(m), o)
+// Prepared is the compiled, ready-to-run form of a program: the module
+// is cloned and validated once, globals are laid out once, and (for
+// hardened programs) the class table is resolved once. Each Run stamps
+// out a cheap per-run instance, so repeated executions pay only for
+// the run itself.
+//
+// A Prepared is safe for concurrent use: any number of goroutines may
+// call Run simultaneously, each getting an isolated instance. Hardened
+// instances share one layout-deduplication table, so identical layouts
+// regenerated across runs intern to a single record.
+type Prepared struct {
+	prog     *vm.Program
+	table    *classinfo.Table
+	perClass map[uint64]layout.Config
+	interner *core.LayoutInterner
+	hardened bool
+}
+
+// Prepare compiles a baseline (unhardened) module for repeated runs.
+func Prepare(m *Module) (*Prepared, error) {
+	prog, err := vm.Compile(ir.Clone(m))
 	if err != nil {
 		return nil, err
+	}
+	return &Prepared{prog: prog}, nil
+}
+
+// PrepareHardened compiles a hardened program for repeated runs under
+// the POLaR runtime.
+func PrepareHardened(h *Hardened) (*Prepared, error) {
+	mod := ir.Clone(h.Module)
+	prog, err := vm.Compile(mod)
+	if err != nil {
+		return nil, err
+	}
+	// The hardened module carries its own CIE table; rebuild against the
+	// clone's struct identities. A module that went through text form
+	// (polarc output) loses the embedded table, but class hashes are
+	// deterministic functions of the declarations, so recomputing the
+	// CIE over every struct restores it.
+	table := classinfo.TableFromModuleClassTable(mod)
+	if table.Len() == 0 {
+		table, err = classinfo.FromModule(mod, nil)
+		if err != nil {
+			return nil, fmt.Errorf("polar: rebuilding class table: %w", err)
+		}
+	}
+	return &Prepared{
+		prog:     prog,
+		table:    table,
+		perClass: h.perClass,
+		interner: core.NewLayoutInterner(),
+		hardened: true,
+	}, nil
+}
+
+// Run executes the prepared program once on a fresh instance.
+func (p *Prepared) Run(opts ...Option) (*Result, error) {
+	o := gather(opts)
+	v, err := p.prog.NewInstance(vmOptions(o)...)
+	if err != nil {
+		return nil, err
+	}
+	if !p.hardened {
+		val, err := runSpan(v, o)
+		if err != nil {
+			return nil, err
+		}
+		publishVM(v, o)
+		return &Result{Value: val, Output: v.Output(), VM: v.Stats}, nil
+	}
+	cfg := runtimeConfig(o, p.table, p.perClass)
+	cfg.Interner = p.interner
+	rt := core.New(p.table, cfg)
+	rt.Attach(v)
+	if o.runtimeObs != nil {
+		o.runtimeObs(rt)
 	}
 	val, err := runSpan(v, o)
 	if err != nil {
 		return nil, err
 	}
 	publishVM(v, o)
-	return &Result{Value: val, Output: v.Output(), VM: v.Stats}, nil
+	vlog := rt.ViolationLog()
+	return &Result{
+		Value: val, Output: v.Output(), Runtime: rt.Stats(),
+		VM: v.Stats, Violations: vlog.Records,
+		ViolationsTruncated: vlog.Truncated, ViolationsDropped: vlog.Dropped,
+	}, nil
+}
+
+// Run executes an unhardened module.
+func Run(m *Module, opts ...Option) (*Result, error) {
+	p, err := Prepare(m)
+	if err != nil {
+		return nil, err
+	}
+	return p.Run(opts...)
 }
 
 // runSpan executes @main, wrapped in a "run" pipeline span when a
@@ -378,12 +483,21 @@ func publishVM(v *vm.VM, o *options) {
 }
 
 // RunHardened executes a hardened program under the POLaR runtime.
+// For a single run it prepares and executes in one step; callers
+// running the same program repeatedly should PrepareHardened once and
+// Run many times.
 func RunHardened(h *Hardened, opts ...Option) (*Result, error) {
-	o := gather(opts)
-	v, err := newVM(ir.Clone(h.Module), o)
+	p, err := PrepareHardened(h)
 	if err != nil {
 		return nil, err
 	}
+	return p.Run(opts...)
+}
+
+// runtimeConfig assembles the core runtime configuration from the run
+// options, the resolved class table and the hardened program's
+// per-class tuning.
+func runtimeConfig(o *options, table *classinfo.Table, perClass map[uint64]layout.Config) core.Config {
 	cfg := core.DefaultConfig(o.seed)
 	cfg.Telemetry = o.tel
 	cfg.Profiler = o.prof
@@ -405,44 +519,25 @@ func RunHardened(h *Hardened, opts ...Option) (*Result, error) {
 	if o.metaIntegrity {
 		cfg.MetadataIntegrity = true
 	}
-	if len(h.perClass) > 0 {
-		cfg.PerClass = h.perClass
-	}
-	// The hardened module carries its own CIE table; rebuild against the
-	// clone's struct identities. A module that went through text form
-	// (polarc output) loses the embedded table, but class hashes are
-	// deterministic functions of the declarations, so recomputing the
-	// CIE over every struct restores it.
-	table := classinfo.TableFromModuleClassTable(v.Mod)
-	if table.Len() == 0 {
-		table, err = classinfo.FromModule(v.Mod, nil)
-		if err != nil {
-			return nil, fmt.Errorf("polar: rebuilding class table: %w", err)
-		}
+	if len(perClass) > 0 {
+		cfg.PerClass = perClass
 	}
 	if o.policy != nil {
-		if cfg.PerClass == nil {
-			cfg.PerClass = make(map[uint64]layout.Config, len(o.policy.Classes))
+		// Merge into a copy: cfg.PerClass may alias the prepared
+		// program's shared tuning map, and concurrent runs must not
+		// write into it.
+		merged := make(map[uint64]layout.Config, len(cfg.PerClass)+len(o.policy.Classes))
+		for hash, lc := range cfg.PerClass {
+			merged[hash] = lc
 		}
 		for name, cp := range o.policy.Classes {
 			if cls, ok := table.ByName(name); ok {
-				cfg.PerClass[cls.Hash] = cp.LayoutConfig()
+				merged[cls.Hash] = cp.LayoutConfig()
 			}
 		}
+		cfg.PerClass = merged
 	}
-	rt := core.New(table, cfg)
-	rt.Attach(v)
-	val, err := runSpan(v, o)
-	if err != nil {
-		return nil, err
-	}
-	publishVM(v, o)
-	vlog := rt.ViolationLog()
-	return &Result{
-		Value: val, Output: v.Output(), Runtime: rt.Stats(),
-		VM: v.Stats, Violations: vlog.Records,
-		ViolationsTruncated: vlog.Truncated, ViolationsDropped: vlog.Dropped,
-	}, nil
+	return cfg
 }
 
 func gather(opts []Option) *options {
@@ -453,7 +548,7 @@ func gather(opts []Option) *options {
 	return o
 }
 
-func newVM(m *Module, o *options) (*vm.VM, error) {
+func vmOptions(o *options) []vm.Option {
 	vmOpts := []vm.Option{vm.WithInput(o.input)}
 	if o.fuel > 0 {
 		vmOpts = append(vmOpts, vm.WithFuel(o.fuel))
@@ -467,7 +562,7 @@ func newVM(m *Module, o *options) (*vm.VM, error) {
 	if o.prof != nil {
 		vmOpts = append(vmOpts, vm.WithProfiler(o.prof))
 	}
-	return vm.New(m, vmOpts...)
+	return vmOpts
 }
 
 // AnalyzeTaint runs the TaintClass analysis (DFSan-analogue data-flow

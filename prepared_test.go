@@ -1,0 +1,96 @@
+package polar
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestPreparedConcurrentRuns drives the public compile-once API the way
+// a server would: one PrepareHardened'd program, many simultaneous
+// Run calls with distinct seeds. Layouts differ per run (that's the
+// point of per-allocation randomization) but results must not, and —
+// under -race — the shared program, class table, tuning map and
+// layout-dedup pool must be free of write races.
+func TestPreparedConcurrentRuns(t *testing.T) {
+	m, err := Parse(facadeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := Harden(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prep, err := PrepareHardened(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := []byte{7, 1, 2, 3}
+
+	const workers = 8
+	const runsPerWorker = 4
+	results := make([]*Result, workers*runsPerWorker)
+	errs := make([]error, workers*runsPerWorker)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < runsPerWorker; r++ {
+				i := w*runsPerWorker + r
+				results[i], errs[i] = prep.Run(WithSeed(int64(i)+1), WithInput(input))
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+	want := results[0]
+	if want.Value != 7*40 {
+		t.Fatalf("hardened value = %d, want %d", want.Value, 7*40)
+	}
+	for i, r := range results[1:] {
+		if r.Value != want.Value || !bytes.Equal(r.Output, want.Output) {
+			t.Fatalf("run %d diverged: value %d vs %d", i+1, r.Value, want.Value)
+		}
+	}
+}
+
+// TestPreparedMatchesRunHardened pins the compat contract: the one-shot
+// RunHardened and an explicit Prepare+Run must agree bit-for-bit for
+// the same seed.
+func TestPreparedMatchesRunHardened(t *testing.T) {
+	build := func() *Hardened {
+		m, err := Parse(facadeSrc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := Harden(m, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	input := []byte{7, 1, 2, 3}
+	one, err := RunHardened(build(), WithSeed(23), WithInput(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prep, err := PrepareHardened(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := prep.Run(WithSeed(23), WithInput(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := fmt.Sprintf("%d %q %s %s", one.Value, one.Output, one.VM, one.Runtime)
+	b := fmt.Sprintf("%d %q %s %s", two.Value, two.Output, two.VM, two.Runtime)
+	if a != b {
+		t.Fatalf("Prepare+Run diverged from RunHardened:\n%s\n%s", a, b)
+	}
+}
