@@ -53,10 +53,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"runtime"
 	"strconv"
-	"sync"
-	"sync/atomic"
 
 	"polar"
 	"polar/internal/evalrun"
@@ -284,7 +281,7 @@ func run(c runConfig) error {
 		}
 		return opts
 	}
-	if err := forEachRun(runs, c.parallel, func(i int) error {
+	if err := evalrun.ForEach(runs, c.parallel, func(i int) error {
 		var sp *polar.TraceSpan
 		if tel != nil && tel.Tracer != nil {
 			sp = tel.Tracer.Begin(fmt.Sprintf("run/%d", i), "pipeline")
@@ -367,50 +364,6 @@ func run(c runConfig) error {
 		ch := make(chan os.Signal, 1)
 		signal.Notify(ch, os.Interrupt)
 		<-ch
-	}
-	return nil
-}
-
-// forEachRun spreads fn(0..n-1) over a bounded worker pool. workers < 1
-// means GOMAXPROCS. Errors are collected per index and the lowest-index
-// one wins, so a failing batch reports deterministically at any
-// parallelism.
-func forEachRun(n, workers int, fn func(int) error) error {
-	if workers < 1 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	errs := make([]error, n)
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				errs[i] = fn(i)
-			}
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
 	}
 	return nil
 }

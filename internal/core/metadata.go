@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"polar/internal/layout"
 	"polar/internal/telemetry"
@@ -63,13 +64,25 @@ type LayoutInterner struct {
 	shared uint64
 
 	// chainHist, when non-nil, observes the dedup-bucket chain length
-	// walked by each Intern (set by the runtime when telemetry is on).
-	chainHist *telemetry.Histogram
+	// walked by each Intern. It is attached (once) via AttachChainHist
+	// by the first telemetry-carrying runtime built over this interner;
+	// atomic because concurrent instances sharing the interner attach
+	// and observe without holding mu.
+	chainHist atomic.Pointer[telemetry.Histogram]
 }
 
 // NewLayoutInterner returns an empty dedup table.
 func NewLayoutInterner() *LayoutInterner {
 	return &LayoutInterner{dedup: make(map[uint64][]*layout.Layout)}
+}
+
+// AttachChainHist wires the histogram that Intern observes dedup-chain
+// lengths into. The first attachment wins and later calls are no-ops,
+// so a shared interner reports into one registry for its whole lifetime
+// instead of being re-pointed at whichever concurrent run's registry
+// was wired last. Safe for concurrent use.
+func (in *LayoutInterner) AttachChainHist(h *telemetry.Histogram) {
+	in.chainHist.CompareAndSwap(nil, h)
 }
 
 // Intern returns the canonical layout equal to l for the class,
@@ -79,8 +92,8 @@ func (in *LayoutInterner) Intern(classHash uint64, l *layout.Layout) *layout.Lay
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	key := classHash ^ l.Hash()
-	if in.chainHist != nil {
-		in.chainHist.Observe(float64(len(in.dedup[key])))
+	if h := in.chainHist.Load(); h != nil {
+		h.Observe(float64(len(in.dedup[key])))
 	}
 	for _, prev := range in.dedup[key] {
 		if prev.Equal(l) {

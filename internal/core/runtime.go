@@ -51,7 +51,11 @@ type Config struct {
 	// registry. Counters stay native — the member-access path is too hot
 	// for atomics — and are snapshotted into the registry by Stats().
 	// Note: sharing one Telemetry across runtimes aggregates their
-	// metrics; use a fresh Telemetry per runtime for isolation.
+	// metrics; use a fresh Telemetry per runtime for isolation. A
+	// *shared* Interner keeps the first attached registry's chain-length
+	// histogram for its lifetime, so with per-run registries those
+	// observations are credited to the first run (totals survive any
+	// Merge of the registries).
 	Telemetry *telemetry.Telemetry
 	// Profiler, when non-nil, attributes member resolutions and
 	// metadata-table probes to their instruction sites — the SPAM-style
@@ -155,7 +159,11 @@ func New(table *classinfo.Table, cfg Config) *Runtime {
 		r.tel = t
 		r.histProbe = t.Registry.Histogram(telemetry.MetricCacheProbeLen, telemetry.ProbeLenBuckets)
 		r.histEntropy = t.Registry.Histogram(telemetry.MetricLayoutEntropy, telemetry.EntropyBuckets)
-		r.store.interner.chainHist = t.Registry.Histogram(telemetry.MetricInternChainLen, telemetry.ChainLenBuckets)
+		// Attach-once: a shared interner (Prepared, evalrun) keeps the
+		// first run's histogram for its lifetime; observations from all
+		// runs land in that one registry (merged snapshots stay correct)
+		// instead of racing to re-point the shared field per run.
+		r.store.interner.AttachChainHist(t.Registry.Histogram(telemetry.MetricInternChainLen, telemetry.ChainLenBuckets))
 	}
 	if cfg.Profiler != nil {
 		r.prof = cfg.Profiler

@@ -1,8 +1,55 @@
 package evalrun
 
 import (
+	"errors"
+	"sync/atomic"
 	"testing"
+	"time"
 )
+
+// TestForEachCancelsOnFailure pins the pool's failure semantics: once a
+// task errors, workers stop claiming new indices (tasks already in
+// flight finish), so an expensive grid doesn't keep paying for work
+// that can no longer matter, and the error surfaces to the caller.
+func TestForEachCancelsOnFailure(t *testing.T) {
+	const n = 64
+	var ran atomic.Int64
+	boom := errors.New("boom")
+	err := ForEach(n, 4, func(i int) error {
+		ran.Add(1)
+		if i == 3 {
+			return boom
+		}
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if got := ran.Load(); got == n {
+		t.Fatalf("all %d tasks ran despite the early failure (no cancellation)", got)
+	}
+}
+
+// TestForEachSerialStopsAtFirstError covers the width-1 path: execution
+// is in index order and stops at the first failure.
+func TestForEachSerialStopsAtFirstError(t *testing.T) {
+	var ran atomic.Int64
+	boom := errors.New("boom")
+	err := ForEach(10, 1, func(i int) error {
+		ran.Add(1)
+		if i >= 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if got := ran.Load(); got != 3 {
+		t.Fatalf("ran %d tasks, want 3 (indices 0..2)", got)
+	}
+}
 
 func TestTaskSeedStableAndDistinct(t *testing.T) {
 	a := TaskSeed(11, "table1/401.bzip2")

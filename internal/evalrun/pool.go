@@ -42,15 +42,20 @@ func TaskSeed(root int64, taskID string) int64 {
 	return int64(h.Sum64() &^ (1 << 63))
 }
 
-// forEach runs fn(0..n-1) across a bounded worker pool of Parallelism
-// goroutines and returns the lowest-index error (nil if none ran
-// into one). Each index executes entirely on one worker, so a task's
-// timing repetitions are never split across goroutines (min-of-N
-// stays valid); callers write results into slot i of a pre-sized
-// slice, so collection order is deterministic regardless of completion
-// order.
-func forEach(n int, fn func(i int) error) error {
-	workers := parallelism
+// ForEach runs fn(0..n-1) across a bounded worker pool of the given
+// width (workers < 1 means GOMAXPROCS) and returns the lowest-index
+// error among the tasks that ran (nil if none failed). The pool
+// cancels on failure: once any task errors, workers stop claiming new
+// indices — tasks already in flight finish, but an expensive grid
+// doesn't keep paying for indices that can no longer matter. Each
+// index executes entirely on one worker, so a task's timing
+// repetitions are never split across goroutines (min-of-N stays
+// valid); callers write results into slot i of a pre-sized slice, so
+// collection order is deterministic regardless of completion order.
+func ForEach(n, workers int, fn func(i int) error) error {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > n {
 		workers = n
 	}
@@ -64,17 +69,21 @@ func forEach(n int, fn func(i int) error) error {
 	}
 	errs := make([]error, n)
 	var next atomic.Int64
+	var failed atomic.Bool
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for {
+			for !failed.Load() {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				errs[i] = fn(i)
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
 			}
 		}()
 	}
@@ -85,4 +94,10 @@ func forEach(n int, fn func(i int) error) error {
 		}
 	}
 	return nil
+}
+
+// forEach runs fn(0..n-1) at the package-level Parallelism width (the
+// experiment harness's fan-out knob; see SetParallelism).
+func forEach(n int, fn func(i int) error) error {
+	return ForEach(n, parallelism, fn)
 }

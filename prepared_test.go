@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+
+	"polar/internal/telemetry"
 )
 
 // TestPreparedConcurrentRuns drives the public compile-once API the way
@@ -12,7 +14,10 @@ import (
 // Run calls with distinct seeds. Layouts differ per run (that's the
 // point of per-allocation randomization) but results must not, and —
 // under -race — the shared program, class table, tuning map and
-// layout-dedup pool must be free of write races.
+// layout-dedup pool must be free of write races. Every run attaches a
+// private Telemetry (the polarun -parallel -metrics path): wiring each
+// run's registry into the shared interner's chain-length histogram is
+// exactly where a write/write race on the shared field would live.
 func TestPreparedConcurrentRuns(t *testing.T) {
 	m, err := Parse(facadeSrc)
 	if err != nil {
@@ -31,6 +36,7 @@ func TestPreparedConcurrentRuns(t *testing.T) {
 	const workers = 8
 	const runsPerWorker = 4
 	results := make([]*Result, workers*runsPerWorker)
+	tels := make([]*Telemetry, workers*runsPerWorker)
 	errs := make([]error, workers*runsPerWorker)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -39,7 +45,8 @@ func TestPreparedConcurrentRuns(t *testing.T) {
 			defer wg.Done()
 			for r := 0; r < runsPerWorker; r++ {
 				i := w*runsPerWorker + r
-				results[i], errs[i] = prep.Run(WithSeed(int64(i)+1), WithInput(input))
+				tels[i] = NewTelemetry()
+				results[i], errs[i] = prep.Run(WithSeed(int64(i)+1), WithInput(input), WithTelemetry(tels[i]))
 			}
 		}(w)
 	}
@@ -57,6 +64,21 @@ func TestPreparedConcurrentRuns(t *testing.T) {
 		if r.Value != want.Value || !bytes.Equal(r.Output, want.Output) {
 			t.Fatalf("run %d diverged: value %d vs %d", i+1, r.Value, want.Value)
 		}
+	}
+	// The shared interner attaches the first run's chain-length
+	// histogram for its lifetime; merging every per-run registry must
+	// therefore recover all Intern observations, one per olr_malloc.
+	merged := NewTelemetry()
+	var allocs, interns uint64
+	for i, tel := range tels {
+		if err := merged.Registry.Merge(tel.Registry.Snapshot()); err != nil {
+			t.Fatalf("merging run %d registry: %v", i, err)
+		}
+		allocs += results[i].Runtime.Allocs
+	}
+	interns = merged.Registry.Snapshot().Histograms[telemetry.MetricInternChainLen].Count
+	if allocs == 0 || interns != allocs {
+		t.Fatalf("intern-chain observations = %d, want one per alloc (%d)", interns, allocs)
 	}
 }
 
