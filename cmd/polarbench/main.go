@@ -35,6 +35,7 @@ import (
 
 	"polar/internal/evalrun"
 	"polar/internal/telemetry"
+	"polar/internal/vm"
 )
 
 func main() {
@@ -47,7 +48,14 @@ func main() {
 	format := flag.String("format", "text", "output format: text or csv")
 	metrics := flag.Bool("metrics", false, "print a JSON metrics snapshot after each experiment")
 	traceJSON := flag.String("trace-json", "", "write a Chrome trace-event timeline of the suite to this file")
+	engine := flag.String("engine", "bytecode", "execution engine for every experiment: bytecode or legacy")
 	flag.Parse()
+	eng, err := vm.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "polarbench:", err)
+		os.Exit(2)
+	}
+	vm.SetDefaultEngine(eng)
 
 	want := map[string]bool{}
 	if *only != "" {
@@ -73,7 +81,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	err := run(sel, csv, *metrics, *reps, *trials, *fuzzIters, *seed)
+	err = run(sel, csv, *metrics, *reps, *trials, *fuzzIters, *seed)
 	cleanup()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "polarbench:", err)

@@ -2,9 +2,18 @@
 //
 // Usage:
 //
-//	polarun [-hardened|-harden] [-input file] [-seed n] [-stats]
-//	        [-runs n] [-parallel n] [-metrics] [-trace-json file]
-//	        [-profile file] [-http addr] program.ir [args...]
+//	polarun [-hardened|-harden] [-engine bytecode|legacy] [-input file]
+//	        [-seed n] [-stats] [-runs n] [-parallel n] [-metrics]
+//	        [-trace-json file] [-profile file] [-http addr]
+//	        program.ir [args...]
+//
+// -engine selects the execution engine: the default bytecode engine
+// (compile-time lowering with fused superinstructions, DESIGN.md §8)
+// or the tree-walking reference engine ("legacy"; also "tree"). The
+// two are differentially tested to produce identical results, stats
+// and violations; legacy is the one to pin when bisecting a suspected
+// engine bug. VMs with taint hooks or -trace attached fall back to the
+// tree-walker automatically.
 //
 // Plain modules run on the bare VM; pass -hardened for modules produced
 // by polarc (the POLaR runtime is attached and the class table
@@ -81,6 +90,7 @@ type runConfig struct {
 	httpAddr         string
 	httpHold         bool
 	reservoirCap     int
+	engine           string
 }
 
 func main() {
@@ -104,7 +114,14 @@ func main() {
 	flag.StringVar(&c.httpAddr, "http", "", "serve the live introspection endpoint on this address (e.g. :6070)")
 	flag.BoolVar(&c.httpHold, "http-hold", false, "with -http: keep serving after the run until interrupted")
 	flag.IntVar(&c.reservoirCap, "reservoir", 256, "event-sample capacity behind /debug/polar/reservoir (with -http)")
+	flag.StringVar(&c.engine, "engine", "bytecode", "execution engine: bytecode (lowered, fast) or legacy (tree-walking reference)")
 	flag.Parse()
+	eng, err := polar.ParseEngine(c.engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "polarun:", err)
+		os.Exit(2)
+	}
+	polar.SetDefaultEngine(eng)
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: polarun [-hardened|-harden] [-input file] [-seed n] program.ir [args...]")
 		os.Exit(2)

@@ -50,10 +50,16 @@ func (c *offsetCache) slot(base uint64, field int) uint64 {
 	return h & c.mask
 }
 
-// get probes the cache; ok reports a hit.
+// get probes the cache; ok reports a hit. A disabled cache (size 0, the
+// no-cache ablation) records no probes at all: counting those as misses
+// would pollute Table III's hit-rate column with probes that were never
+// made. An enabled-but-lazily-unallocated cache still counts the miss —
+// the probe genuinely happened and fell through to the slow path.
 func (c *offsetCache) get(base uint64, class uint64, field int) (int32, bool) {
 	if c.entries == nil {
-		c.misses++
+		if c.size > 0 {
+			c.misses++
+		}
 		return 0, false
 	}
 	e := &c.entries[c.slot(base, field)]

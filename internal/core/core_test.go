@@ -142,6 +142,25 @@ func TestOffsetCacheDisabled(t *testing.T) {
 		t.Fatal("disabled cache hit")
 	}
 	c.invalidate(1, 8) // must not panic
+	// A disabled cache makes no probes, so it must record none: the
+	// no-cache ablation's Table III hit-rate column stays empty instead
+	// of reporting a 0% rate over probes that never happened.
+	if c.hits != 0 || c.misses != 0 {
+		t.Fatalf("disabled cache counted probes: hits=%d misses=%d", c.hits, c.misses)
+	}
+}
+
+// TestOffsetCacheLazyMissCounting: an enabled cache whose entry array has
+// not been allocated yet (no put so far) still counts probes — those
+// probes really happened and fell through to the metadata slow path.
+func TestOffsetCacheLazyMissCounting(t *testing.T) {
+	c := newOffsetCache(64)
+	if _, hit := c.get(0x1000, 5, 0); hit {
+		t.Fatal("unallocated cache hit")
+	}
+	if c.misses != 1 {
+		t.Fatalf("pre-allocation probe not counted: misses=%d", c.misses)
+	}
 }
 
 // TestOffsetCacheQuick: whatever was last put for (base, class, field)

@@ -6,6 +6,7 @@ import (
 
 	"polar/internal/core"
 	"polar/internal/layout"
+	"polar/internal/vm"
 	"polar/internal/workload"
 )
 
@@ -45,8 +46,19 @@ func ablationConfigs(seed int64) []struct {
 			c.Layout.MinDummies, c.Layout.MaxDummies = 3, 4
 		})},
 		{"cacheline-mode", mk(func(c *core.Config) { c.Layout.Mode = layout.ModeCacheLine })},
+		// Execution-engine ablation: the default runtime config on the
+		// tree-walking reference engine. Overhead percentages are
+		// relative (hardened/baseline on the same engine), so comparing
+		// this row against "default" shows whether the instrumentation
+		// overhead story depends on interpreter speed.
+		{legacyEngineConfig, mk(func(c *core.Config) {})},
 	}
 }
+
+// legacyEngineConfig names the ablation variant that pins the
+// tree-walking engine (every other variant runs on the process-default
+// engine, normally bytecode).
+const legacyEngineConfig = "legacy-engine"
 
 // Ablation measures the overhead of each configuration variant on the
 // member-access-bound (mcf), allocation-bound (sjeng) and copy-bound
@@ -76,7 +88,11 @@ func Ablation(reps int, seed int64) ([]AblationRow, error) {
 		}
 		sp := Span(c.cfgName+"/"+c.app, "ablation")
 		defer sp.End()
-		base, polar, err := measureWorkload(w, reps, TaskSeed(seed, "ablation/"+c.cfgName+"/"+c.app), c.cfg)
+		var vmOpts []vm.Option
+		if c.cfgName == legacyEngineConfig {
+			vmOpts = append(vmOpts, vm.WithEngine(vm.EngineLegacy))
+		}
+		base, polar, err := measureWorkload(w, reps, TaskSeed(seed, "ablation/"+c.cfgName+"/"+c.app), c.cfg, vmOpts...)
 		if err != nil {
 			return fmt.Errorf("%s/%s: %w", c.cfgName, c.app, err)
 		}

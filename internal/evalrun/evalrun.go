@@ -49,9 +49,11 @@ func Span(name, cat string) *telemetry.Span {
 
 // runOnce stamps a fresh instance from a compiled program, executes it
 // once, and returns the wall time of the Run call and the final
-// checksum.
-func runOnce(p *vm.Program, input []byte, args []int64, rt func(*vm.VM)) (time.Duration, int64, error) {
-	v, err := p.NewInstance(vm.WithInput(input))
+// checksum. Extra vm options (an engine pin, say) apply to the instance;
+// without them the instance uses the process-default engine, which the
+// polarbench -engine flag controls.
+func runOnce(p *vm.Program, input []byte, args []int64, rt func(*vm.VM), vmOpts ...vm.Option) (time.Duration, int64, error) {
+	v, err := p.NewInstance(append([]vm.Option{vm.WithInput(input)}, vmOpts...)...)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -78,7 +80,7 @@ func runOnce(p *vm.Program, input []byte, args []int64, rt func(*vm.VM)) (time.D
 // run itself, not validation and layout. All reps of one workload run
 // on the caller's goroutine — a parallel experiment pins each
 // workload's timings to one worker.
-func measureWorkload(w *workload.Workload, reps int, seed int64, cfg core.Config) (base, polar time.Duration, err error) {
+func measureWorkload(w *workload.Workload, reps int, seed int64, cfg core.Config, vmOpts ...vm.Option) (base, polar time.Duration, err error) {
 	baseProg, err := vm.Compile(ir.Clone(w.Module))
 	if err != nil {
 		return 0, 0, fmt.Errorf("%s: %w", w.Name, err)
@@ -105,7 +107,7 @@ func measureWorkload(w *workload.Workload, reps int, seed int64, cfg core.Config
 	base, polar = time.Duration(1<<62), time.Duration(1<<62)
 	runSeed := seed
 	for i := 0; i < reps; i++ {
-		d, sum, err := runOnce(baseProg, w.Input, w.Args, nil)
+		d, sum, err := runOnce(baseProg, w.Input, w.Args, nil, vmOpts...)
 		if err != nil {
 			return 0, 0, fmt.Errorf("%s: baseline: %w", w.Name, err)
 		}
@@ -124,7 +126,7 @@ func measureWorkload(w *workload.Workload, reps int, seed int64, cfg core.Config
 			c.Seed = runSeed
 			c.Interner = interner
 			core.New(ins.Table, c).Attach(v)
-		})
+		}, vmOpts...)
 		if err != nil {
 			return 0, 0, fmt.Errorf("%s: hardened: %w", w.Name, err)
 		}

@@ -183,10 +183,13 @@ func TestAblationStructure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 6*3 {
-		t.Fatalf("rows = %d, want 18", len(rows))
+	if len(rows) != 7*3 {
+		t.Fatalf("rows = %d, want 21", len(rows))
 	}
-	if out := RenderAblation(rows); !strings.Contains(out, "no-cache") {
-		t.Error("render missing config name")
+	out := RenderAblation(rows)
+	for _, cfg := range []string{"no-cache", "legacy-engine"} {
+		if !strings.Contains(out, cfg) {
+			t.Errorf("render missing config name %q", cfg)
+		}
 	}
 }

@@ -1,0 +1,139 @@
+package vm
+
+import "polar/internal/ir"
+
+// This file defines the lowered form the bytecode engine executes: a
+// dense flat instruction array per function with every operand resolved
+// at compile time. The lowering itself lives in lower.go, the dispatch
+// loop in exec_fast.go.
+//
+// Operand pre-resolution collapses the five ir.Value kinds into two:
+// registers and 64-bit immediates. Integer and float constants are
+// immediates by definition; global symbols become the absolute
+// addresses the Program's (compile-time, instance-independent) layout
+// assigned them; function references become their precomputed handles.
+// The dispatch loop therefore never touches a string map.
+
+// bcOp is a lowered opcode. The set mirrors ir.Op plus the fused
+// superinstructions the hot-site profiler surfaced as the dominant
+// adjacent pairs (fieldptr feeding a load or store, and a compare
+// feeding the block's conditional branch).
+type bcOp uint8
+
+// Lowered opcodes.
+const (
+	bcInvalid bcOp = iota
+	bcAlloc
+	bcLocal
+	bcFree
+	bcLoad
+	bcStore
+	bcMemcpy
+	bcMemset
+	bcFieldPtr
+	bcElemPtr
+	bcPtrAdd
+	bcBin
+	bcFBin
+	bcCmp
+	bcFCmp
+	bcItoF
+	bcFtoI
+	bcMov
+	bcBr
+	bcCondBr
+	bcCallFunc
+	bcCallBuiltin
+	bcRet
+	bcRetVoid
+
+	// Superinstructions. Each executes two source instructions and
+	// weighs 2 in fuel/stats/profiler accounting; the intermediate
+	// register is still written, so later (or out-of-order) uses of the
+	// fieldptr result or the compare flag observe identical state.
+	bcFieldLoad  // dest = base+off; d2 = load dest
+	bcFieldStore // dest = base+off; store b through it
+	bcCmpBr      // dest = cmp(a,b); branch on it
+)
+
+// weight is the number of source instructions an opcode accounts for.
+func (op bcOp) weight() uint32 {
+	if op >= bcFieldLoad {
+		return 2
+	}
+	return 1
+}
+
+// bcArg is a pre-resolved operand: an immediate, or a register index
+// when reg is set.
+type bcArg struct {
+	v   int64
+	reg bool
+}
+
+// arg evaluates an operand against the frame. This is the whole operand
+// resolution path of the bytecode engine — compare VM.resolve.
+func (a bcArg) arg(regs []int64) int64 {
+	if a.reg {
+		return regs[a.v]
+	}
+	return a.v
+}
+
+// bcInstr is one lowered instruction. Field meaning varies by opcode:
+//
+//	dest       destination register (-1 if none)
+//	d2         fused second destination (bcFieldLoad's load register)
+//	size       load/store/local/memset width, elemptr element size,
+//	           alloc element size
+//	off        fieldptr byte offset (compile-time constant — the
+//	           Struct.Offset call is gone from the hot path), or the
+//	           callee index for calls
+//	t0, t1     successor block indices for branches
+//	kind       ir.BinKind / ir.CmpKind payload
+//	signShift  64-8*size for sign-extending integer loads, 0 otherwise
+//	st         struct type for typed allocations
+//	irIn       the source instruction — kept for calls (builtin name and
+//	           raw operands for the Call ABI) and diagnostics; never
+//	           consulted by the straight-line hot path
+//	args       call arguments
+type bcInstr struct {
+	op        bcOp
+	kind      uint8
+	signShift uint8
+	dest      int32
+	d2        int32
+	size      int32
+	off       int32
+	t0, t1    int32
+	a, b, c   bcArg
+	st        *ir.StructType
+	irIn      *ir.Instr
+	args      []bcArg
+}
+
+// bcBlock locates one basic block inside a bcFunc's flat code array.
+type bcBlock struct {
+	start int32     // pc of the first instruction
+	cost  uint32    // summed instruction weight (source-instruction count)
+	irb   *ir.Block // source block (site names, diagnostics)
+}
+
+// bcFunc is the lowered form of one function.
+type bcFunc struct {
+	fn     *ir.Func
+	code   []bcInstr
+	blocks []bcBlock
+	// wTo[pc] is the cumulative weight of code[:pc]; together with a
+	// block's start it prices the executed prefix on the (rare) fault
+	// and fuel-scarce paths without any per-instruction accounting.
+	wTo     []uint32
+	numRegs int
+}
+
+// executedThrough returns the source-instruction count a block has
+// charged once the instruction at pc completed (or faulted after being
+// counted, matching the tree-walker's count-then-execute order).
+func (f *bcFunc) executedThrough(b *bcBlock, pc int32) uint64 {
+	return uint64(f.wTo[pc]-f.wTo[b.start]) + uint64(f.code[pc].op.weight())
+}

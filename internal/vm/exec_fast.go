@@ -1,0 +1,397 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"polar/internal/ir"
+	"polar/internal/telemetry"
+	"polar/internal/telemetry/profile"
+)
+
+// This file is the bytecode engine's dispatch loop. It executes the
+// lowered form produced in lower.go and is semantically bit-identical to
+// the tree-walker in vm.go: same Stats at every fuel value, same error
+// strings at the same sites, same telemetry events, same coverage edges,
+// same violation records out of the POLaR runtime. The differential
+// suite in engine_differential_test.go holds it to that contract.
+//
+// The speed comes from work moved to compile time (operand kinds, global
+// addresses, func handles, field offsets, load widths, callee binding)
+// plus two dynamic techniques:
+//
+//   - Batched accounting: when the remaining fuel covers a whole block,
+//     fuel and the instruction counter are charged once at block entry.
+//     Early exits (ret, fault, propagated error) refund the unexecuted
+//     suffix using the precomputed wTo prefix weights, and a call
+//     un-batches the suffix around the callee so fuel exhaustion surfaces
+//     at the exact instruction the tree-walker reports.
+//   - Superinstructions: the dominant adjacent pairs dispatch once but
+//     account as two source instructions; at a fuel boundary the first
+//     half executes alone (halfExec) so the cutoff is indistinguishable
+//     from the tree-walker's.
+
+var errFellOffBlock = errors.New("vm: fell off block end")
+
+// halfExec performs the first source instruction of a fused pair. It is
+// only reached on the fuel-scarce path when exactly one unit of fuel
+// remains: the tree-walker would execute the first instruction and then
+// fail the fuel check on the second.
+func (v *VM) halfExec(in *bcInstr, regs []int64) {
+	switch in.op {
+	case bcFieldLoad, bcFieldStore:
+		regs[in.dest] = int64(uint64(in.a.arg(regs)) + uint64(in.off))
+		v.Stats.FieldAccess++
+	case bcCmpBr:
+		regs[in.dest] = evalCmp(ir.CmpKind(in.kind), in.a.arg(regs), in.b.arg(regs))
+	}
+}
+
+// bcExitErr settles block accounting on an early error exit: the
+// instruction at pc is priced in full (count-then-execute, matching the
+// tree-walker), the unexecuted batched suffix is refunded, and the
+// profiler is charged for what actually ran.
+func (v *VM) bcExitErr(f *bcFunc, bb *bcBlock, pc int32, charged uint64, psc *profile.SiteCounts, err error) error {
+	actual := f.executedThrough(bb, pc)
+	if refund := charged - actual; refund != 0 {
+		v.fuelLeft += refund
+		v.Stats.Instructions -= refund
+	}
+	if psc != nil && actual != 0 {
+		psc.AddCycles(actual)
+	}
+	return err
+}
+
+// callBC runs one lowered function to completion. It is the bytecode
+// counterpart of VM.call; args are the caller's already-resolved
+// operands (copied into the frame immediately, so the caller's scratch
+// buffer is free for reuse by nested calls).
+func (v *VM) callBC(f *bcFunc, args []int64) (int64, error) {
+	fn := f.fn
+	if v.depth >= maxCallDepth {
+		return 0, fmt.Errorf("%w in @%s", ErrStackOverflow, fn.Name)
+	}
+	v.depth++
+	if v.depth > v.Stats.MaxDepth {
+		v.Stats.MaxDepth = v.depth
+	}
+	v.Stats.Calls++
+	savedStack := v.stackTop
+	regs := v.getFrame(f.numRegs)
+	defer func() {
+		v.putFrame(regs)
+		v.stackTop = savedStack
+		v.depth--
+	}()
+	if n := len(fn.Params); n > 0 {
+		if n > len(args) {
+			n = len(args)
+		}
+		copy(regs, args[:n])
+	}
+
+	code := f.code
+	var psc *profile.SiteCounts
+	blk, prevBlk := 0, -1
+blockLoop:
+	for {
+		bb := &f.blocks[blk]
+		if v.profSites != nil {
+			c, ok := v.profSites[bb.irb]
+			if !ok {
+				c = v.prof.Site(v.prog.SiteName(bb.irb))
+				v.profSites[bb.irb] = c
+			}
+			psc = c
+		}
+		if v.coverage != nil {
+			e := edgeHash(fn, prevBlk, blk)
+			if c := &v.coverage[e]; *c < 255 {
+				*c++
+			}
+		}
+		end := int32(len(code))
+		if blk+1 < len(f.blocks) {
+			end = f.blocks[blk+1].start
+		}
+		cost := uint64(bb.cost)
+		batched := v.fuelLeft >= cost
+		var charged uint64
+		if batched {
+			v.fuelLeft -= cost
+			v.Stats.Instructions += cost
+			charged = cost
+		}
+		for pc := bb.start; pc < end; pc++ {
+			in := &code[pc]
+			if !batched {
+				w := uint64(in.op.weight())
+				if v.fuelLeft < w {
+					if v.fuelLeft == 1 && w == 2 {
+						v.halfExec(in, regs)
+						v.fuelLeft--
+						v.Stats.Instructions++
+						charged++
+					}
+					if psc != nil && charged != 0 {
+						psc.AddCycles(charged)
+					}
+					return 0, fmt.Errorf("%w in @%s.%s", ErrFuelExhausted, fn.Name, bb.irb.Name)
+				}
+				v.fuelLeft -= w
+				v.Stats.Instructions += w
+				charged += w
+			}
+
+			switch in.op {
+			case bcAlloc:
+				count := int(in.a.arg(regs))
+				if count < 1 {
+					count = 1
+				}
+				size := int(in.size) * count
+				addr, err := v.Heap.Alloc(size)
+				if err != nil {
+					return 0, v.bcExitErr(f, bb, pc, charged, psc, v.fault(fn, bb.irb, err))
+				}
+				v.Stats.Allocs++
+				regs[in.dest] = int64(addr)
+				if in.st != nil && count == 1 {
+					v.objects[addr] = in.st
+				}
+				if v.tel != nil {
+					name := ""
+					if in.st != nil {
+						name = in.st.Name
+					}
+					v.tel.Emit(telemetry.Event{Kind: telemetry.EvAlloc, Addr: addr, Size: size, Detail: name})
+				}
+			case bcLocal:
+				size := uint64((in.size + 15) &^ 15)
+				if v.stackTop+size > StackLimit {
+					return 0, v.bcExitErr(f, bb, pc, charged, psc, v.fault(fn, bb.irb, ErrStackOverflow))
+				}
+				addr := v.stackTop
+				v.stackTop += size
+				if err := v.Mem.Set(addr, 0, int(in.size)); err != nil {
+					return 0, v.bcExitErr(f, bb, pc, charged, psc, v.fault(fn, bb.irb, err))
+				}
+				regs[in.dest] = int64(addr)
+			case bcFree:
+				addr := uint64(in.a.arg(regs))
+				if err := v.Heap.Free(addr); err != nil {
+					return 0, v.bcExitErr(f, bb, pc, charged, psc, v.fault(fn, bb.irb, err))
+				}
+				v.Stats.Frees++
+				if v.tel != nil {
+					v.tel.Emit(telemetry.Event{Kind: telemetry.EvFree, Addr: addr})
+				}
+				delete(v.objects, addr)
+			case bcLoad:
+				addr := uint64(in.a.arg(regs))
+				u, err := v.Mem.ReadU(addr, int(in.size))
+				if err != nil {
+					return 0, v.bcExitErr(f, bb, pc, charged, psc, v.fault(fn, bb.irb, err))
+				}
+				if s := in.signShift; s != 0 {
+					regs[in.dest] = int64(u<<s) >> s
+				} else {
+					regs[in.dest] = int64(u)
+				}
+			case bcStore:
+				addr := uint64(in.b.arg(regs))
+				val := in.a.arg(regs)
+				if err := v.Mem.WriteU(addr, int(in.size), uint64(val)); err != nil {
+					return 0, v.bcExitErr(f, bb, pc, charged, psc, v.fault(fn, bb.irb, err))
+				}
+			case bcMemcpy:
+				dst := uint64(in.a.arg(regs))
+				src := uint64(in.b.arg(regs))
+				n := int(in.c.arg(regs))
+				if n < 0 {
+					n = 0
+				}
+				if err := v.Mem.Copy(dst, src, n); err != nil {
+					return 0, v.bcExitErr(f, bb, pc, charged, psc, v.fault(fn, bb.irb, err))
+				}
+				v.Stats.Memcpys++
+			case bcMemset:
+				dst := uint64(in.a.arg(regs))
+				val := byte(in.b.arg(regs))
+				n := int(in.c.arg(regs))
+				if n < 0 {
+					n = 0
+				}
+				if err := v.Mem.Set(dst, val, n); err != nil {
+					return 0, v.bcExitErr(f, bb, pc, charged, psc, v.fault(fn, bb.irb, err))
+				}
+			case bcFieldPtr:
+				regs[in.dest] = int64(uint64(in.a.arg(regs)) + uint64(in.off))
+				v.Stats.FieldAccess++
+			case bcFieldLoad:
+				p := uint64(in.a.arg(regs)) + uint64(in.off)
+				regs[in.dest] = int64(p)
+				v.Stats.FieldAccess++
+				u, err := v.Mem.ReadU(p, int(in.size))
+				if err != nil {
+					return 0, v.bcExitErr(f, bb, pc, charged, psc, v.fault(fn, bb.irb, err))
+				}
+				if s := in.signShift; s != 0 {
+					regs[in.d2] = int64(u<<s) >> s
+				} else {
+					regs[in.d2] = int64(u)
+				}
+			case bcFieldStore:
+				p := uint64(in.a.arg(regs)) + uint64(in.off)
+				regs[in.dest] = int64(p)
+				v.Stats.FieldAccess++
+				// Resolve the value after the pointer register is written:
+				// the store may name the fieldptr result itself.
+				val := in.b.arg(regs)
+				if err := v.Mem.WriteU(p, int(in.size), uint64(val)); err != nil {
+					return 0, v.bcExitErr(f, bb, pc, charged, psc, v.fault(fn, bb.irb, err))
+				}
+			case bcElemPtr:
+				base := uint64(in.a.arg(regs))
+				idx := in.b.arg(regs)
+				regs[in.dest] = int64(base + uint64(idx)*uint64(in.size))
+			case bcPtrAdd:
+				base := uint64(in.a.arg(regs))
+				off := in.b.arg(regs)
+				regs[in.dest] = int64(base + uint64(off))
+			case bcBin:
+				r, err := evalBin(ir.BinKind(in.kind), in.a.arg(regs), in.b.arg(regs))
+				if err != nil {
+					return 0, v.bcExitErr(f, bb, pc, charged, psc, v.fault(fn, bb.irb, err))
+				}
+				regs[in.dest] = r
+			case bcFBin:
+				a := math.Float64frombits(uint64(in.a.arg(regs)))
+				b := math.Float64frombits(uint64(in.b.arg(regs)))
+				regs[in.dest] = int64(math.Float64bits(evalFBin(ir.BinKind(in.kind), a, b)))
+			case bcCmp:
+				regs[in.dest] = evalCmp(ir.CmpKind(in.kind), in.a.arg(regs), in.b.arg(regs))
+			case bcFCmp:
+				a := math.Float64frombits(uint64(in.a.arg(regs)))
+				b := math.Float64frombits(uint64(in.b.arg(regs)))
+				regs[in.dest] = evalFCmp(ir.CmpKind(in.kind), a, b)
+			case bcItoF:
+				regs[in.dest] = int64(math.Float64bits(float64(in.a.arg(regs))))
+			case bcFtoI:
+				regs[in.dest] = int64(math.Float64frombits(uint64(in.a.arg(regs))))
+			case bcMov:
+				regs[in.dest] = in.a.arg(regs)
+			case bcBr:
+				if psc != nil {
+					psc.AddCycles(charged)
+				}
+				prevBlk, blk = blk, int(in.t0)
+				continue blockLoop
+			case bcCondBr:
+				if psc != nil {
+					psc.AddCycles(charged)
+				}
+				prevBlk = blk
+				if in.a.arg(regs) != 0 {
+					blk = int(in.t0)
+				} else {
+					blk = int(in.t1)
+				}
+				continue blockLoop
+			case bcCmpBr:
+				c := evalCmp(ir.CmpKind(in.kind), in.a.arg(regs), in.b.arg(regs))
+				regs[in.dest] = c
+				if psc != nil {
+					psc.AddCycles(charged)
+				}
+				prevBlk = blk
+				if c != 0 {
+					blk = int(in.t0)
+				} else {
+					blk = int(in.t1)
+				}
+				continue blockLoop
+			case bcCallFunc:
+				argv := v.argvScratch[:0]
+				for i := range in.args {
+					argv = append(argv, in.args[i].arg(regs))
+				}
+				v.argvScratch = argv[:0]
+				var suffix uint64
+				if batched {
+					// Hand back the unexecuted tail of the block so the
+					// callee sees the same fuel as under incremental
+					// accounting; re-batch (or downgrade) on return.
+					if suffix = cost - f.executedThrough(bb, pc); suffix != 0 {
+						v.fuelLeft += suffix
+						v.Stats.Instructions -= suffix
+						charged -= suffix
+					}
+				}
+				ret, err := v.callBC(v.prog.bcFuncs[in.off], argv)
+				if err != nil {
+					if psc != nil && charged != 0 {
+						psc.AddCycles(charged)
+					}
+					return 0, err
+				}
+				if suffix != 0 {
+					if v.fuelLeft >= suffix {
+						v.fuelLeft -= suffix
+						v.Stats.Instructions += suffix
+						charged += suffix
+					} else {
+						batched = false
+					}
+				}
+				if in.dest >= 0 {
+					regs[in.dest] = ret
+				}
+			case bcCallBuiltin:
+				bi := v.builtinSlots[in.off]
+				if bi == nil {
+					return 0, v.bcExitErr(f, bb, pc, charged, psc,
+						v.fault(fn, bb.irb, fmt.Errorf("%w: @%s", ErrUnknownFunc, in.irIn.Callee)))
+				}
+				argv := v.argvScratch[:0]
+				for i := range in.args {
+					argv = append(argv, in.args[i].arg(regs))
+				}
+				v.argvScratch = argv[:0]
+				v.callScratch = Call{VM: v, Name: in.irIn.Callee, Args: argv, RawArgs: in.irIn.Args, fn: fn, blk: bb.irb}
+				ret, err := bi(&v.callScratch)
+				if err != nil {
+					return 0, v.bcExitErr(f, bb, pc, charged, psc, v.fault(fn, bb.irb, err))
+				}
+				if in.dest >= 0 {
+					regs[in.dest] = ret
+				}
+			case bcRet, bcRetVoid:
+				var rv int64
+				if in.op == bcRet {
+					rv = in.a.arg(regs)
+				}
+				actual := f.executedThrough(bb, pc)
+				if refund := charged - actual; refund != 0 {
+					v.fuelLeft += refund
+					v.Stats.Instructions -= refund
+				}
+				if psc != nil && actual != 0 {
+					psc.AddCycles(actual)
+				}
+				return rv, nil
+			default:
+				return 0, v.bcExitErr(f, bb, pc, charged, psc,
+					v.fault(fn, bb.irb, fmt.Errorf("vm: bad opcode %d", in.irIn.Op)))
+			}
+		}
+		// Validation guarantees every block ends in a terminator; reaching
+		// here mirrors the tree-walker's defensive check.
+		if psc != nil && charged != 0 {
+			psc.AddCycles(charged)
+		}
+		return 0, v.fault(fn, bb.irb, errFellOffBlock)
+	}
+}

@@ -1,0 +1,261 @@
+package vm
+
+import (
+	"fmt"
+	"math"
+
+	"polar/internal/ir"
+)
+
+// Lowering flattens each validated function into the bcFunc form at
+// Compile time: one pass per function, peephole fusion over adjacent
+// instruction pairs, every operand pre-resolved against the Program's
+// global layout and function-handle table, every callee bound to a
+// small-int index (module functions directly, builtins through the
+// per-instance slot table RegisterBuiltin populates).
+
+// lowerModule lowers every function of the compiled module.
+func (p *Program) lowerModule() error {
+	p.bcFuncs = make([]*bcFunc, len(p.mod.Funcs))
+	for i, f := range p.mod.Funcs {
+		bf, err := p.lowerFunc(f)
+		if err != nil {
+			return fmt.Errorf("vm: lowering @%s: %w", f.Name, err)
+		}
+		p.bcFuncs[i] = bf
+	}
+	return nil
+}
+
+// builtinSlotFor returns the callee-table slot for a non-module callee
+// name, allocating one on first sight. Slots exist per Program; the
+// Builtin values live per instance (see VM.builtinSlots).
+func (p *Program) builtinSlotFor(name string) int {
+	if idx, ok := p.builtinSlot[name]; ok {
+		return idx
+	}
+	idx := len(p.builtinSlot)
+	p.builtinSlot[name] = idx
+	return idx
+}
+
+// lowerValue pre-resolves one operand. Globals and function references
+// become immediates here — the per-execution string-map lookups the
+// tree-walker performs in resolve() happen exactly once, at compile
+// time.
+func (p *Program) lowerValue(v ir.Value) bcArg {
+	switch v.Kind {
+	case ir.ValConst:
+		return bcArg{v: v.Int}
+	case ir.ValConstF:
+		return bcArg{v: int64(math.Float64bits(v.Float))}
+	case ir.ValReg:
+		return bcArg{v: int64(v.Reg), reg: true}
+	case ir.ValGlobal:
+		return bcArg{v: int64(p.globals[v.Sym])}
+	case ir.ValFunc:
+		return bcArg{v: p.funcHandles[v.Sym]}
+	default:
+		// Mirrors resolve()'s zero for an invalid operand kind.
+		return bcArg{}
+	}
+}
+
+// loadShift returns the sign-extension shift for a typed load (the
+// compile-time form of loadTyped's Kind/width check).
+func loadShift(t ir.Type) uint8 {
+	if n := t.Size(); t.Kind() == ir.KindInt && n < 8 {
+		return uint8(64 - 8*n)
+	}
+	return 0
+}
+
+// lowerFunc flattens one function.
+func (p *Program) lowerFunc(f *ir.Func) (*bcFunc, error) {
+	bf := &bcFunc{fn: f, numRegs: f.NumRegs, blocks: make([]bcBlock, len(f.Blocks))}
+	for bi, blk := range f.Blocks {
+		start := int32(len(bf.code))
+		cost := uint32(0)
+		for ii := 0; ii < len(blk.Instrs); ii++ {
+			in := &blk.Instrs[ii]
+			var out bcInstr
+			out.dest = int32(in.Dest)
+			out.irIn = in
+			fused := false
+
+			switch in.Op {
+			case ir.OpFieldPtr:
+				off := int32(in.Struct.Offset(in.Field))
+				// Superinstruction fusion: a fieldptr whose result feeds
+				// the immediately following load or store collapses into
+				// one dispatch. The fieldptr register is still written
+				// first, so any later use — including a store value that
+				// reads it — sees the tree-walker's exact state.
+				if ii+1 < len(blk.Instrs) {
+					next := &blk.Instrs[ii+1]
+					switch {
+					case next.Op == ir.OpLoad &&
+						next.Args[0].Kind == ir.ValReg && next.Args[0].Reg == in.Dest:
+						out.op = bcFieldLoad
+						out.a = p.lowerValue(in.Args[0])
+						out.off = off
+						out.d2 = int32(next.Dest)
+						out.size = int32(next.Type.Size())
+						out.signShift = loadShift(next.Type)
+						fused = true
+					case next.Op == ir.OpStore &&
+						next.Args[1].Kind == ir.ValReg && next.Args[1].Reg == in.Dest:
+						out.op = bcFieldStore
+						out.a = p.lowerValue(in.Args[0])
+						out.off = off
+						out.b = p.lowerValue(next.Args[0])
+						out.size = int32(next.Type.Size())
+						fused = true
+					}
+				}
+				if !fused {
+					out.op = bcFieldPtr
+					out.a = p.lowerValue(in.Args[0])
+					out.off = off
+				}
+			case ir.OpCmp:
+				if ii+1 < len(blk.Instrs) {
+					if next := &blk.Instrs[ii+1]; next.Op == ir.OpCondBr &&
+						next.Args[0].Kind == ir.ValReg && next.Args[0].Reg == in.Dest {
+						out.op = bcCmpBr
+						out.kind = uint8(in.Cmp)
+						out.a = p.lowerValue(in.Args[0])
+						out.b = p.lowerValue(in.Args[1])
+						out.t0 = int32(next.Blocks[0])
+						out.t1 = int32(next.Blocks[1])
+						fused = true
+					}
+				}
+				if !fused {
+					out.op = bcCmp
+					out.kind = uint8(in.Cmp)
+					out.a = p.lowerValue(in.Args[0])
+					out.b = p.lowerValue(in.Args[1])
+				}
+			case ir.OpAlloc:
+				out.op = bcAlloc
+				out.size = int32(in.Type.Size())
+				out.st = in.Struct
+				if len(in.Args) == 1 {
+					out.a = p.lowerValue(in.Args[0])
+				} else {
+					out.a = bcArg{v: 1}
+				}
+			case ir.OpLocal:
+				out.op = bcLocal
+				out.size = int32(in.Type.Size())
+			case ir.OpFree:
+				out.op = bcFree
+				out.a = p.lowerValue(in.Args[0])
+			case ir.OpLoad:
+				out.op = bcLoad
+				out.a = p.lowerValue(in.Args[0])
+				out.size = int32(in.Type.Size())
+				out.signShift = loadShift(in.Type)
+			case ir.OpStore:
+				out.op = bcStore
+				out.a = p.lowerValue(in.Args[0])
+				out.b = p.lowerValue(in.Args[1])
+				out.size = int32(in.Type.Size())
+			case ir.OpMemcpy:
+				out.op = bcMemcpy
+				out.a = p.lowerValue(in.Args[0])
+				out.b = p.lowerValue(in.Args[1])
+				out.c = p.lowerValue(in.Args[2])
+			case ir.OpMemset:
+				out.op = bcMemset
+				out.a = p.lowerValue(in.Args[0])
+				out.b = p.lowerValue(in.Args[1])
+				out.c = p.lowerValue(in.Args[2])
+			case ir.OpElemPtr:
+				out.op = bcElemPtr
+				out.a = p.lowerValue(in.Args[0])
+				out.b = p.lowerValue(in.Args[1])
+				out.size = int32(in.Type.Size())
+			case ir.OpPtrAdd:
+				out.op = bcPtrAdd
+				out.a = p.lowerValue(in.Args[0])
+				out.b = p.lowerValue(in.Args[1])
+			case ir.OpBin:
+				out.op = bcBin
+				out.kind = uint8(in.Bin)
+				out.a = p.lowerValue(in.Args[0])
+				out.b = p.lowerValue(in.Args[1])
+			case ir.OpFBin:
+				out.op = bcFBin
+				out.kind = uint8(in.Bin)
+				out.a = p.lowerValue(in.Args[0])
+				out.b = p.lowerValue(in.Args[1])
+			case ir.OpFCmp:
+				out.op = bcFCmp
+				out.kind = uint8(in.Cmp)
+				out.a = p.lowerValue(in.Args[0])
+				out.b = p.lowerValue(in.Args[1])
+			case ir.OpItoF:
+				out.op = bcItoF
+				out.a = p.lowerValue(in.Args[0])
+			case ir.OpFtoI:
+				out.op = bcFtoI
+				out.a = p.lowerValue(in.Args[0])
+			case ir.OpMov:
+				out.op = bcMov
+				out.a = p.lowerValue(in.Args[0])
+			case ir.OpBr:
+				out.op = bcBr
+				out.t0 = int32(in.Blocks[0])
+			case ir.OpCondBr:
+				out.op = bcCondBr
+				out.a = p.lowerValue(in.Args[0])
+				out.t0 = int32(in.Blocks[0])
+				out.t1 = int32(in.Blocks[1])
+			case ir.OpCall:
+				out.args = make([]bcArg, len(in.Args))
+				for ai, a := range in.Args {
+					out.args[ai] = p.lowerValue(a)
+				}
+				if idx, ok := p.funcIdx[in.Callee]; ok {
+					out.op = bcCallFunc
+					out.off = int32(idx)
+				} else {
+					out.op = bcCallBuiltin
+					out.off = int32(p.builtinSlotFor(in.Callee))
+				}
+			case ir.OpRet:
+				if len(in.Args) == 1 {
+					out.op = bcRet
+					out.a = p.lowerValue(in.Args[0])
+				} else {
+					out.op = bcRetVoid
+				}
+			default:
+				// Validation rejects unknown opcodes before lowering runs;
+				// keep a faulting instruction so a foreign module that
+				// somehow bypassed it reports the same error as the
+				// tree-walker.
+				out.op = bcInvalid
+			}
+
+			bf.wTo = append(bf.wTo, 0) // filled below
+			bf.code = append(bf.code, out)
+			cost += out.op.weight()
+			if fused {
+				ii++ // the pair lowered to one superinstruction
+			}
+		}
+		bf.blocks[bi] = bcBlock{start: start, cost: cost, irb: blk}
+	}
+	// Cumulative weights: wTo[pc] prices code[:pc].
+	bf.wTo = append(bf.wTo, 0)
+	w := uint32(0)
+	for pc := range bf.code {
+		bf.wTo[pc] = w
+		w += bf.code[pc].op.weight()
+	}
+	bf.wTo[len(bf.code)] = w
+	return bf, nil
+}

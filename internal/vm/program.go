@@ -37,6 +37,15 @@ type Program struct {
 	// the module, so Call.Site and the profiler never re-intern
 	// identical strings across runs (they used to be rebuilt per VM).
 	siteNames map[*ir.Block]string
+
+	// bcFuncs is the lowered bytecode for every function (index-aligned
+	// with mod.Funcs); funcIdx maps function name -> that index, and
+	// builtinSlot maps every non-module callee name the lowering saw to
+	// its slot in the per-instance VM.builtinSlots table. All three are
+	// produced once at Compile time and shared read-only by instances.
+	bcFuncs     []*bcFunc
+	funcIdx     map[string]int
+	builtinSlot map[string]int
 }
 
 type globalInit struct {
@@ -57,6 +66,8 @@ func Compile(m *ir.Module) (*Program, error) {
 		funcs:       make(map[string]*ir.Func, len(m.Funcs)),
 		funcHandles: make(map[string]int64, len(m.Funcs)),
 		siteNames:   make(map[*ir.Block]string),
+		funcIdx:     make(map[string]int, len(m.Funcs)),
+		builtinSlot: make(map[string]int),
 	}
 	addr := uint64(GlobalBase)
 	for _, g := range m.Globals {
@@ -69,10 +80,16 @@ func Compile(m *ir.Module) (*Program, error) {
 	}
 	for i, f := range m.Funcs {
 		p.funcs[f.Name] = f
+		p.funcIdx[f.Name] = i
 		p.funcHandles[f.Name] = int64(0x7f00_0000_0000 + uint64(i)*16)
 		for _, b := range f.Blocks {
 			p.siteNames[b] = "@" + f.Name + "." + b.Name
 		}
+	}
+	// Lower every function to flat bytecode (needs the complete funcIdx
+	// for direct callee binding).
+	if err := p.lowerModule(); err != nil {
+		return nil, err
 	}
 	return p, nil
 }
@@ -104,6 +121,13 @@ func (p *Program) NewInstance(opts ...Option) (*VM, error) {
 	for _, o := range opts {
 		o(v)
 	}
+	if !v.engineSet {
+		v.engine = DefaultEngine()
+	}
+	// The slot table must exist before any RegisterBuiltin call (the
+	// defaults below, core.Runtime.Attach later) so every registration
+	// lands in both the name map and the bytecode callee table.
+	v.builtinSlots = make([]Builtin, len(p.builtinSlot))
 	heapOpts := []heap.Option{heap.WithQuarantine(v.quarantine)}
 	if v.heapRand != 0 {
 		heapOpts = append(heapOpts, heap.WithRandomPlacement(v.heapRand))

@@ -133,6 +133,24 @@ type VM struct {
 	hooks    Hooks
 	builtins map[string]Builtin
 
+	// engine selects the execution strategy (see engine.go); engineSet
+	// records an explicit WithEngine so NewInstance knows whether to
+	// apply the process default.
+	engine    Engine
+	engineSet bool
+
+	// builtinSlots is the bytecode engine's callee table: index = the
+	// Program's compile-time slot for a builtin name, value = the
+	// implementation RegisterBuiltin installed (nil = not registered,
+	// faults like an unknown function).
+	builtinSlots []Builtin
+
+	// callBinds caches the legacy engine's callee resolution per call
+	// instruction (module function or builtin), replacing two string-map
+	// lookups per call with one pointer-map hit. RegisterBuiltin drops
+	// the cache so re-registration keeps working.
+	callBinds map[*ir.Instr]boundCallee
+
 	input  []byte
 	output []byte
 
@@ -227,10 +245,12 @@ func WithTelemetry(t *telemetry.Telemetry) Option {
 	return func(v *VM) { v.tel = t }
 }
 
-// WithProfiler attaches a hot-site profiler: every basic-block entry
-// charges the block's instruction count to its "@fn.block" site.
-// Early block exits (a mid-block ret, a fault) slightly overcharge the
-// exiting block; site ranking — the profiler's purpose — is unaffected.
+// WithProfiler attaches a hot-site profiler: each "@fn.block" site is
+// charged the instructions actually executed in that block, in both
+// engines — early exits (a mid-block ret, a fault, fuel exhaustion)
+// charge only the executed prefix, and instructions a callee runs are
+// charged to the callee's sites, not the call site. Summed over all
+// sites the cycle counts equal Stats.Instructions exactly.
 // A nil p disables profiling with no overhead beyond a nil check.
 func WithProfiler(p *profile.SiteProfiler) Option {
 	return func(v *VM) { v.prof = p }
@@ -255,8 +275,17 @@ func New(m *ir.Module, opts ...Option) (*VM, error) {
 }
 
 // RegisterBuiltin installs (or replaces) a native function. The POLaR
-// runtime uses this to provide the olr_* ABI.
-func (v *VM) RegisterBuiltin(name string, fn Builtin) { v.builtins[name] = fn }
+// runtime uses this to provide the olr_* ABI. Registration also binds
+// the builtin into the bytecode engine's callee table (when the
+// compiled module calls the name) and invalidates the legacy engine's
+// call-site bindings.
+func (v *VM) RegisterBuiltin(name string, fn Builtin) {
+	v.builtins[name] = fn
+	if idx, ok := v.prog.builtinSlot[name]; ok {
+		v.builtinSlots[idx] = fn
+	}
+	v.callBinds = nil
+}
 
 // Program returns the shared immutable Program this VM executes.
 func (v *VM) Program() *Program { return v.prog }
@@ -296,6 +325,13 @@ func (v *VM) HooksAttached() Hooks { return v.hooks }
 
 // Run executes @main with the given integer arguments.
 func (v *VM) Run(args ...int64) (int64, error) {
+	if v.useBytecode() {
+		idx, ok := v.prog.funcIdx["main"]
+		if !ok {
+			return 0, ir.ErrNoMain
+		}
+		return v.callBC(v.prog.bcFuncs[idx], args)
+	}
 	f := v.prog.Func("main")
 	if f == nil {
 		return 0, ir.ErrNoMain
@@ -309,6 +345,13 @@ func (v *VM) Run(args ...int64) (int64, error) {
 
 // CallFunc executes an arbitrary module function with integer arguments.
 func (v *VM) CallFunc(name string, args ...int64) (int64, error) {
+	if v.useBytecode() {
+		idx, ok := v.prog.funcIdx[name]
+		if !ok {
+			return 0, fmt.Errorf("%w: @%s", ErrUnknownFunc, name)
+		}
+		return v.callBC(v.prog.bcFuncs[idx], args)
+	}
 	f := v.prog.Func(name)
 	if f == nil {
 		return 0, fmt.Errorf("%w: @%s", ErrUnknownFunc, name)
@@ -369,17 +412,42 @@ func (v *VM) call(fn *ir.Func, args []ir.Value, callerRegs []int64, callerDest i
 		v.hooks.Enter(fn, args)
 	}
 
+	// Per-instruction profiler attribution: instead of charging a whole
+	// block on entry (which overcharges early exits and faults), track
+	// the instruction counter at block entry and flush the delta — the
+	// instructions this frame actually executed in the block — on every
+	// block transition and on every way out of the frame.
+	profiling := v.profSites != nil
+	var psc *profile.SiteCounts
+	var profBase uint64
+	if profiling {
+		profBase = v.Stats.Instructions
+		defer func() {
+			if psc != nil {
+				if d := v.Stats.Instructions - profBase; d != 0 {
+					psc.AddCycles(d)
+				}
+			}
+		}()
+	}
+
 	blk := 0
 	prevBlk := -1
 	for {
 		b := fn.Blocks[blk]
-		if v.profSites != nil {
+		if profiling {
+			if psc != nil {
+				if d := v.Stats.Instructions - profBase; d != 0 {
+					psc.AddCycles(d)
+				}
+			}
+			profBase = v.Stats.Instructions
 			c, ok := v.profSites[b]
 			if !ok {
 				c = v.prof.Site(v.prog.SiteName(b))
 				v.profSites[b] = c
 			}
-			c.AddCycles(uint64(len(b.Instrs)))
+			psc = c
 		}
 		if v.coverage != nil {
 			e := edgeHash(fn, prevBlk, blk)
@@ -584,7 +652,18 @@ func (v *VM) call(fn *ir.Func, args []ir.Value, callerRegs []int64, callerDest i
 					prevBlk, blk = blk, in.Blocks[1]
 				}
 			case ir.OpCall:
+				if profiling {
+					// The call instruction itself has been counted: flush
+					// it to this site before the callee charges its own
+					// sites, then rebase past whatever the callee ran.
+					if d := v.Stats.Instructions - profBase; d != 0 {
+						psc.AddCycles(d)
+					}
+				}
 				ret, err := v.dispatchCall(fn, b, regs, in)
+				if profiling {
+					profBase = v.Stats.Instructions
+				}
 				if err != nil {
 					return 0, err
 				}
@@ -616,12 +695,32 @@ func (v *VM) call(fn *ir.Func, args []ir.Value, callerRegs []int64, callerDest i
 	}
 }
 
+// boundCallee is a resolved call target: a module function, a builtin,
+// or (both nil) a callee that resolves to nothing and faults.
+type boundCallee struct {
+	fn *ir.Func
+	bi Builtin
+}
+
 func (v *VM) dispatchCall(fn *ir.Func, b *ir.Block, regs []int64, in *ir.Instr) (int64, error) {
-	if callee := v.prog.Func(in.Callee); callee != nil {
-		return v.call(callee, in.Args, regs, in.Dest)
-	}
-	bi, ok := v.builtins[in.Callee]
+	// Callee binding is stable per call site (module functions are fixed
+	// at Compile; builtin re-registration drops the cache), so resolve
+	// the two string maps once and hit a pointer-keyed map after that.
+	bound, ok := v.callBinds[in]
 	if !ok {
+		bound.fn = v.prog.Func(in.Callee)
+		if bound.fn == nil {
+			bound.bi = v.builtins[in.Callee]
+		}
+		if v.callBinds == nil {
+			v.callBinds = make(map[*ir.Instr]boundCallee)
+		}
+		v.callBinds[in] = bound
+	}
+	if bound.fn != nil {
+		return v.call(bound.fn, in.Args, regs, in.Dest)
+	}
+	if bound.bi == nil {
 		return 0, v.fault(fn, b, fmt.Errorf("%w: @%s", ErrUnknownFunc, in.Callee))
 	}
 	// Builtins never re-enter the interpreter, so one scratch argument
@@ -633,7 +732,7 @@ func (v *VM) dispatchCall(fn *ir.Func, b *ir.Block, regs []int64, in *ir.Instr) 
 	}
 	v.argvScratch = argv[:0]
 	v.callScratch = Call{VM: v, Name: in.Callee, Args: argv, RawArgs: in.Args, fn: fn, blk: b}
-	ret, err := bi(&v.callScratch)
+	ret, err := bound.bi(&v.callScratch)
 	if err != nil {
 		return 0, v.fault(fn, b, err)
 	}

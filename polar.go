@@ -87,6 +87,27 @@ type SiteProfiler = profile.SiteProfiler
 // NewSiteProfiler returns an empty hot-site profiler.
 func NewSiteProfiler() *SiteProfiler { return profile.NewSiteProfiler() }
 
+// Engine selects the VM execution strategy: the lowered bytecode engine
+// (default, fast) or the tree-walking reference interpreter. The two
+// are semantically bit-identical — same results, stats, outputs and
+// violation records — which the differential test suite enforces; the
+// legacy engine stays selectable so the evaluation can ablate engine
+// choice (polarun/polarbench -engine=legacy).
+type Engine = vm.Engine
+
+// Engine values.
+const (
+	EngineBytecode = vm.EngineBytecode
+	EngineLegacy   = vm.EngineLegacy
+)
+
+// ParseEngine parses an -engine flag value ("bytecode" or "legacy").
+func ParseEngine(s string) (Engine, error) { return vm.ParseEngine(s) }
+
+// SetDefaultEngine sets the process-wide engine used by runs that do
+// not pass WithEngine (what the CLIs' -engine flag calls).
+func SetDefaultEngine(e Engine) { vm.SetDefaultEngine(e) }
+
 // Parse reads the textual IR form (see internal/ir: Print/Parse).
 func Parse(src string) (*Module, error) { return ir.Parse(src) }
 
@@ -259,6 +280,8 @@ type options struct {
 	tel           *telemetry.Telemetry
 	prof          *profile.SiteProfiler
 	runtimeObs    func(LiveRuntime)
+	engine        Engine
+	engineSet     bool
 }
 
 // Option configures Run and RunHardened.
@@ -330,6 +353,14 @@ type LiveRuntime interface {
 	// ViolationLog returns the structured violation log with its
 	// truncation state, as of the moment of the call.
 	ViolationLog() ViolationLog
+}
+
+// WithEngine pins the execution engine for this run, overriding the
+// process default (SetDefaultEngine). Runs with WithTrace attached fall
+// back to the tree-walker regardless — instruction tracing is a
+// reference-engine facility.
+func WithEngine(e Engine) Option {
+	return func(o *options) { o.engine, o.engineSet = e, true }
 }
 
 // WithRuntimeObserver registers fn to receive the live runtime just
@@ -561,6 +592,9 @@ func vmOptions(o *options) []vm.Option {
 	}
 	if o.prof != nil {
 		vmOpts = append(vmOpts, vm.WithProfiler(o.prof))
+	}
+	if o.engineSet {
+		vmOpts = append(vmOpts, vm.WithEngine(o.engine))
 	}
 	return vmOpts
 }
