@@ -240,6 +240,22 @@ func run(sel func(string) bool, csv, metrics bool, reps, trials, fuzzIters int, 
 			return err
 		}
 	}
+	if sel("static") {
+		sp := evalrun.Span("static", "experiment")
+		rows, err := evalrun.StaticTaint(fuzzIters, seed)
+		sp.End()
+		if err != nil {
+			return err
+		}
+		if csv {
+			fmt.Print(evalrun.CSVStaticTaint(rows))
+		} else {
+			fmt.Println(evalrun.RenderStaticTaint(rows))
+		}
+		if err := emitMetrics(metrics, "static", func(reg *telemetry.Registry) { evalrun.PublishStaticTaint(rows, reg) }); err != nil {
+			return err
+		}
+	}
 	if sel("ablation") {
 		sp := evalrun.Span("ablation", "experiment")
 		rows, err := evalrun.Ablation(reps, seed)

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"polar"
+	"polar/internal/analysis"
 )
 
 func main() {
@@ -25,18 +26,19 @@ func main() {
 	policyPath := flag.String("policy", "", "randomization policy file from taintclass -o")
 	out := flag.String("o", "", "output file (default: stdout)")
 	stats := flag.Bool("stats", false, "print rewrite statistics to stderr")
+	lint := flag.Bool("lint", false, "run the static analysis passes before instrumenting; abort on error-severity findings")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: polarc [-targets a,b,c | -policy p.json] [-o out.ir] program.ir")
+		fmt.Fprintln(os.Stderr, "usage: polarc [-lint] [-targets a,b,c | -policy p.json] [-o out.ir] program.ir")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *targets, *policyPath, *out, *stats); err != nil {
+	if err := run(flag.Arg(0), *targets, *policyPath, *out, *stats, *lint); err != nil {
 		fmt.Fprintln(os.Stderr, "polarc:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path, targets, policyPath, out string, stats bool) error {
+func run(path, targets, policyPath, out string, stats, lint bool) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -44,6 +46,17 @@ func run(path, targets, policyPath, out string, stats bool) error {
 	m, err := polar.Parse(string(src))
 	if err != nil {
 		return err
+	}
+	if lint {
+		// Lint the module while it is still uninstrumented — after the
+		// layout pass the fieldptr idioms the rules look for are gone.
+		res := analysis.Analyze(m, analysis.Options{Lint: true, UAF: true})
+		if len(res.Findings) > 0 {
+			fmt.Fprint(os.Stderr, res.Findings.Render())
+		}
+		if n := res.Findings.CountAtLeast(analysis.SevError); n > 0 {
+			return fmt.Errorf("lint: %d error-severity finding(s); not instrumenting", n)
+		}
 	}
 	var h *polar.Hardened
 	switch {

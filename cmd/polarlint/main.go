@@ -1,0 +1,169 @@
+// Command polarlint runs the static analysis passes over textual IR
+// modules: the layout-compatibility lint (§VI.B idioms that break
+// under per-allocation randomization), the definite use-after-free /
+// double-free detector, and the static TaintClass pass.
+//
+// Usage:
+//
+//	polarlint [flags] program.ir [more.ir ...]
+//
+//	-json          machine-readable findings on stdout
+//	-fail-on SEV   exit 1 if any finding is at or above SEV
+//	               (info|warning|error|none; default error)
+//	-taint         print the ranked static TaintClass table
+//	-policy FILE   write a randomization policy derived from the
+//	               static taint pass (single input only)
+//	-metrics       print per-pass timing and finding counts to stderr
+//
+// Exit status: 0 clean (below the gate), 1 findings at/above -fail-on,
+// 2 usage or parse errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"polar"
+	"polar/internal/analysis"
+	"polar/internal/telemetry"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	failOn := flag.String("fail-on", "error", "minimum severity that fails the run (info|warning|error|none)")
+	taintOut := flag.Bool("taint", false, "print the ranked static TaintClass table")
+	policyOut := flag.String("policy", "", "write a policy file derived from the static taint pass")
+	metricsOut := flag.Bool("metrics", false, "print per-pass metrics to stderr")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: polarlint [-json] [-fail-on sev] [-taint] [-policy out.json] [-metrics] program.ir ...")
+		os.Exit(2)
+	}
+	if *policyOut != "" && flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "polarlint: -policy needs exactly one input module")
+		os.Exit(2)
+	}
+
+	var gate analysis.Severity
+	if *failOn != "none" {
+		sev, err := analysis.ParseSeverity(*failOn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "polarlint:", err)
+			os.Exit(2)
+		}
+		gate = sev
+	}
+
+	reg := telemetry.NewRegistry()
+	failed := false
+	var jsonResults []*analysis.Result
+	for _, path := range flag.Args() {
+		res, err := lintFile(path, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "polarlint:", err)
+			os.Exit(2)
+		}
+		if gate != 0 && res.Findings.CountAtLeast(gate) > 0 {
+			failed = true
+		}
+		if *jsonOut {
+			jsonResults = append(jsonResults, res)
+			continue
+		}
+		if flag.NArg() > 1 {
+			fmt.Printf("== %s (%s)\n", path, res.Module)
+		}
+		fmt.Print(res.Findings.Render())
+		if *taintOut {
+			printTaint(res)
+		}
+		if *policyOut != "" {
+			pol := res.Taint.Policy("polarlint -policy")
+			if err := pol.Save(*policyOut); err != nil {
+				fmt.Fprintln(os.Stderr, "polarlint:", err)
+				os.Exit(2)
+			}
+			fmt.Fprintf(os.Stderr, "polarlint: wrote policy for %d classes to %s\n", len(pol.Targets), *policyOut)
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if len(jsonResults) == 1 {
+			_ = enc.Encode(jsonResults[0])
+		} else {
+			_ = enc.Encode(jsonResults)
+		}
+	}
+	if *metricsOut {
+		printMetrics(reg)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func lintFile(path string, reg *telemetry.Registry) (*analysis.Result, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	m, err := polar.Parse(string(src))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return analysis.Analyze(m, analysis.Options{Metrics: reg}), nil
+}
+
+func printTaint(res *analysis.Result) {
+	if res.Taint == nil || len(res.Taint.Classes) == 0 {
+		fmt.Println("static taint: no input-tainted classes")
+		return
+	}
+	fmt.Println("static taint (ranked):")
+	for _, c := range res.Taint.Classes {
+		marks := ""
+		if c.ContentTainted {
+			marks += "C"
+		}
+		if c.AllocTainted {
+			marks += "A"
+		}
+		if c.FreeTainted {
+			marks += "F"
+		}
+		fields := ""
+		for i, f := range c.Fields {
+			if i > 0 {
+				fields += ","
+			}
+			fields += f.Name
+			if f.IsPointer {
+				fields += "*"
+			}
+		}
+		fmt.Printf("  %-28s score=%.2f  [%s]  %s\n", c.Class, c.Score, marks, fields)
+	}
+}
+
+func printMetrics(reg *telemetry.Registry) {
+	snap := reg.Snapshot()
+	names := make([]string, 0, len(snap.Gauges)+len(snap.Counters))
+	for n := range snap.Gauges {
+		names = append(names, n)
+	}
+	for n := range snap.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if g, ok := snap.Gauges[n]; ok {
+			fmt.Fprintf(os.Stderr, "%-28s %.6f\n", n, g)
+		} else {
+			fmt.Fprintf(os.Stderr, "%-28s %d\n", n, snap.Counters[n])
+		}
+	}
+}

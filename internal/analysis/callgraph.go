@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"sort"
+
+	"polar/internal/ir"
+)
+
+// CallSite is one call instruction.
+type CallSite struct {
+	Caller string
+	Site   ir.SiteRef
+	Callee string
+	// Builtin marks callees resolved by the VM (input_*, print_*, …)
+	// rather than module functions.
+	Builtin bool
+}
+
+// CallGraph records who calls whom, at which sites. Function-pointer
+// stores (&fn operands) are modeled as potential calls from the
+// function taking the address — the conservative treatment for
+// indirect calls through fptr members.
+type CallGraph struct {
+	// Callees maps a function to the module functions it may invoke
+	// (direct calls plus any function whose address it takes), sorted
+	// and deduplicated.
+	Callees map[string][]string
+	// Callers is the reverse relation.
+	Callers map[string][]string
+	// Sites lists every direct call instruction per caller, in module
+	// order (builtin calls included).
+	Sites map[string][]CallSite
+}
+
+// BuildCallGraph scans the module.
+func BuildCallGraph(m *ir.Module) *CallGraph {
+	cg := &CallGraph{
+		Callees: make(map[string][]string),
+		Callers: make(map[string][]string),
+		Sites:   make(map[string][]CallSite),
+	}
+	seen := make(map[[2]string]bool)
+	addEdge := func(caller, callee string) {
+		key := [2]string{caller, callee}
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		cg.Callees[caller] = append(cg.Callees[caller], callee)
+		cg.Callers[callee] = append(cg.Callers[callee], caller)
+	}
+	for _, f := range m.Funcs {
+		for bi, blk := range f.Blocks {
+			for ii := range blk.Instrs {
+				in := &blk.Instrs[ii]
+				if in.Op == ir.OpCall {
+					builtin := m.Func(in.Callee) == nil
+					cg.Sites[f.Name] = append(cg.Sites[f.Name], CallSite{
+						Caller: f.Name, Site: ir.SiteRef{Block: bi, Index: ii},
+						Callee: in.Callee, Builtin: builtin,
+					})
+					if !builtin {
+						addEdge(f.Name, in.Callee)
+					}
+				}
+				for _, a := range in.Args {
+					if a.Kind == ir.ValFunc && m.Func(a.Sym) != nil {
+						addEdge(f.Name, a.Sym)
+					}
+				}
+			}
+		}
+	}
+	for _, edges := range cg.Callees {
+		sort.Strings(edges)
+	}
+	for _, edges := range cg.Callers {
+		sort.Strings(edges)
+	}
+	return cg
+}
+
+// Reachable returns the set of module functions transitively reachable
+// from the named root (the root itself included when it exists).
+func (cg *CallGraph) Reachable(root string) map[string]bool {
+	out := make(map[string]bool)
+	var walk func(string)
+	walk = func(fn string) {
+		if out[fn] {
+			return
+		}
+		out[fn] = true
+		for _, c := range cg.Callees[fn] {
+			walk(c)
+		}
+	}
+	walk(root)
+	return out
+}

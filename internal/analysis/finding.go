@@ -1,0 +1,214 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"polar/internal/ir"
+)
+
+// Severity grades a finding. The order matters: FailOn gating compares
+// numerically (error > warning > info).
+type Severity int
+
+// Severities, least to most severe.
+const (
+	SevInfo Severity = iota + 1
+	SevWarn
+	SevError
+)
+
+// String implements fmt.Stringer.
+func (s Severity) String() string {
+	switch s {
+	case SevInfo:
+		return "info"
+	case SevWarn:
+		return "warning"
+	case SevError:
+		return "error"
+	default:
+		return fmt.Sprintf("severity(%d)", int(s))
+	}
+}
+
+// MarshalJSON renders the severity as its name.
+func (s Severity) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// UnmarshalJSON parses a severity name.
+func (s *Severity) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return err
+	}
+	sev, err := ParseSeverity(name)
+	if err != nil {
+		return err
+	}
+	*s = sev
+	return nil
+}
+
+// ParseSeverity resolves a severity name ("info", "warning"/"warn",
+// "error").
+func ParseSeverity(name string) (Severity, error) {
+	switch strings.ToLower(name) {
+	case "info":
+		return SevInfo, nil
+	case "warning", "warn":
+		return SevWarn, nil
+	case "error":
+		return SevError, nil
+	default:
+		return 0, fmt.Errorf("analysis: unknown severity %q (info, warning, error)", name)
+	}
+}
+
+// Site is the source position of a finding: function, block label and
+// instruction index, plus the rendered instruction text so reports are
+// readable without the module at hand.
+type Site struct {
+	Func  string `json:"func"`
+	Block string `json:"block"`
+	Index int    `json:"index"`
+	Text  string `json:"text,omitempty"`
+}
+
+// Pos renders the position as "@func.block#index" — the same site
+// vocabulary the profiler and violation records use.
+func (s Site) Pos() string { return fmt.Sprintf("@%s.%s#%d", s.Func, s.Block, s.Index) }
+
+// SiteOf builds a Site for instruction idx of block b in f.
+func SiteOf(f *ir.Func, block, idx int) Site {
+	s := Site{Func: f.Name, Index: idx}
+	if block >= 0 && block < len(f.Blocks) {
+		blk := f.Blocks[block]
+		s.Block = blk.Name
+		if idx >= 0 && idx < len(blk.Instrs) {
+			s.Text = ir.FormatInstr(f, &blk.Instrs[idx])
+		}
+	}
+	return s
+}
+
+// Finding is one analyzer diagnostic.
+type Finding struct {
+	// Pass names the producing pass ("lint", "uaf").
+	Pass string `json:"pass"`
+	// Rule is the stable machine-readable rule ID (kebab-case).
+	Rule     string   `json:"rule"`
+	Severity Severity `json:"severity"`
+	// Class names the affected randomization class, when one is known.
+	Class string `json:"class,omitempty"`
+	Site  Site   `json:"site"`
+	// Message is the human-readable explanation.
+	Message string `json:"message"`
+}
+
+// String renders one line: pos: severity: [pass/rule] message.
+func (f Finding) String() string {
+	cls := ""
+	if f.Class != "" {
+		cls = " class=" + f.Class
+	}
+	return fmt.Sprintf("%s: %s: [%s/%s]%s %s", f.Site.Pos(), f.Severity, f.Pass, f.Rule, cls, f.Message)
+}
+
+// Findings is an ordered diagnostic list.
+type Findings []Finding
+
+// Sort orders findings by function, block, instruction index, pass,
+// rule — a stable, module-order presentation that makes reports and
+// golden files deterministic.
+func (fs Findings) Sort(m *ir.Module) {
+	fnOrder := make(map[string]int, len(m.Funcs))
+	for i, fn := range m.Funcs {
+		fnOrder[fn.Name] = i
+	}
+	blkOrder := func(fnName, blk string) int {
+		if fn := m.Func(fnName); fn != nil {
+			if i := fn.BlockIndex(blk); i >= 0 {
+				return i
+			}
+		}
+		return 1 << 30
+	}
+	sort.SliceStable(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Site.Func != b.Site.Func {
+			ai, aok := fnOrder[a.Site.Func]
+			bi, bok := fnOrder[b.Site.Func]
+			if aok && bok && ai != bi {
+				return ai < bi
+			}
+			return a.Site.Func < b.Site.Func
+		}
+		if a.Site.Block != b.Site.Block {
+			return blkOrder(a.Site.Func, a.Site.Block) < blkOrder(b.Site.Func, b.Site.Block)
+		}
+		if a.Site.Index != b.Site.Index {
+			return a.Site.Index < b.Site.Index
+		}
+		if a.Pass != b.Pass {
+			return a.Pass < b.Pass
+		}
+		return a.Rule < b.Rule
+	})
+}
+
+// MaxSeverity returns the highest severity present (0 when empty).
+func (fs Findings) MaxSeverity() Severity {
+	var max Severity
+	for _, f := range fs {
+		if f.Severity > max {
+			max = f.Severity
+		}
+	}
+	return max
+}
+
+// CountAtLeast counts findings of severity >= sev.
+func (fs Findings) CountAtLeast(sev Severity) int {
+	n := 0
+	for _, f := range fs {
+		if f.Severity >= sev {
+			n++
+		}
+	}
+	return n
+}
+
+// ByRule buckets the findings by rule ID.
+func (fs Findings) ByRule() map[string]int {
+	out := make(map[string]int)
+	for _, f := range fs {
+		out[f.Rule]++
+	}
+	return out
+}
+
+// Render writes the findings one per line, followed by a summary line.
+func (fs Findings) Render() string {
+	var b strings.Builder
+	for _, f := range fs {
+		b.WriteString(f.String())
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%d finding(s): %d error(s), %d warning(s), %d info\n",
+		len(fs),
+		fs.CountAtLeast(SevError),
+		fs.CountAtLeast(SevWarn)-fs.CountAtLeast(SevError),
+		fs.CountAtLeast(SevInfo)-fs.CountAtLeast(SevWarn))
+	return b.String()
+}
+
+// EncodeJSON renders the findings as an indented JSON array (empty
+// slice, not null, when there are none).
+func (fs Findings) EncodeJSON() ([]byte, error) {
+	if fs == nil {
+		fs = Findings{}
+	}
+	return json.MarshalIndent(fs, "", "  ")
+}

@@ -1,0 +1,229 @@
+package analysis
+
+import (
+	"reflect"
+	"testing"
+
+	"polar/internal/ir"
+)
+
+// diamond builds main with a diamond CFG:
+// entry -> (then | else) -> join.
+func diamond(t *testing.T) *FuncInfo {
+	t.Helper()
+	m := ir.NewModule("diamond")
+	b := ir.NewFunc(m, "main", ir.I64, ir.Param{Name: "x", Type: ir.I64})
+	c := b.Cmp(ir.CmpGt, b.ParamReg(0), ir.Const(0))
+	v := b.Mov(ir.Const(0))
+	b.If("d", c, func() { b.Store(ir.I64, ir.Const(1), v) }, func() { b.Store(ir.I64, ir.Const(2), v) })
+	b.Ret(v)
+	if err := ir.Validate(m); err != nil {
+		t.Fatal(err)
+	}
+	return ForFunc(m.Func("main"))
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	fi := diamond(t)
+	f := fi.Fn
+	entry := 0
+	then := f.BlockIndex("d.then")
+	els := f.BlockIndex("d.else")
+	join := f.BlockIndex("d.join")
+	if then < 0 || els < 0 || join < 0 {
+		t.Fatalf("missing diamond blocks: %v", f.Blocks)
+	}
+	for _, b := range []int{then, els, join} {
+		if fi.IDom[b] != entry {
+			t.Errorf("idom[%s] = %d, want entry", f.Blocks[b].Name, fi.IDom[b])
+		}
+	}
+	if !fi.Dominates(entry, join) {
+		t.Error("entry must dominate join")
+	}
+	if fi.Dominates(then, join) || fi.Dominates(els, join) {
+		t.Error("neither arm dominates the join")
+	}
+	if !fi.Dominates(join, join) {
+		t.Error("a block dominates itself")
+	}
+}
+
+func TestDominatorsLoop(t *testing.T) {
+	m := ir.NewModule("loop")
+	b := ir.NewFunc(m, "main", ir.I64, ir.Param{Name: "n", Type: ir.I64})
+	b.CountedLoop("l", b.ParamReg(0), func(i ir.Value) {})
+	b.Ret(ir.Const(0))
+	fi := ForFunc(m.Func("main"))
+	f := fi.Fn
+	head := f.BlockIndex("l.head")
+	body := f.BlockIndex("l.body")
+	exit := f.BlockIndex("l.exit")
+	if fi.IDom[body] != head || fi.IDom[exit] != head {
+		t.Errorf("idom body=%d exit=%d, want head=%d", fi.IDom[body], fi.IDom[exit], head)
+	}
+	if !fi.Dominates(head, body) || !fi.Dominates(head, exit) {
+		t.Error("loop head must dominate body and exit")
+	}
+	if fi.Dominates(body, exit) {
+		t.Error("body must not dominate exit (zero-trip path skips it)")
+	}
+}
+
+// TestFixedPointForward: reaching-"defined" over a diamond — a forward
+// may-problem whose fact is a set of block ids seen on some path.
+func TestFixedPointForward(t *testing.T) {
+	fi := diamond(t)
+	f := fi.Fn
+	union := func(a, b map[int]bool) map[int]bool {
+		out := map[int]bool{}
+		for k := range a {
+			out[k] = true
+		}
+		for k := range b {
+			out[k] = true
+		}
+		return out
+	}
+	in, out := FixedPoint(fi, Problem[map[int]bool]{
+		Dir:      Forward,
+		Boundary: map[int]bool{},
+		Init:     nil,
+		Meet:     union,
+		Transfer: func(b int, in map[int]bool) map[int]bool {
+			return union(in, map[int]bool{b: true})
+		},
+		Equal: func(a, b map[int]bool) bool { return reflect.DeepEqual(a, b) },
+	})
+	join := f.BlockIndex("d.join")
+	then := f.BlockIndex("d.then")
+	els := f.BlockIndex("d.else")
+	if !in[join][then] || !in[join][els] || !in[join][0] {
+		t.Errorf("join IN = %v, want union of both arms and entry", in[join])
+	}
+	if !out[join][join] {
+		t.Errorf("join OUT must contain itself: %v", out[join])
+	}
+	if in[then][els] {
+		t.Errorf("then must not see else: %v", in[then])
+	}
+}
+
+// TestFixedPointBackward: "blocks on some path to exit" — a backward
+// may-problem; every block must reach the exit set.
+func TestFixedPointBackward(t *testing.T) {
+	fi := diamond(t)
+	f := fi.Fn
+	union := func(a, b map[int]bool) map[int]bool {
+		out := map[int]bool{}
+		for k := range a {
+			out[k] = true
+		}
+		for k := range b {
+			out[k] = true
+		}
+		return out
+	}
+	in, _ := FixedPoint(fi, Problem[map[int]bool]{
+		Dir:      Backward,
+		Boundary: map[int]bool{},
+		Init:     nil,
+		Meet:     union,
+		Transfer: func(b int, in map[int]bool) map[int]bool {
+			return union(in, map[int]bool{b: true})
+		},
+		Equal: func(a, b map[int]bool) bool { return reflect.DeepEqual(a, b) },
+	})
+	join := f.BlockIndex("d.join")
+	// Entry's "exit-side" fact must include both arms and the join.
+	if !in[0][join] || !in[0][f.BlockIndex("d.then")] || !in[0][f.BlockIndex("d.else")] {
+		t.Errorf("entry backward IN = %v", in[0])
+	}
+}
+
+func TestCallGraph(t *testing.T) {
+	m := ir.NewModule("cg")
+	cb := ir.NewFunc(m, "callee", ir.I64, ir.Param{Name: "x", Type: ir.I64})
+	cb.Ret(cb.ParamReg(0))
+	hb := ir.NewFunc(m, "handler", ir.I64)
+	hb.Ret(ir.Const(7))
+	bb := ir.NewFunc(m, "main", ir.I64)
+	bb.Call("callee", ir.Const(1))
+	bb.Call("print_i64", ir.Const(2))
+	// Address-taken: &handler stored somewhere counts as a potential
+	// indirect call from main.
+	g := bb.Local(ir.I64)
+	bb.Store(ir.I64, ir.FuncRef("handler"), g)
+	bb.Ret(ir.Const(0))
+	if err := ir.Validate(m); err != nil {
+		t.Fatal(err)
+	}
+	cg := BuildCallGraph(m)
+	if got := cg.Callees["main"]; !reflect.DeepEqual(got, []string{"callee", "handler"}) {
+		t.Errorf("main callees = %v", got)
+	}
+	if got := cg.Callers["callee"]; !reflect.DeepEqual(got, []string{"main"}) {
+		t.Errorf("callee callers = %v", got)
+	}
+	sites := cg.Sites["main"]
+	if len(sites) != 2 {
+		t.Fatalf("main sites = %v, want direct call + builtin call", sites)
+	}
+	if !sites[1].Builtin || sites[1].Callee != "print_i64" {
+		t.Errorf("builtin site = %+v", sites[1])
+	}
+	reach := cg.Reachable("main")
+	if !reach["main"] || !reach["callee"] || !reach["handler"] {
+		t.Errorf("reachable = %v", reach)
+	}
+	if cg.Reachable("callee")["main"] {
+		t.Error("callee must not reach main")
+	}
+}
+
+func TestFindingsSortAndRender(t *testing.T) {
+	m := ir.NewModule("srt")
+	b := ir.NewFunc(m, "main", ir.I64)
+	b.Ret(ir.Const(0))
+	fs := Findings{
+		{Pass: "uaf", Rule: "b-rule", Severity: SevWarn, Site: Site{Func: "main", Block: "entry", Index: 3}},
+		{Pass: "lint", Rule: "a-rule", Severity: SevError, Site: Site{Func: "main", Block: "entry", Index: 0}},
+	}
+	fs.Sort(m)
+	if fs[0].Rule != "a-rule" {
+		t.Errorf("sort order wrong: %v", fs)
+	}
+	if fs.MaxSeverity() != SevError {
+		t.Errorf("max severity = %v", fs.MaxSeverity())
+	}
+	if fs.CountAtLeast(SevWarn) != 2 || fs.CountAtLeast(SevError) != 1 {
+		t.Error("CountAtLeast wrong")
+	}
+	if got := fs.ByRule(); got["a-rule"] != 1 || got["b-rule"] != 1 {
+		t.Errorf("ByRule = %v", got)
+	}
+	data, err := fs.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 || data[0] != '[' {
+		t.Errorf("EncodeJSON = %s", data)
+	}
+	var empty Findings
+	data, err = empty.EncodeJSON()
+	if err != nil || string(data) != "[]" {
+		t.Errorf("empty EncodeJSON = %q, %v", data, err)
+	}
+}
+
+func TestSeverityRoundTrip(t *testing.T) {
+	for _, s := range []Severity{SevInfo, SevWarn, SevError} {
+		got, err := ParseSeverity(s.String())
+		if err != nil || got != s {
+			t.Errorf("round trip %v: got %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseSeverity("fatal"); err == nil {
+		t.Error("ParseSeverity must reject unknown names")
+	}
+}

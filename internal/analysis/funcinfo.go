@@ -1,0 +1,116 @@
+package analysis
+
+import "polar/internal/ir"
+
+// FuncInfo bundles the per-function graphs every pass needs: the CFG
+// and def-use chains (built by internal/ir, shared with ir.Validate)
+// plus the immediate-dominator tree computed here.
+type FuncInfo struct {
+	Fn  *ir.Func
+	CFG *ir.CFG
+	DU  *ir.DefUse
+	// IDom[b] is the immediate dominator of block b, -1 for the entry
+	// and for unreachable blocks.
+	IDom []int
+}
+
+// ForFunc builds the structural info for one function.
+func ForFunc(f *ir.Func) *FuncInfo {
+	cfg := ir.BuildCFG(f)
+	return &FuncInfo{
+		Fn:   f,
+		CFG:  cfg,
+		DU:   ir.BuildDefUse(f),
+		IDom: dominators(cfg),
+	}
+}
+
+// Dominates reports whether block a dominates block b (every path from
+// the entry to b passes through a). A block dominates itself.
+func (fi *FuncInfo) Dominates(a, b int) bool {
+	if !fi.CFG.Reachable(a) || !fi.CFG.Reachable(b) {
+		return false
+	}
+	for b != -1 {
+		if a == b {
+			return true
+		}
+		b = fi.IDom[b]
+	}
+	return false
+}
+
+// dominators computes immediate dominators with the Cooper–Harvey–
+// Kennedy iterative algorithm over the reverse postorder.
+func dominators(c *ir.CFG) []int {
+	n := len(c.Succs)
+	idom := make([]int, n)
+	for i := range idom {
+		idom[i] = -1
+	}
+	rpo := c.ReversePostorder()
+	if len(rpo) == 0 {
+		return idom
+	}
+	idom[0] = 0 // temporary self-link simplifies intersect
+	intersect := func(a, b int) int {
+		for a != b {
+			for c.RPOIndex(a) > c.RPOIndex(b) {
+				a = idom[a]
+			}
+			for c.RPOIndex(b) > c.RPOIndex(a) {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			if b == 0 {
+				continue
+			}
+			newIdom := -1
+			for _, p := range c.Preds[b] {
+				if !c.Reachable(p) || idom[p] == -1 {
+					continue
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom != -1 && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	idom[0] = -1
+	return idom
+}
+
+// ModuleInfo holds the per-function info for a whole module plus its
+// call graph, in deterministic function order.
+type ModuleInfo struct {
+	M     *ir.Module
+	Funcs []*FuncInfo
+	byNm  map[string]*FuncInfo
+	CG    *CallGraph
+}
+
+// BuildModuleInfo analyzes every function of m.
+func BuildModuleInfo(m *ir.Module) *ModuleInfo {
+	mi := &ModuleInfo{M: m, byNm: make(map[string]*FuncInfo, len(m.Funcs))}
+	for _, f := range m.Funcs {
+		fi := ForFunc(f)
+		mi.Funcs = append(mi.Funcs, fi)
+		mi.byNm[f.Name] = fi
+	}
+	mi.CG = BuildCallGraph(m)
+	return mi
+}
+
+// Func returns the info for the named function, or nil.
+func (mi *ModuleInfo) Func(name string) *FuncInfo { return mi.byNm[name] }

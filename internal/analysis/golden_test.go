@@ -1,0 +1,107 @@
+package analysis_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"polar/internal/analysis"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden findings files")
+
+// TestGoldenFindings pins the full rendered analysis output for every
+// committed .ir example. Any change to a rule's trigger conditions,
+// severity, message wording or ordering shows up as a golden diff.
+// Regenerate with: go test ./internal/analysis -run Golden -update
+func TestGoldenFindings(t *testing.T) {
+	root := filepath.Join("..", "..", "examples")
+	var irFiles []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".ir") {
+			irFiles = append(irFiles, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(irFiles)
+	if len(irFiles) == 0 {
+		t.Fatal("no .ir examples found")
+	}
+
+	for _, path := range irFiles {
+		rel, _ := filepath.Rel(root, path)
+		name := strings.ReplaceAll(strings.TrimSuffix(rel, ".ir"), string(filepath.Separator), "_")
+		t.Run(name, func(t *testing.T) {
+			m := mustParseFile(t, path)
+			res := analysis.Analyze(m, analysis.Options{})
+			got := renderGolden(res)
+			golden := filepath.Join("testdata", name+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if string(want) != got {
+				t.Errorf("findings drifted from %s; regenerate with -update if intended.\n--- want\n%s--- got\n%s",
+					golden, want, got)
+			}
+		})
+	}
+}
+
+// renderGolden is the pinned textual form: the ranked taint verdict
+// followed by the findings, both deterministic.
+func renderGolden(res *analysis.Result) string {
+	var b strings.Builder
+	b.WriteString("module: " + res.Module + "\n")
+	b.WriteString("tainted classes:\n")
+	if len(res.Taint.Classes) == 0 {
+		b.WriteString("  (none)\n")
+	}
+	for _, c := range res.Taint.Classes {
+		marks := ""
+		if c.ContentTainted {
+			marks += "C"
+		}
+		if c.AllocTainted {
+			marks += "A"
+		}
+		if c.FreeTainted {
+			marks += "F"
+		}
+		fields := make([]string, 0, len(c.Fields))
+		for _, f := range c.Fields {
+			n := f.Name
+			if f.IsPointer {
+				n += "*"
+			}
+			fields = append(fields, n)
+		}
+		b.WriteString("  %" + c.Class + " [" + marks + "] {" + strings.Join(fields, ",") + "}\n")
+	}
+	b.WriteString("findings:\n")
+	if len(res.Findings) == 0 {
+		b.WriteString("  (none)\n")
+	}
+	for _, f := range res.Findings {
+		b.WriteString("  " + f.String() + "\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,102 @@
+package analysis
+
+// Direction selects how a dataflow problem walks the CFG.
+type Direction int
+
+// Dataflow directions.
+const (
+	Forward Direction = iota + 1
+	Backward
+)
+
+// Problem describes a monotone dataflow problem over one function's
+// CFG for the generic fixed-point solver. F is the per-block fact type.
+// The solver shares fact values freely between blocks, so Meet and
+// Transfer must treat their inputs as immutable: return a fresh fact
+// (or an input unchanged), never write through an argument.
+type Problem[F any] struct {
+	Dir Direction
+	// Boundary is the fact entering the entry block (Forward) or
+	// leaving every exit block (Backward).
+	Boundary F
+	// Init is the starting fact for all other blocks — the lattice top
+	// for must-problems, bottom for may-problems.
+	Init F
+	// Meet combines facts where paths join.
+	Meet func(a, b F) F
+	// Transfer applies block b's effect to the incoming fact.
+	Transfer func(b int, in F) F
+	// Equal detects convergence.
+	Equal func(a, b F) bool
+}
+
+// FixedPoint iterates the problem to convergence and returns the per-
+// block input and output facts (indexed by block). Unreachable blocks
+// keep Init on both sides. For Forward problems In[b] is the fact at
+// block entry; for Backward problems In[b] is the fact at block *exit*
+// (the side facts flow in from), mirroring the usual convention.
+func FixedPoint[F any](fi *FuncInfo, p Problem[F]) (in, out []F) {
+	n := len(fi.Fn.Blocks)
+	in = make([]F, n)
+	out = make([]F, n)
+	for i := 0; i < n; i++ {
+		in[i] = p.Init
+		out[i] = p.Init
+	}
+	rpo := fi.CFG.ReversePostorder()
+	if len(rpo) == 0 {
+		return in, out
+	}
+
+	// order is the sweep order; sources(b) yields the blocks whose OUT
+	// feeds block b's IN under the chosen direction.
+	order := rpo
+	if p.Dir == Backward {
+		order = make([]int, len(rpo))
+		for i, b := range rpo {
+			order[len(rpo)-1-i] = b
+		}
+	}
+	sources := func(b int) []int {
+		if p.Dir == Forward {
+			return fi.CFG.Preds[b]
+		}
+		return fi.CFG.Succs[b]
+	}
+	isBoundary := func(b int) bool {
+		if p.Dir == Forward {
+			return b == 0
+		}
+		return len(fi.CFG.Succs[b]) == 0
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range order {
+			acc := p.Init
+			seeded := false
+			if isBoundary(b) {
+				acc = p.Boundary
+				seeded = true
+			}
+			for _, s := range sources(b) {
+				if !fi.CFG.Reachable(s) {
+					continue
+				}
+				if !seeded {
+					acc = out[s]
+					seeded = true
+				} else {
+					acc = p.Meet(acc, out[s])
+				}
+			}
+			in[b] = acc
+			next := p.Transfer(b, acc)
+			if !p.Equal(next, out[b]) {
+				out[b] = next
+				changed = true
+			}
+		}
+	}
+	return in, out
+}

@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"sort"
+
+	"polar/internal/ir"
+	"polar/internal/policy"
+)
+
+// The static TaintClass pass. Where the dynamic campaign (internal/
+// taint driven by internal/fuzz) observes which classes input actually
+// reaches, this pass computes which classes input MAY reach — a sound
+// over-approximation of the same verdict, available without running a
+// single input. It reads the converged abstract-interpreter state and
+// emits the per-class content/alloc/free marks in the dynamic report's
+// vocabulary so the policy layer can consume either.
+
+// FieldTaintInfo names one may-tainted member of a class.
+type FieldTaintInfo struct {
+	Index     int    `json:"index"`
+	Name      string `json:"name"`
+	IsPointer bool   `json:"isPointer"`
+}
+
+// ClassTaint is the static verdict for one class.
+type ClassTaint struct {
+	Class          string           `json:"class"`
+	ContentTainted bool             `json:"contentTainted"`
+	AllocTainted   bool             `json:"allocTainted"`
+	FreeTainted    bool             `json:"freeTainted"`
+	Fields         []FieldTaintInfo `json:"fields,omitempty"`
+	// Score ranks the class by how exposed it is to untrusted input;
+	// higher means a stronger randomization candidate.
+	Score float64 `json:"score"`
+}
+
+// PointerTainted reports whether any may-tainted member holds a
+// pointer (data or function) — the §IV.B.1 signal that raises the
+// dummy budget.
+func (c *ClassTaint) PointerTainted() bool {
+	for _, f := range c.Fields {
+		if f.IsPointer {
+			return true
+		}
+	}
+	return false
+}
+
+// TaintResult is the ranked static TaintClass verdict.
+type TaintResult struct {
+	// Classes holds every may-tainted class, ranked by Score
+	// descending (name ascending on ties).
+	Classes []ClassTaint `json:"classes"`
+}
+
+// TaintedClasses returns the class names, sorted alphabetically — the
+// same shape the dynamic report exposes, for direct comparison.
+func (r *TaintResult) TaintedClasses() []string {
+	out := make([]string, 0, len(r.Classes))
+	for _, c := range r.Classes {
+		out = append(out, c.Class)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Class returns the verdict for one class, or nil.
+func (r *TaintResult) Class(name string) *ClassTaint {
+	for i := range r.Classes {
+		if r.Classes[i].Class == name {
+			return &r.Classes[i]
+		}
+	}
+	return nil
+}
+
+// Policy converts the static verdict into a randomization policy using
+// the same tuning rules the dynamic report goes through.
+func (r *TaintResult) Policy(generator string) *policy.Policy {
+	infos := make([]policy.ClassTaintInfo, 0, len(r.Classes))
+	for _, c := range r.Classes {
+		info := policy.ClassTaintInfo{
+			Class:          c.Class,
+			AllocTainted:   c.AllocTainted,
+			FreeTainted:    c.FreeTainted,
+			PointerTainted: c.PointerTainted(),
+		}
+		for _, f := range c.Fields {
+			info.TaintedFields = append(info.TaintedFields, f.Name)
+		}
+		infos = append(infos, info)
+	}
+	return policy.FromClassTaints(infos, generator)
+}
+
+// taintPass folds the interpreter's class marks into the ranked result.
+func taintPass(ip *interp) *TaintResult {
+	names := make(map[string]bool)
+	for n := range ip.classContent {
+		names[n] = true
+	}
+	for n := range ip.classAlloc {
+		names[n] = true
+	}
+	for n := range ip.classFree {
+		names[n] = true
+	}
+	res := &TaintResult{Classes: []ClassTaint{}}
+	for name := range names {
+		ct := ClassTaint{
+			Class:          name,
+			ContentTainted: ip.classContent[name],
+			AllocTainted:   ip.classAlloc[name],
+			FreeTainted:    ip.classFree[name],
+		}
+		if st := ip.mi.M.Structs[name]; st != nil {
+			idxs := make([]int, 0, len(ip.classFields[name]))
+			for i := range ip.classFields[name] {
+				idxs = append(idxs, i)
+			}
+			sort.Ints(idxs)
+			for _, i := range idxs {
+				if i < 0 || i >= len(st.Fields) {
+					continue
+				}
+				fd := st.Fields[i]
+				_, isPtr := fd.Type.(ir.PtrType)
+				_, isFptr := fd.Type.(ir.FuncPtrType)
+				ct.Fields = append(ct.Fields, FieldTaintInfo{
+					Index: i, Name: fd.Name, IsPointer: isPtr || isFptr,
+				})
+			}
+			ct.Score = scoreClass(&ct, len(st.Fields))
+		} else {
+			ct.Score = scoreClass(&ct, 0)
+		}
+		res.Classes = append(res.Classes, ct)
+	}
+	sort.Slice(res.Classes, func(i, j int) bool {
+		a, b := res.Classes[i], res.Classes[j]
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		return a.Class < b.Class
+	})
+	return res
+}
+
+// scoreClass ranks exposure: tainted pointer members dominate (they
+// are what an attacker corrupts for control flow), then content
+// coverage, then an input-controlled life cycle.
+func scoreClass(c *ClassTaint, totalFields int) float64 {
+	s := 0.0
+	if c.ContentTainted {
+		s += 1
+	}
+	if totalFields > 0 {
+		s += 2 * float64(len(c.Fields)) / float64(totalFields)
+	}
+	if c.PointerTainted() {
+		s += 4
+	}
+	if c.AllocTainted {
+		s += 1
+	}
+	if c.FreeTainted {
+		s += 1
+	}
+	return s
+}

@@ -1,0 +1,126 @@
+package ir
+
+// CFG is the control-flow graph of one function: per-block successor and
+// predecessor edge lists derived from the terminators, plus reachability
+// and a reverse-postorder over the reachable blocks. It is the shared
+// structural primitive under Validate's unreachable-block check and the
+// internal/analysis dataflow framework (which layers dominators and
+// fixed-point solvers on top).
+//
+// Construction is total: malformed functions (blocks without
+// terminators, branch targets out of range) yield a graph with the bad
+// edges simply absent, so BuildCFG can run before — or as part of —
+// validation without panicking.
+type CFG struct {
+	Fn *Func
+	// Succs[b] lists the successor block indices of block b in
+	// terminator operand order (so Succs[b][0] is the true edge of a
+	// condbr). Preds[b] lists predecessors in ascending order.
+	Succs [][]int
+	Preds [][]int
+
+	reachable []bool
+	rpo       []int
+	rpoIndex  []int // block index -> position in rpo, -1 if unreachable
+}
+
+// BuildCFG derives the control-flow graph of f. Block 0 is the entry.
+func BuildCFG(f *Func) *CFG {
+	n := len(f.Blocks)
+	c := &CFG{
+		Fn:        f,
+		Succs:     make([][]int, n),
+		Preds:     make([][]int, n),
+		reachable: make([]bool, n),
+		rpoIndex:  make([]int, n),
+	}
+	for bi, blk := range f.Blocks {
+		if len(blk.Instrs) == 0 {
+			continue
+		}
+		term := &blk.Instrs[len(blk.Instrs)-1]
+		if !term.IsTerminator() {
+			continue
+		}
+		for _, t := range term.Blocks {
+			if t < 0 || t >= n {
+				continue // Validate reports the out-of-range target
+			}
+			c.Succs[bi] = append(c.Succs[bi], t)
+			c.Preds[t] = append(c.Preds[t], bi)
+		}
+	}
+	for _, preds := range c.Preds {
+		sortInts(preds)
+	}
+	if n > 0 {
+		c.buildRPO()
+	}
+	return c
+}
+
+// buildRPO runs an iterative depth-first search from the entry block and
+// records the reverse postorder (entry first) plus reachability.
+func (c *CFG) buildRPO() {
+	n := len(c.Fn.Blocks)
+	post := make([]int, 0, n)
+	// Explicit stack of (block, next-successor-index) frames.
+	type frame struct{ b, next int }
+	stack := []frame{{0, 0}}
+	c.reachable[0] = true
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		if top.next < len(c.Succs[top.b]) {
+			s := c.Succs[top.b][top.next]
+			top.next++
+			if !c.reachable[s] {
+				c.reachable[s] = true
+				stack = append(stack, frame{s, 0})
+			}
+			continue
+		}
+		post = append(post, top.b)
+		stack = stack[:len(stack)-1]
+	}
+	c.rpo = make([]int, 0, len(post))
+	for i := len(post) - 1; i >= 0; i-- {
+		c.rpo = append(c.rpo, post[i])
+	}
+	for i := range c.rpoIndex {
+		c.rpoIndex[i] = -1
+	}
+	for pos, b := range c.rpo {
+		c.rpoIndex[b] = pos
+	}
+}
+
+// ReversePostorder returns the reachable blocks in reverse postorder
+// (entry first). The returned slice is shared; do not mutate it.
+func (c *CFG) ReversePostorder() []int { return c.rpo }
+
+// RPOIndex returns block b's position in the reverse postorder, or -1
+// if b is unreachable.
+func (c *CFG) RPOIndex(b int) int { return c.rpoIndex[b] }
+
+// Reachable reports whether block b is reachable from the entry.
+func (c *CFG) Reachable(b int) bool { return b >= 0 && b < len(c.reachable) && c.reachable[b] }
+
+// UnreachableBlocks returns the indices of blocks no path from the
+// entry reaches, in ascending order.
+func (c *CFG) UnreachableBlocks() []int {
+	var out []int
+	for b := range c.reachable {
+		if !c.reachable[b] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

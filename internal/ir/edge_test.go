@@ -91,8 +91,9 @@ func TestCountedLoopZeroAndNegative(t *testing.T) {
 	}
 }
 
-// TestIfWithoutElseBothTerminating: If arms ending in Ret must not
-// produce dangling joins that fail validation.
+// TestIfWithBothArmsReturning: If arms ending in Ret leave a dangling
+// join block no edge reaches. Validate's graph checks now flag that
+// dead join — code placed there would silently never run.
 func TestIfWithBothArmsReturning(t *testing.T) {
 	m := NewModule("ifret")
 	b := NewFunc(m, "main", I64, Param{Name: "x", Type: I64})
@@ -102,11 +103,15 @@ func TestIfWithBothArmsReturning(t *testing.T) {
 	}, func() {
 		b.Ret(Const(-1))
 	})
-	// The join block is empty and unreachable; terminate it for the
-	// validator (builder leaves the cursor there).
+	// The builder leaves the cursor in the unreachable join; terminate
+	// it so the only structural problem is its reachability.
 	b.Ret(Const(0))
-	if err := Validate(m); err != nil {
-		t.Fatal(err)
+	err := Validate(m)
+	if err == nil {
+		t.Fatal("Validate accepted a function with an unreachable join block")
+	}
+	if !strings.Contains(err.Error(), "unreachable block") {
+		t.Fatalf("expected an unreachable-block problem, got: %v", err)
 	}
 }
 

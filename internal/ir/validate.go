@@ -87,11 +87,30 @@ func Validate(m *Module) error {
 				_ = bi
 			}
 		}
+		validateFlow(f, addf)
 	}
 	if len(probs) > 0 {
 		return &ValidationError{Problems: probs}
 	}
 	return nil
+}
+
+// validateFlow runs the graph-level checks on one function: unreachable
+// blocks and definite use-before-def register reads, reusing the CFG
+// and def-use helpers the analysis framework is built on rather than an
+// ad-hoc walk. Both conditions are latent bugs (dead code the author
+// thinks runs; reads of a register no path ever wrote) even though the
+// VM would execute them without faulting — registers start zeroed.
+func validateFlow(f *Func, addf func(format string, args ...any)) {
+	cfg := BuildCFG(f)
+	for _, b := range cfg.UnreachableBlocks() {
+		addf("@%s.%s: unreachable block", f.Name, f.Blocks[b].Name)
+	}
+	du := BuildDefUse(f)
+	for _, uu := range du.UndefinedUses(cfg) {
+		addf("@%s.%s: %%r%d used before any definition (instr %d)",
+			f.Name, f.Blocks[uu.Site.Block].Name, uu.Reg, uu.Site.Index)
+	}
 }
 
 // builtinPrefixes lists name prefixes resolved by the VM rather than the

@@ -1,0 +1,149 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// problemsOf runs Validate and returns the individual problem strings.
+func problemsOf(t *testing.T, m *Module) []string {
+	t.Helper()
+	err := Validate(m)
+	if err == nil {
+		return nil
+	}
+	var ve *ValidationError
+	if !asValidationError(err, &ve) {
+		t.Fatalf("Validate returned a non-ValidationError: %v", err)
+	}
+	return ve.Problems
+}
+
+func asValidationError(err error, out **ValidationError) bool {
+	ve, ok := err.(*ValidationError)
+	if ok {
+		*out = ve
+	}
+	return ok
+}
+
+func TestValidateReportsUnreachableBlock(t *testing.T) {
+	m := NewModule("dead")
+	b := NewFunc(m, "main", I64)
+	b.Ret(Const(1))
+	b.Block("orphan")
+	b.Ret(Const(2))
+	probs := problemsOf(t, m)
+	if len(probs) != 1 || !strings.Contains(probs[0], "@main.orphan: unreachable block") {
+		t.Fatalf("want one unreachable-block problem, got %v", probs)
+	}
+}
+
+func TestValidateReportsUseBeforeDef(t *testing.T) {
+	m := NewModule("ubd")
+	f := &Func{Name: "main", Ret: I64, NumRegs: 2}
+	f.Blocks = []*Block{{Name: "entry", Instrs: []Instr{
+		{Op: OpBin, Dest: 1, Bin: BinAdd, Args: []Value{Reg(0), Const(1)}},
+		{Op: OpRet, Dest: -1, Args: []Value{Reg(1)}},
+	}}}
+	m.Funcs = append(m.Funcs, f)
+	probs := problemsOf(t, m)
+	if len(probs) != 1 || !strings.Contains(probs[0], "%r0 used before any definition") {
+		t.Fatalf("want one use-before-def problem, got %v", probs)
+	}
+}
+
+// A register defined on only one of two joining paths must NOT be
+// flagged: the check is definite (no def on any path), so merge-heavy
+// code stays clean.
+func TestValidateUseAfterPartialDefIsClean(t *testing.T) {
+	m := NewModule("partial")
+	b := NewFunc(m, "main", I64, Param{Name: "x", Type: I64})
+	v := b.Mov(Const(0)) // def on the fall-through path too
+	c := b.Cmp(CmpGt, b.ParamReg(0), Const(0))
+	b.If("pos", c, func() {
+		b.Store(I64, Const(1), v) // arbitrary use; v defined before branch
+	}, nil)
+	b.Ret(v)
+	if err := Validate(m); err != nil {
+		t.Fatalf("clean module rejected: %v", err)
+	}
+}
+
+// Parameters count as defined at entry.
+func TestValidateParamsAreDefined(t *testing.T) {
+	m := NewModule("params")
+	b := NewFunc(m, "main", I64, Param{Name: "x", Type: I64})
+	b.Ret(b.ParamReg(0))
+	if err := Validate(m); err != nil {
+		t.Fatalf("param use rejected: %v", err)
+	}
+}
+
+// Uses inside unreachable blocks are not reported as use-before-def
+// (the unreachable-block problem already covers the region).
+func TestValidateUnreachableUseNotDoubleReported(t *testing.T) {
+	m := NewModule("deaduse")
+	f := &Func{Name: "main", Ret: I64, NumRegs: 1}
+	f.Blocks = []*Block{
+		{Name: "entry", Instrs: []Instr{{Op: OpRet, Dest: -1, Args: []Value{Const(0)}}}},
+		{Name: "orphan", Instrs: []Instr{{Op: OpRet, Dest: -1, Args: []Value{Reg(0)}}}},
+	}
+	m.Funcs = append(m.Funcs, f)
+	probs := problemsOf(t, m)
+	if len(probs) != 1 || !strings.Contains(probs[0], "unreachable block") {
+		t.Fatalf("want only the unreachable-block problem, got %v", probs)
+	}
+}
+
+func TestCFGShape(t *testing.T) {
+	m := NewModule("cfg")
+	b := NewFunc(m, "main", I64, Param{Name: "n", Type: I64})
+	b.CountedLoop("l", b.ParamReg(0), func(i Value) {})
+	b.Ret(Const(0))
+	f := m.Func("main")
+	c := BuildCFG(f)
+	head := f.BlockIndex("l.head")
+	body := f.BlockIndex("l.body")
+	exit := f.BlockIndex("l.exit")
+	if head < 0 || body < 0 || exit < 0 {
+		t.Fatalf("loop blocks missing: %v", f.Blocks)
+	}
+	if got := c.Succs[head]; len(got) != 2 || got[0] != body || got[1] != exit {
+		t.Fatalf("head succs = %v, want [%d %d]", got, body, exit)
+	}
+	if got := c.Preds[head]; len(got) != 2 {
+		t.Fatalf("head preds = %v, want entry+body", got)
+	}
+	rpo := c.ReversePostorder()
+	if len(rpo) != len(f.Blocks) || rpo[0] != 0 {
+		t.Fatalf("rpo = %v", rpo)
+	}
+	if c.RPOIndex(head) >= c.RPOIndex(body) {
+		t.Fatalf("rpo order: head %d not before body %d", c.RPOIndex(head), c.RPOIndex(body))
+	}
+	for b := range f.Blocks {
+		if !c.Reachable(b) {
+			t.Fatalf("block %d unexpectedly unreachable", b)
+		}
+	}
+}
+
+func TestDefUseChains(t *testing.T) {
+	m := NewModule("du")
+	b := NewFunc(m, "main", I64)
+	x := b.Mov(Const(3))
+	y := b.Bin(BinAdd, x, x)
+	b.Ret(y)
+	f := m.Func("main")
+	du := BuildDefUse(f)
+	if len(du.Defs[x.Reg]) != 1 || du.Defs[x.Reg][0] != (SiteRef{Block: 0, Index: 0}) {
+		t.Fatalf("defs of %%r%d = %v", x.Reg, du.Defs[x.Reg])
+	}
+	if len(du.Uses[x.Reg]) != 2 {
+		t.Fatalf("uses of %%r%d = %v, want 2 (both add operands)", x.Reg, du.Uses[x.Reg])
+	}
+	if len(du.Uses[y.Reg]) != 1 || du.Uses[y.Reg][0].Index != 2 {
+		t.Fatalf("uses of %%r%d = %v", y.Reg, du.Uses[y.Reg])
+	}
+}

@@ -43,32 +43,40 @@ type Policy struct {
 	Classes map[string]ClassPolicy `json:"classes,omitempty"`
 }
 
-// FromTaintReport builds a policy from a TaintClass report using the
-// §IV.B.1 tuning rules (see polar.Hardened.TuneFromTaint for the same
-// rules applied in-process).
-func FromTaintReport(rep *taint.Report, generator string) *Policy {
+// ClassTaintInfo describes one tainted class independently of which
+// analysis produced the verdict — the dynamic campaign (taint.Report)
+// and the static pass (internal/analysis) both reduce to it.
+type ClassTaintInfo struct {
+	Class        string
+	AllocTainted bool
+	FreeTainted  bool
+	// TaintedFields lists the input-tainted member names in member
+	// order.
+	TaintedFields []string
+	// PointerTainted marks a tainted pointer (or function-pointer)
+	// member.
+	PointerTainted bool
+}
+
+// FromClassTaints builds a policy from per-class taint verdicts using
+// the §IV.B.1 tuning rules (see polar.Hardened.TuneFromTaint for the
+// same rules applied in-process).
+func FromClassTaints(infos []ClassTaintInfo, generator string) *Policy {
 	base := layout.DefaultConfig()
 	p := &Policy{Generator: generator, Classes: make(map[string]ClassPolicy)}
-	for _, name := range rep.TaintedClasses() {
-		obj, _ := rep.Object(name)
+	for _, info := range infos {
 		cp := ClassPolicy{
-			MinDummies: base.MinDummies,
-			MaxDummies: base.MaxDummies,
-			BoobyTraps: base.BoobyTraps,
-		}
-		pointerTainted := false
-		for _, ft := range obj.SortedFields() {
-			cp.TaintedFields = append(cp.TaintedFields, ft.Name)
-			if ft.IsPointer {
-				pointerTainted = true
-			}
+			MinDummies:    base.MinDummies,
+			MaxDummies:    base.MaxDummies,
+			BoobyTraps:    base.BoobyTraps,
+			TaintedFields: append([]string(nil), info.TaintedFields...),
 		}
 		switch {
-		case pointerTainted:
+		case info.PointerTainted:
 			cp.MinDummies++
 			cp.MaxDummies++
 			cp.Why = "input-tainted pointer members"
-		case obj.AllocTainted || obj.FreeTainted:
+		case info.AllocTainted || info.FreeTainted:
 			cp.Why = "input-controlled life cycle"
 		default:
 			if cp.MinDummies > 0 {
@@ -79,11 +87,32 @@ func FromTaintReport(rep *taint.Report, generator string) *Policy {
 			}
 			cp.Why = "input-tainted data members only"
 		}
-		p.Targets = append(p.Targets, name)
-		p.Classes[name] = cp
+		p.Targets = append(p.Targets, info.Class)
+		p.Classes[info.Class] = cp
 	}
 	sort.Strings(p.Targets)
 	return p
+}
+
+// FromTaintReport builds a policy from a dynamic TaintClass report.
+func FromTaintReport(rep *taint.Report, generator string) *Policy {
+	var infos []ClassTaintInfo
+	for _, name := range rep.TaintedClasses() {
+		obj, _ := rep.Object(name)
+		info := ClassTaintInfo{
+			Class:        name,
+			AllocTainted: obj.AllocTainted,
+			FreeTainted:  obj.FreeTainted,
+		}
+		for _, ft := range obj.SortedFields() {
+			info.TaintedFields = append(info.TaintedFields, ft.Name)
+			if ft.IsPointer {
+				info.PointerTainted = true
+			}
+		}
+		infos = append(infos, info)
+	}
+	return FromClassTaints(infos, generator)
 }
 
 // LayoutConfig converts a class policy into a layout configuration.
