@@ -6,16 +6,20 @@
 //
 //	polarbench [-reps n] [-trials n] [-fuzz n] [-only table1,fig6,...]
 //	           [-seed n] [-parallel n] [-format text|csv] [-metrics]
-//	           [-trace-json file]
+//	           [-prom dir] [-trace-json file]
 //
 // Experiments: table1, table2, table3, table4, fig6, fig7, security,
 // ablation. Default runs all of them. The text format is what
 // EXPERIMENTS.md records; csv is plotting-ready. -metrics appends a
 // deterministic JSON metrics snapshot after each experiment's output
-// (machine-readable companion to the tables). -trace-json records the
-// whole suite as one Chrome-trace timeline: an outer span per
-// experiment with nested spans for each workload, kernel, CVE case and
-// security scenario (load it in chrome://tracing or Perfetto).
+// (machine-readable companion to the tables). -prom additionally
+// writes each experiment's snapshot as an OpenMetrics text exposition
+// to <dir>/<experiment>.prom — scrape-ready files a Prometheus
+// file-based collector (or promtool) can consume directly.
+// -trace-json records the whole suite as one Chrome-trace timeline: an
+// outer span per experiment with nested spans for each workload,
+// kernel, CVE case and security scenario (load it in chrome://tracing
+// or Perfetto).
 //
 // -parallel spreads each experiment's sub-steps over N workers
 // (default GOMAXPROCS). Every sub-step runs under a seed derived from
@@ -31,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"polar/internal/evalrun"
@@ -47,6 +52,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "experiment worker pool width (0 = GOMAXPROCS, 1 = serial)")
 	format := flag.String("format", "text", "output format: text or csv")
 	metrics := flag.Bool("metrics", false, "print a JSON metrics snapshot after each experiment")
+	promDir := flag.String("prom", "", "write each experiment's OpenMetrics exposition to <dir>/<experiment>.prom")
 	traceJSON := flag.String("trace-json", "", "write a Chrome trace-event timeline of the suite to this file")
 	engine := flag.String("engine", "bytecode", "execution engine for every experiment: bytecode or legacy")
 	flag.Parse()
@@ -81,7 +87,13 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	err = run(sel, csv, *metrics, *reps, *trials, *fuzzIters, *seed)
+	if *promDir != "" {
+		if err := os.MkdirAll(*promDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "polarbench:", err)
+			os.Exit(1)
+		}
+	}
+	err = run(sel, csv, emitConfig{json: *metrics, promDir: *promDir}, *reps, *trials, *fuzzIters, *seed)
 	cleanup()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "polarbench:", err)
@@ -114,21 +126,38 @@ func startTrace(path string) (func(), error) {
 	}, nil
 }
 
-// emitMetrics prints one experiment's registry snapshot (no-op unless
-// -metrics).
-func emitMetrics(on bool, name string, fill func(*telemetry.Registry)) error {
-	if !on {
-		return nil
+// emitConfig selects the machine-readable companions each experiment
+// emits: the JSON snapshot on stdout (-metrics) and/or an OpenMetrics
+// exposition file per experiment (-prom dir).
+type emitConfig struct {
+	json    bool
+	promDir string
+}
+
+// emitMetrics renders one experiment's registry snapshot in the
+// requested formats (no-op when neither -metrics nor -prom is set).
+func emitMetrics(cfg emitConfig, name string, fill func(*telemetry.Registry)) error {
+	if cfg.json {
+		out, err := evalrun.SnapshotJSON(fill)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("metrics[%s]:\n%s", name, out)
 	}
-	out, err := evalrun.SnapshotJSON(fill)
-	if err != nil {
-		return err
+	if cfg.promDir != "" {
+		data, err := evalrun.SnapshotOpenMetrics(fill)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(cfg.promDir, name+".prom")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return err
+		}
 	}
-	fmt.Printf("metrics[%s]:\n%s", name, out)
 	return nil
 }
 
-func run(sel func(string) bool, csv, metrics bool, reps, trials, fuzzIters int, seed int64) error {
+func run(sel func(string) bool, csv bool, metrics emitConfig, reps, trials, fuzzIters int, seed int64) error {
 	if sel("table1") {
 		sp := evalrun.Span("table1", "experiment")
 		rows, err := evalrun.TableI(fuzzIters, seed)

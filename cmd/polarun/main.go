@@ -51,11 +51,28 @@
 //	-http-hold    keep serving after the run until interrupted
 //	-reservoir    capacity of the event sample behind
 //	              /debug/polar/reservoir (with -http; default 256)
+//
+// Forensics & health (DESIGN.md §10):
+//
+//	-prom         OpenMetrics text exposition of the metrics snapshot
+//	              written to the file ("-" = stdout) after the run
+//	-flight       attach the security flight recorder with a ring of N
+//	              events (0 = off); on every violation the runtime
+//	              snapshots a deterministic forensic dump
+//	-flight-dump  write the forensic report JSON to this file after the
+//	              run ("-" = stdout); implies -flight 256 if unset
+//	-health       attach the live health monitor (entropy gauges,
+//	              offset-probe-scan and entropy-depletion detectors);
+//	              report JSON on stderr after the run, and
+//	              /debug/polar/health with -http
+//	-log          structured slog JSON for violations and health
+//	              transitions appended to this file ("-" = stderr)
 package main
 
 import (
 	"bufio"
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
@@ -64,8 +81,12 @@ import (
 	"os/signal"
 	"strconv"
 
+	"log/slog"
+
 	"polar"
 	"polar/internal/evalrun"
+	"polar/internal/telemetry"
+	"polar/internal/telemetry/health"
 	"polar/internal/telemetry/introspect"
 	"polar/internal/telemetry/profile"
 	"polar/internal/telemetry/sample"
@@ -91,6 +112,11 @@ type runConfig struct {
 	httpHold         bool
 	reservoirCap     int
 	engine           string
+	prom             string
+	flightCap        int
+	flightDump       string
+	health           bool
+	logPath          string
 }
 
 func main() {
@@ -115,6 +141,11 @@ func main() {
 	flag.BoolVar(&c.httpHold, "http-hold", false, "with -http: keep serving after the run until interrupted")
 	flag.IntVar(&c.reservoirCap, "reservoir", 256, "event-sample capacity behind /debug/polar/reservoir (with -http)")
 	flag.StringVar(&c.engine, "engine", "bytecode", "execution engine: bytecode (lowered, fast) or legacy (tree-walking reference)")
+	flag.StringVar(&c.prom, "prom", "", "write an OpenMetrics text exposition to this file after the run (\"-\" = stdout)")
+	flag.IntVar(&c.flightCap, "flight", 0, "attach the security flight recorder with a ring of N events (0 = off)")
+	flag.StringVar(&c.flightDump, "flight-dump", "", "write the forensic report JSON to this file (\"-\" = stdout; implies -flight)")
+	flag.BoolVar(&c.health, "health", false, "attach the live health monitor (report on stderr; /debug/polar/health with -http)")
+	flag.StringVar(&c.logPath, "log", "", "append slog JSON records for violations and health transitions to this file (\"-\" = stderr)")
 	flag.Parse()
 	eng, err := polar.ParseEngine(c.engine)
 	if err != nil {
@@ -136,9 +167,36 @@ func run(c runConfig) error {
 	// The observability layer is created up front so the parse phase is
 	// already on the trace timeline. The live endpoint needs a bus and
 	// registry even when -metrics wasn't asked for.
+	if c.flightDump != "" && c.flightCap <= 0 {
+		c.flightCap = 256
+	}
 	var tel *polar.Telemetry
-	if c.metrics || c.traceJSON != "" || c.httpAddr != "" {
+	if c.metrics || c.traceJSON != "" || c.httpAddr != "" ||
+		c.prom != "" || c.flightCap > 0 || c.health || c.logPath != "" {
 		tel = polar.NewTelemetry()
+	}
+	var logger *slog.Logger
+	if c.logPath != "" {
+		w := os.Stderr
+		if c.logPath != "-" {
+			f, err := os.OpenFile(c.logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		logger = slog.New(slog.NewJSONHandler(w, nil))
+		tel.Bus.Attach(telemetry.NewSlogSink(logger))
+	}
+	var rec *polar.FlightRecorder
+	if c.flightCap > 0 {
+		rec = polar.NewFlightRecorder(c.flightCap)
+	}
+	var hmon *health.Monitor
+	if c.health {
+		hmon = health.NewMonitor(logger)
+		hmon.AttachOnce(tel.Bus)
 	}
 	if c.traceJSON != "" {
 		f, err := os.Create(c.traceJSON)
@@ -180,6 +238,12 @@ func run(c runConfig) error {
 		defer ln.Close()
 		fmt.Fprintf(os.Stderr, "polarun: introspection at http://%s/debug/polar/metrics\n", ln.Addr())
 		ih = introspect.New(tel, prof)
+		if hmon != nil {
+			ih.SetHealth(hmon)
+		}
+		if rec != nil {
+			ih.SetFlight(rec)
+		}
 		// A reservoir sample of the event stream backs the
 		// /debug/polar/reservoir download; the bus fans every event into
 		// it alongside the live subscribers.
@@ -290,6 +354,12 @@ func run(c runConfig) error {
 		if prof != nil {
 			opts = append(opts, polar.WithProfiler(prof))
 		}
+		// The flight recorder rides run 0 only: its ring is fed from run
+		// 0's live bus, and a single run keeps dumps deterministic under
+		// -parallel.
+		if rec != nil && i == 0 {
+			opts = append(opts, polar.WithFlightRecorder(rec))
+		}
 		if pol != nil {
 			opts = append(opts, polar.WithPolicy(pol))
 		}
@@ -376,11 +446,61 @@ func run(c runConfig) error {
 		os.Stdout.Write(data)
 		fmt.Println()
 	}
+	if c.prom != "" {
+		if err := writeProm(c.prom, tel); err != nil {
+			return err
+		}
+	}
+	if rec != nil {
+		rec.CaptureFinal()
+		if c.flightDump != "" {
+			data, err := rec.Encode()
+			if err != nil {
+				return err
+			}
+			if c.flightDump == "-" {
+				os.Stdout.Write(data)
+				fmt.Println()
+			} else if err := os.WriteFile(c.flightDump, data, 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	if hmon != nil {
+		rep := hmon.Report()
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "polarun: health %s\n%s\n", rep.Status, data)
+	}
 	if c.httpAddr != "" && c.httpHold {
 		fmt.Fprintln(os.Stderr, "polarun: run finished; holding introspection endpoint open (interrupt to exit)")
 		ch := make(chan os.Signal, 1)
 		signal.Notify(ch, os.Interrupt)
 		<-ch
 	}
+	// Checked last so -http-hold keeps the introspection endpoint up for
+	// incident inspection before the process reports the failure.
+	if hmon != nil && hmon.Status() == health.StatusCritical {
+		return fmt.Errorf("health monitor CRITICAL: %v", hmon.Report().Reasons)
+	}
 	return nil
+}
+
+// writeProm renders the registry snapshot in OpenMetrics text format.
+func writeProm(path string, tel *polar.Telemetry) error {
+	snap := tel.Registry.Snapshot()
+	if path == "-" {
+		return snap.WriteOpenMetrics(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := snap.WriteOpenMetrics(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"polar/internal/telemetry/flight"
+)
+
+// neighborhoodRadius is how many address-adjacent chunks the forensic
+// dump records on each side of the victim.
+const neighborhoodRadius = 2
+
+// captureForensics snapshots the flight recorder's event ring into a
+// forensic dump for one detected violation. It resolves the victim's
+// chunk base (the violation address may point into the middle of an
+// object, e.g. a corrupted trap slot) and annotates the address-adjacent
+// chunks with object metadata. Runs only on the violation path, and only
+// when a flight recorder is configured.
+func (r *Runtime) captureForensics(kind ViolationKind, addr uint64, class string, classHash, layoutID uint64, field int, site string, meta *ObjectMeta) {
+	fv := flight.Violation{
+		Kind: kind.String(), Addr: addr, Class: class,
+		ClassHash: classHash, LayoutID: layoutID, Field: field, Site: site,
+	}
+	victim := addr
+	if meta != nil {
+		victim = meta.Base
+	}
+	var neighbors []flight.Neighbor
+	if c := r.curCall; c != nil && c.VM != nil && c.VM.Heap != nil {
+		h := c.VM.Heap
+		if base, _, _, ok := h.FindChunk(addr); ok {
+			victim = base
+		}
+		for _, ci := range h.Adjacent(victim, neighborhoodRadius) {
+			n := flight.Neighbor{Base: ci.Base, Size: ci.Size, Live: ci.Live, Victim: ci.Base == victim}
+			if m, ok := r.store.Lookup(ci.Base); ok {
+				n.Class = r.className(m.ClassHash)
+				n.Freed = m.Freed
+				if m.Layout != nil {
+					n.LayoutID = m.Layout.Hash()
+				}
+			}
+			neighbors = append(neighbors, n)
+		}
+	}
+	r.cfg.Flight.CaptureViolation(fv, victim, neighbors)
+}

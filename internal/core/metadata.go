@@ -29,6 +29,18 @@ type MetaStats struct {
 	Retired       uint64
 	LayoutsUnique uint64
 	LayoutsShared uint64 // registrations served by the dedup table
+	// Shards breaks the object table down per shard so load imbalance
+	// across the 16 shards is visible (the aggregate counters above
+	// cannot show one hot shard serializing everything).
+	Shards []MetaShardStats
+}
+
+// MetaShardStats is one shard's slice of the object table.
+type MetaShardStats struct {
+	Registered uint64
+	Retired    uint64
+	Live       uint64 // non-freed records currently held
+	Total      uint64 // records currently held (live + ghosts)
 }
 
 // numMetaShards is the shard count of the object table (power of two so
@@ -204,15 +216,27 @@ func (s *MetaStore) LiveCount() int {
 	return live
 }
 
-// Stats returns a snapshot of the counters, merged across shards.
+// Stats returns a snapshot of the counters, merged across shards, plus
+// the per-shard breakdown.
 func (s *MetaStore) Stats() MetaStats {
-	var st MetaStats
+	st := MetaStats{Shards: make([]MetaShardStats, numMetaShards)}
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.RLock()
-		st.Registered += sh.registered
-		st.Retired += sh.retired
+		ss := MetaShardStats{
+			Registered: sh.registered,
+			Retired:    sh.retired,
+			Total:      uint64(len(sh.objects)),
+		}
+		for _, m := range sh.objects {
+			if !m.Freed {
+				ss.Live++
+			}
+		}
 		sh.mu.RUnlock()
+		st.Shards[i] = ss
+		st.Registered += ss.Registered
+		st.Retired += ss.Retired
 	}
 	s.interner.mu.Lock()
 	st.LayoutsUnique = s.interner.unique

@@ -7,6 +7,7 @@ import (
 	"polar/internal/classinfo"
 	"polar/internal/layout"
 	"polar/internal/telemetry"
+	"polar/internal/telemetry/flight"
 	"polar/internal/telemetry/profile"
 	"polar/internal/vm"
 )
@@ -57,6 +58,13 @@ type Config struct {
 	// observations are credited to the first run (totals survive any
 	// Merge of the registries).
 	Telemetry *telemetry.Telemetry
+	// Flight, when non-nil, is the security flight recorder: the runtime
+	// attaches it to the telemetry bus (requires Telemetry) and, on every
+	// detected violation, snapshots its event ring into a forensic dump
+	// annotated with the victim's heap neighborhood. Off by default; the
+	// violation-free cost is one nil check on the (already rare)
+	// violation path.
+	Flight *flight.Recorder
 	// Profiler, when non-nil, attributes member resolutions and
 	// metadata-table probes to their instruction sites — the SPAM-style
 	// per-access-path attribution the aggregate cache counters cannot
@@ -120,6 +128,11 @@ type Runtime struct {
 	// carries the instruction site for violation records. Set by the
 	// Attach wrappers, read only on the (rare) violation path.
 	curCall *vm.Call
+	// curField is the member index the dispatched call names (-1 when
+	// the operation carries none); stamped into violation records so the
+	// offset-probe-scan detector can distinguish probes at different
+	// member offsets.
+	curField int
 
 	// Observability layer (all nil/zero when Config.Telemetry is unset;
 	// the emission points then cost one branch each).
@@ -154,6 +167,7 @@ func New(table *classinfo.Table, cfg Config) *Runtime {
 		rng:        rng,
 		secret:     rng.Uint64() | 1,
 		violations: make(map[ViolationKind]uint64),
+		curField:   -1,
 	}
 	if t := cfg.Telemetry; t != nil {
 		r.tel = t
@@ -164,6 +178,12 @@ func New(table *classinfo.Table, cfg Config) *Runtime {
 		// runs land in that one registry (merged snapshots stay correct)
 		// instead of racing to re-point the shared field per run.
 		r.store.interner.AttachChainHist(t.Registry.Histogram(telemetry.MetricInternChainLen, telemetry.ChainLenBuckets))
+		// The flight recorder needs the bus for its event window; attach
+		// is idempotent so a recorder surviving across runs of one
+		// Prepared program subscribes once.
+		if cfg.Flight != nil {
+			cfg.Flight.AttachOnce(t.Bus)
+		}
 	}
 	if cfg.Profiler != nil {
 		r.prof = cfg.Profiler
@@ -267,10 +287,11 @@ func (r *Runtime) violate(kind ViolationKind, addr uint64, classHash uint64, met
 		layoutID = meta.Layout.Hash()
 	}
 	site := r.curCall.Site()
+	field := r.curField
 	if len(r.records) < maxViolationRecords {
 		r.records = append(r.records, ViolationRecord{
 			Kind: kind, KindName: kind.String(), Addr: addr, Class: class,
-			ClassHash: classHash, LayoutID: layoutID, Site: site,
+			ClassHash: classHash, LayoutID: layoutID, Field: field, Site: site,
 		})
 	} else {
 		r.droppedRecords++
@@ -278,13 +299,18 @@ func (r *Runtime) violate(kind ViolationKind, addr uint64, classHash uint64, met
 	if r.tel != nil {
 		r.tel.Emit(telemetry.Event{
 			Kind: telemetry.EvViolation, Addr: addr, Class: classHash,
-			Layout: layoutID, Site: site, Detail: kind.String(),
+			Layout: layoutID, Field: field, Site: site, Detail: kind.String(),
 		})
+	}
+	if r.cfg.Flight != nil {
+		// After the EvViolation emit, so the dump's event window includes
+		// the violation itself.
+		r.captureForensics(kind, addr, class, classHash, layoutID, field, site, meta)
 	}
 	if r.cfg.Policy == PolicyAbort {
 		return &Violation{
 			Kind: kind, Addr: addr, Class: class,
-			ClassHash: classHash, LayoutID: layoutID, Site: site,
+			ClassHash: classHash, LayoutID: layoutID, Field: field, Site: site,
 		}
 	}
 	return nil
@@ -307,23 +333,23 @@ func (r *Runtime) canary(base uint64, slotOff int) uint64 {
 // violation path can stamp records with the instruction site.
 func (r *Runtime) Attach(v *vm.VM) {
 	v.RegisterBuiltin("olr_malloc", func(c *vm.Call) (int64, error) {
-		r.curCall = c
+		r.curCall, r.curField = c, -1
 		return r.olrMalloc(c.VM, uint64(c.Arg(0)))
 	})
 	v.RegisterBuiltin("olr_free", func(c *vm.Call) (int64, error) {
-		r.curCall = c
+		r.curCall, r.curField = c, -1
 		return 0, r.olrFree(c.VM, uint64(c.Arg(0)))
 	})
 	v.RegisterBuiltin("olr_getptr", func(c *vm.Call) (int64, error) {
-		r.curCall = c
+		r.curCall, r.curField = c, int(c.Arg(1))
 		return r.olrGetptr(uint64(c.Arg(0)), int(c.Arg(1)), uint64(c.Arg(2)))
 	})
 	v.RegisterBuiltin("olr_memcpy", func(c *vm.Call) (int64, error) {
-		r.curCall = c
+		r.curCall, r.curField = c, -1
 		return 0, r.olrMemcpy(c.VM, uint64(c.Arg(0)), uint64(c.Arg(1)), int(c.Arg(2)), uint64(c.Arg(3)))
 	})
 	v.RegisterBuiltin("olr_check", func(c *vm.Call) (int64, error) {
-		r.curCall = c
+		r.curCall, r.curField = c, -1
 		return r.olrCheck(c.VM, uint64(c.Arg(0)))
 	})
 }

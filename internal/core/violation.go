@@ -78,6 +78,9 @@ type Violation struct {
 	// LayoutID is the identity hash of the object's randomized layout
 	// (0 when no metadata was involved).
 	LayoutID uint64
+	// Field is the member index the triggering access named (-1 for
+	// operations that carry no member, e.g. free).
+	Field int
 	// Site is the instruction site "@fn.block" of the triggering olr_*
 	// call ("" when unknown).
 	Site string
@@ -95,7 +98,7 @@ func (v *Violation) Unwrap() error { return ErrViolation }
 func (v *Violation) Record() ViolationRecord {
 	return ViolationRecord{
 		Kind: v.Kind, Addr: v.Addr, Class: v.Class,
-		ClassHash: v.ClassHash, LayoutID: v.LayoutID, Site: v.Site,
+		ClassHash: v.ClassHash, LayoutID: v.LayoutID, Field: v.Field, Site: v.Site,
 	}
 }
 
@@ -111,6 +114,7 @@ type ViolationRecord struct {
 	Class     string        `json:"class"`
 	ClassHash uint64        `json:"class_hash"`
 	LayoutID  uint64        `json:"layout_id"`
+	Field     int           `json:"field"`
 	Site      string        `json:"site,omitempty"`
 }
 

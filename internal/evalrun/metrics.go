@@ -1,6 +1,7 @@
 package evalrun
 
 import (
+	"bytes"
 	"strings"
 
 	"polar/internal/core"
@@ -127,6 +128,19 @@ func PublishAblation(rows []AblationRow, reg *telemetry.Registry) {
 		reg.Gauge(metricName("ablation", r.Config, r.App, "overhead_pct")).Set(r.OverheadPct)
 		reg.Gauge(metricName("ablation", r.Config, r.App, "cache_hit_pct")).Set(r.CacheHitPct)
 	}
+}
+
+// SnapshotOpenMetrics builds a fresh registry, lets fill populate it,
+// and returns the OpenMetrics text exposition (the polarbench -prom
+// per-experiment artifact).
+func SnapshotOpenMetrics(fill func(*telemetry.Registry)) ([]byte, error) {
+	reg := telemetry.NewRegistry()
+	fill(reg)
+	var buf bytes.Buffer
+	if err := reg.Snapshot().WriteOpenMetrics(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }
 
 // SnapshotJSON builds a fresh registry, lets fill populate it, and

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"polar/internal/telemetry"
 )
@@ -247,6 +248,51 @@ func (a *Allocator) FindChunk(addr uint64) (base uint64, size int, live, ok bool
 		}
 	}
 	return 0, 0, false, false
+}
+
+// ChunkInfo describes one chunk for diagnostics (the heap-neighborhood
+// section of forensic dumps).
+type ChunkInfo struct {
+	Base uint64
+	Size int
+	Live bool
+}
+
+// Adjacent returns the chunk containing addr (when there is one)
+// together with up to k address-adjacent chunks on each side, in
+// ascending base order. It sorts the full chunk table, so like
+// FindChunk it is for diagnostics — the violation path — never hot
+// paths.
+func (a *Allocator) Adjacent(addr uint64, k int) []ChunkInfo {
+	if len(a.chunks) == 0 || k < 0 {
+		return nil
+	}
+	bases := make([]uint64, 0, len(a.chunks))
+	for b := range a.chunks {
+		bases = append(bases, b)
+	}
+	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
+	// idx: the chunk containing addr, or the nearest chunk above it.
+	idx := sort.Search(len(bases), func(i int) bool {
+		c := a.chunks[bases[i]]
+		return addr < c.addr+uint64(c.size)
+	})
+	if idx == len(bases) {
+		idx = len(bases) - 1 // addr above every chunk: anchor on the top
+	}
+	lo, hi := idx-k, idx+k+1
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(bases) {
+		hi = len(bases)
+	}
+	out := make([]ChunkInfo, 0, hi-lo)
+	for _, b := range bases[lo:hi] {
+		c := a.chunks[b]
+		out = append(out, ChunkInfo{Base: c.addr, Size: c.size, Live: c.live})
+	}
+	return out
 }
 
 // Contains reports whether addr lies in the managed range.

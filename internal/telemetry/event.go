@@ -32,7 +32,26 @@ const (
 	EvTaintUnion
 	// EvCorpusAdd: the fuzzer kept an input that found new coverage.
 	EvCorpusAdd
+	// EvFuelCheckpoint: a VM run boundary; Size carries the remaining
+	// fuel, Detail distinguishes "run-start" from "run-end". The flight
+	// recorder uses these to delimit call windows in forensic dumps.
+	EvFuelCheckpoint
+
+	// maxEventKind is the highest defined kind; keep it in sync when
+	// adding kinds above.
+	maxEventKind = EvFuelCheckpoint
 )
+
+// AllEventKinds returns every defined kind in declaration order. New
+// kinds are picked up automatically by callers that enumerate (the
+// counting sink, the events endpoint's name table).
+func AllEventKinds() []EventKind {
+	kinds := make([]EventKind, 0, int(maxEventKind))
+	for k := EvAlloc; k <= maxEventKind; k++ {
+		kinds = append(kinds, k)
+	}
+	return kinds
+}
 
 // String implements fmt.Stringer; the names double as the counter
 // suffixes CountingSink uses ("event.<kind>").
@@ -56,6 +75,8 @@ func (k EventKind) String() string {
 		return "taint-union"
 	case EvCorpusAdd:
 		return "corpus-add"
+	case EvFuelCheckpoint:
+		return "fuel-checkpoint"
 	default:
 		return "?"
 	}
@@ -165,14 +186,14 @@ type countingSink struct {
 	reg *Registry
 	// counters caches the per-kind counter pointers so steady-state
 	// counting takes no map lookups or locks.
-	counters [EvCorpusAdd + 1]*Counter
+	counters [maxEventKind + 1]*Counter
 }
 
 // CountingSink returns a sink that increments reg's "event.<kind>"
 // counter for every event.
 func CountingSink(reg *Registry) Sink {
 	s := &countingSink{reg: reg}
-	for k := EvAlloc; k <= EvCorpusAdd; k++ {
+	for _, k := range AllEventKinds() {
 		s.counters[k] = reg.Counter("event." + k.String())
 	}
 	return s

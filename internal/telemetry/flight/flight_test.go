@@ -1,0 +1,122 @@
+package flight
+
+import (
+	"bytes"
+	"testing"
+
+	"polar/internal/telemetry"
+)
+
+func TestRingWraparound(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 1; i <= 10; i++ {
+		r.Event(telemetry.Event{Kind: telemetry.EvAlloc, Addr: uint64(i)})
+	}
+	if got := r.EventsSeen(); got != 10 {
+		t.Fatalf("EventsSeen = %d, want 10", got)
+	}
+	w := r.Window()
+	if len(w) != 4 {
+		t.Fatalf("window length = %d, want 4", len(w))
+	}
+	for i, re := range w {
+		wantSeq := uint64(7 + i)
+		if re.Seq != wantSeq || re.Addr != wantSeq {
+			t.Errorf("window[%d] = seq %d addr %d, want seq/addr %d", i, re.Seq, re.Addr, wantSeq)
+		}
+	}
+	d := r.CaptureFinal()
+	if d.EventsSeen != 10 || d.EventsDropped != 6 {
+		t.Errorf("dump seen/dropped = %d/%d, want 10/6", d.EventsSeen, d.EventsDropped)
+	}
+}
+
+func TestCaptureViolationTimeline(t *testing.T) {
+	r := NewRecorder(16)
+	// Victim at 0x100 with layout 0xAA; a bystander at 0x200.
+	r.Event(telemetry.Event{Kind: telemetry.EvLayoutGen, Class: 1, Layout: 0xAA})
+	r.Event(telemetry.Event{Kind: telemetry.EvAlloc, Addr: 0x100, Class: 1, Layout: 0xAA, Detail: "Victim"})
+	r.Event(telemetry.Event{Kind: telemetry.EvAlloc, Addr: 0x200, Class: 2, Layout: 0xBB})
+	r.Event(telemetry.Event{Kind: telemetry.EvFree, Addr: 0x100, Class: 1, Layout: 0xAA})
+	r.Event(telemetry.Event{Kind: telemetry.EvViolation, Addr: 0x100, Class: 1, Layout: 0xAA, Detail: "use-after-free"})
+	d := r.CaptureViolation(
+		Violation{Kind: "use-after-free", Addr: 0x100, Class: "Victim", ClassHash: 1, LayoutID: 0xAA, Field: 2},
+		0x100,
+		[]Neighbor{{Base: 0x100, Size: 64, Live: false, Class: "Victim", Victim: true}},
+	)
+	if len(d.Window) != 5 {
+		t.Fatalf("window length = %d, want 5", len(d.Window))
+	}
+	// Timeline: layout-gen (matching layout), alloc, free, violation — not
+	// the bystander alloc.
+	if len(d.VictimTimeline) != 4 {
+		t.Fatalf("victim timeline length = %d, want 4: %+v", len(d.VictimTimeline), d.VictimTimeline)
+	}
+	if d.VictimTimeline[0].Kind != telemetry.EvLayoutGen {
+		t.Errorf("timeline[0] kind = %v, want layout-gen", d.VictimTimeline[0].Kind)
+	}
+	for _, re := range d.VictimTimeline[1:] {
+		if re.Addr != 0x100 {
+			t.Errorf("timeline event at addr %#x, want 0x100", re.Addr)
+		}
+	}
+	if got := r.Dumps(); len(got) != 1 || got[0] != d {
+		t.Errorf("Dumps() = %v, want the one capture", got)
+	}
+}
+
+func TestAttachOnce(t *testing.T) {
+	r := NewRecorder(8)
+	bus := telemetry.NewBus()
+	r.AttachOnce(bus)
+	r.AttachOnce(bus)
+	bus.Emit(telemetry.Event{Kind: telemetry.EvAlloc})
+	if got := r.EventsSeen(); got != 1 {
+		t.Fatalf("EventsSeen = %d after double attach, want 1 (attached twice?)", got)
+	}
+}
+
+func TestDumpCap(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < maxDumps+3; i++ {
+		r.CaptureFinal()
+	}
+	if len(r.Dumps()) != maxDumps {
+		t.Errorf("retained %d dumps, want %d", len(r.Dumps()), maxDumps)
+	}
+	if r.DroppedDumps() != 3 {
+		t.Errorf("dropped = %d, want 3", r.DroppedDumps())
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	build := func() *Recorder {
+		r := NewRecorder(8)
+		for i := 1; i <= 12; i++ {
+			r.Event(telemetry.Event{Kind: telemetry.EvAlloc, Addr: uint64(i), Class: 7})
+		}
+		r.CaptureViolation(Violation{Kind: "booby-trap", Addr: 5, Class: "V", Field: -1}, 5, nil)
+		return r
+	}
+	a, err := build().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := build().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("two identical recorders encode differently")
+	}
+}
+
+func TestResetClears(t *testing.T) {
+	r := NewRecorder(4)
+	r.Event(telemetry.Event{Kind: telemetry.EvAlloc})
+	r.CaptureFinal()
+	r.Reset()
+	if r.EventsSeen() != 0 || len(r.Window()) != 0 || len(r.Dumps()) != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+}

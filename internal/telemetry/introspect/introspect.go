@@ -9,6 +9,12 @@
 //	                         a violation source is attached)
 //	/debug/polar/reservoir   download of the reservoir event sample
 //	                         (when a reservoir is attached)
+//	/debug/polar/metrics.prom OpenMetrics (Prometheus text) rendering of
+//	                         the registry snapshot
+//	/debug/polar/health      live health verdict (OK/DEGRADED/CRITICAL
+//	                         plus reasons; when a monitor is attached)
+//	/debug/polar/flight      forensic dumps of the flight recorder
+//	                         (when one is attached)
 //	/debug/pprof/*           the standard Go pprof endpoints
 //
 // The handler holds references, not copies: every request observes the
@@ -27,6 +33,8 @@ import (
 
 	"polar/internal/core"
 	"polar/internal/telemetry"
+	"polar/internal/telemetry/flight"
+	"polar/internal/telemetry/health"
 	"polar/internal/telemetry/profile"
 	"polar/internal/telemetry/sample"
 )
@@ -42,9 +50,11 @@ type Handler struct {
 	tel  *telemetry.Telemetry
 	prof *profile.SiteProfiler
 
-	mu   sync.RWMutex
-	viol ViolationSource
-	res  *sample.Reservoir
+	mu     sync.RWMutex
+	viol   ViolationSource
+	res    *sample.Reservoir
+	hmon   *health.Monitor
+	flight *flight.Recorder
 }
 
 // New builds the introspection handler. prof may be nil (the hotsites
@@ -70,10 +80,29 @@ func (h *Handler) SetReservoir(r *sample.Reservoir) {
 	h.mu.Unlock()
 }
 
+// SetHealth attaches the live health monitor. The health endpoint
+// reports 404 until one is attached.
+func (h *Handler) SetHealth(m *health.Monitor) {
+	h.mu.Lock()
+	h.hmon = m
+	h.mu.Unlock()
+}
+
+// SetFlight attaches the flight recorder whose forensic dumps the
+// flight endpoint serves. 404 until one is attached.
+func (h *Handler) SetFlight(r *flight.Recorder) {
+	h.mu.Lock()
+	h.flight = r
+	h.mu.Unlock()
+}
+
 // Mux returns a ServeMux with every introspection route registered.
 func (h *Handler) Mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/polar/metrics", h.metrics)
+	mux.HandleFunc("/debug/polar/metrics.prom", h.metricsProm)
+	mux.HandleFunc("/debug/polar/health", h.health)
+	mux.HandleFunc("/debug/polar/flight", h.flightDumps)
 	mux.HandleFunc("/debug/polar/events", h.events)
 	mux.HandleFunc("/debug/polar/hotsites", h.hotsites)
 	mux.HandleFunc("/debug/polar/violations", h.violations)
@@ -89,6 +118,58 @@ func (h *Handler) Mux() *http.ServeMux {
 // metrics serves the registry snapshot as deterministic JSON.
 func (h *Handler) metrics(w http.ResponseWriter, r *http.Request) {
 	data, err := h.tel.Registry.Snapshot().EncodeJSON()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+	w.Write([]byte("\n"))
+}
+
+// metricsProm serves the registry snapshot in OpenMetrics text format.
+func (h *Handler) metricsProm(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+	if err := h.tel.Registry.Snapshot().WriteOpenMetrics(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// health serves the live health report. The status also maps onto the
+// HTTP code (200 OK / 200 DEGRADED / 503 CRITICAL) so dumb probes can
+// alert without parsing JSON.
+func (h *Handler) health(w http.ResponseWriter, r *http.Request) {
+	h.mu.RLock()
+	mon := h.hmon
+	h.mu.RUnlock()
+	if mon == nil {
+		http.Error(w, "no health monitor attached (run with -health)", http.StatusNotFound)
+		return
+	}
+	rep := mon.Report()
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if rep.Status == health.StatusCritical.String() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	w.Write(data)
+	w.Write([]byte("\n"))
+}
+
+// flightDumps serves the flight recorder's forensic dumps as JSON.
+func (h *Handler) flightDumps(w http.ResponseWriter, r *http.Request) {
+	h.mu.RLock()
+	rec := h.flight
+	h.mu.RUnlock()
+	if rec == nil {
+		http.Error(w, "no flight recorder attached (run with -flight)", http.StatusNotFound)
+		return
+	}
+	data, err := rec.Encode()
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -128,7 +209,7 @@ func (h *Handler) events(w http.ResponseWriter, r *http.Request) {
 	var kinds []telemetry.EventKind
 	if s := r.URL.Query().Get("kinds"); s != "" {
 		byName := make(map[string]telemetry.EventKind)
-		for k := telemetry.EvAlloc; k <= telemetry.EvCorpusAdd; k++ {
+		for _, k := range telemetry.AllEventKinds() {
 			byName[k.String()] = k
 		}
 		for _, name := range strings.Split(s, ",") {

@@ -12,6 +12,8 @@ import (
 
 	"polar/internal/core"
 	"polar/internal/telemetry"
+	"polar/internal/telemetry/flight"
+	"polar/internal/telemetry/health"
 	"polar/internal/telemetry/profile"
 	"polar/internal/telemetry/sample"
 )
@@ -238,5 +240,95 @@ func TestReservoirEndpoint(t *testing.T) {
 	}
 	if dl.Seen != 20 || dl.Kept != 8 || len(dl.Events) != 8 {
 		t.Errorf("reservoir download seen=%d kept=%d events=%d, want 20/8/8", dl.Seen, dl.Kept, len(dl.Events))
+	}
+}
+
+func TestMetricsPromEndpoint(t *testing.T) {
+	tel, srv := newServer(t, nil)
+	tel.Registry.Counter("test.hits").Add(7)
+
+	resp, body := get(t, srv.URL+"/debug/polar/metrics.prom")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/openmetrics-text") {
+		t.Errorf("content type = %q, want openmetrics-text", ct)
+	}
+	if !strings.Contains(body, "polar_test_hits_total 7") {
+		t.Errorf("exposition missing counter:\n%s", body)
+	}
+	if !strings.HasSuffix(body, "# EOF\n") {
+		t.Error("exposition does not end with # EOF")
+	}
+}
+
+func TestHealthEndpoint(t *testing.T) {
+	tel := telemetry.New()
+	h := New(tel, nil)
+	srv := httptest.NewServer(h.Mux())
+	t.Cleanup(srv.Close)
+
+	// Without a monitor the endpoint must say so, not 500 or lie.
+	resp, _ := get(t, srv.URL+"/debug/polar/health")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("no-monitor status = %d, want 404", resp.StatusCode)
+	}
+
+	hm := health.NewMonitor(nil)
+	hm.AttachOnce(tel.Bus)
+	h.SetHealth(hm)
+	resp, body := get(t, srv.URL+"/debug/polar/health")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy status = %d, body %s", resp.StatusCode, body)
+	}
+	var rep health.Report
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatalf("health body is not a Report: %v\n%s", err, body)
+	}
+	if rep.Status != "OK" {
+		t.Errorf("status = %q, want OK", rep.Status)
+	}
+
+	// Drive the monitor CRITICAL: the endpoint must turn 503 so load
+	// balancers and probes see the degradation without parsing JSON.
+	for f := 0; f < 3; f++ {
+		tel.Bus.Emit(telemetry.Event{Kind: telemetry.EvViolation, Class: 1, Field: f})
+	}
+	resp, body = get(t, srv.URL+"/debug/polar/health")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("critical status = %d, want 503 (body %s)", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal([]byte(body), &rep); err != nil || rep.Status != "CRITICAL" {
+		t.Errorf("critical report = %q err=%v", rep.Status, err)
+	}
+}
+
+func TestFlightEndpoint(t *testing.T) {
+	tel := telemetry.New()
+	h := New(tel, nil)
+	srv := httptest.NewServer(h.Mux())
+	t.Cleanup(srv.Close)
+
+	resp, _ := get(t, srv.URL+"/debug/polar/flight")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("no-recorder status = %d, want 404", resp.StatusCode)
+	}
+
+	rec := flight.NewRecorder(8)
+	rec.AttachOnce(tel.Bus)
+	h.SetFlight(rec)
+	tel.Bus.Emit(telemetry.Event{Kind: telemetry.EvAlloc, Addr: 0x100, Class: 1})
+	rec.CaptureFinal()
+
+	resp, body := get(t, srv.URL+"/debug/polar/flight")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var report flight.Report
+	if err := json.Unmarshal([]byte(body), &report); err != nil {
+		t.Fatalf("flight body is not a Report: %v\n%s", err, body)
+	}
+	if report.Schema != flight.SchemaVersion || len(report.Dumps) != 1 {
+		t.Errorf("schema=%q dumps=%d, want %q/1", report.Schema, len(report.Dumps), flight.SchemaVersion)
 	}
 }

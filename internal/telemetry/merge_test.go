@@ -53,6 +53,74 @@ func TestRegistryMergeBoundsMismatch(t *testing.T) {
 	}
 }
 
+// TestRegistryMergeUnderConcurrentPublish: the coordinator may fold
+// worker snapshots into the shared registry while live subsystems are
+// still publishing into it (the introspection endpoint snapshots on
+// every request). Merge and Publish-style writes must not race or lose
+// updates.
+func TestRegistryMergeUnderConcurrentPublish(t *testing.T) {
+	dst := NewRegistry()
+	const publishers, rounds, sources = 4, 200, 8
+
+	var wg sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			// The same shape Stats.Publish uses: Set on counters and
+			// gauges, Observe on histograms.
+			c := dst.Counter("pub.allocs")
+			g := dst.Gauge("pub.live")
+			h := dst.Histogram("pub.lat", []float64{1, 10})
+			for i := 1; i <= rounds; i++ {
+				c.Set(uint64(i))
+				g.Set(float64(i))
+				h.Observe(float64(i % 20))
+				// Interleave snapshots, as the HTTP endpoint would.
+				_ = dst.Snapshot()
+			}
+		}(p)
+	}
+	mergeErr := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for s := 0; s < sources; s++ {
+			src := NewRegistry()
+			src.Counter("merged.runs").Add(1)
+			src.Histogram("merged.v", []float64{5}).Observe(float64(s))
+			if err := dst.Merge(src.Snapshot()); err != nil {
+				select {
+				case mergeErr <- err:
+				default:
+				}
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	select {
+	case err := <-mergeErr:
+		t.Fatal(err)
+	default:
+	}
+
+	snap := dst.Snapshot()
+	if snap.Counters["merged.runs"] != sources {
+		t.Errorf("merged.runs = %d, want %d (merge lost updates under concurrent publish)",
+			snap.Counters["merged.runs"], sources)
+	}
+	if snap.Histograms["merged.v"].Count != sources {
+		t.Errorf("merged.v count = %d, want %d", snap.Histograms["merged.v"].Count, sources)
+	}
+	if snap.Counters["pub.allocs"] != rounds {
+		t.Errorf("pub.allocs = %d, want %d (publishers Set the final value)", snap.Counters["pub.allocs"], rounds)
+	}
+	if snap.Histograms["pub.lat"].Count != publishers*rounds {
+		t.Errorf("pub.lat count = %d, want %d", snap.Histograms["pub.lat"].Count, publishers*rounds)
+	}
+}
+
 // TestRegistryMergeOrderDeterminism is the property the parallel
 // harness relies on: per-worker registries merged in task order yield
 // the same snapshot regardless of how the work was scheduled.

@@ -1,0 +1,127 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// OpenMetrics exposition of a registry snapshot. The renderer targets
+// the subset of the OpenMetrics 1.0 text format that Prometheus'
+// promtool accepts: one `# TYPE` line per family, counters with a
+// `_total` sample suffix, gauges as bare samples, histograms as
+// cumulative `_bucket{le="..."}` series plus `_sum`/`_count`, and a
+// terminal `# EOF`. Families are emitted in sorted name order and
+// float formatting is locale-independent, so output is deterministic:
+// equal snapshots render byte-identically.
+
+// openMetricsName maps a registry name ("core.meta.load_factor",
+// "heap.alloc_size_bytes") onto a legal metric name: every character
+// outside [a-zA-Z0-9_] becomes '_' and the whole name gains a
+// "polar_" namespace prefix.
+func openMetricsName(name string) string {
+	var b strings.Builder
+	b.WriteString("polar_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// openMetricsFloat renders a float64 sample value. OpenMetrics floats
+// must not be locale-dependent and must spell infinities as +Inf/-Inf.
+func openMetricsFloat(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WriteOpenMetrics renders the snapshot in OpenMetrics text format.
+func (s Snapshot) WriteOpenMetrics(w io.Writer) error {
+	// Sanitization can collide distinct registry names ("a.b" and
+	// "a_b"); last-sorted wins within a family map, which keeps output
+	// deterministic even then.
+	type counterSample struct {
+		name string
+		v    uint64
+	}
+	counters := make(map[string]counterSample, len(s.Counters))
+	for name, v := range s.Counters {
+		counters[openMetricsName(name)] = counterSample{name, v}
+	}
+	gauges := make(map[string]float64, len(s.Gauges))
+	for name, v := range s.Gauges {
+		gauges[openMetricsName(name)] = v
+	}
+	hists := make(map[string]HistogramSnapshot, len(s.Histograms))
+	for name, h := range s.Histograms {
+		hists[openMetricsName(name)] = h
+	}
+
+	var names []string
+	for n := range counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s_total %d\n", n, n, counters[n].v); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for n := range gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", n, n, openMetricsFloat(gauges[n])); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for n := range hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := hists[n]
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", n); err != nil {
+			return err
+		}
+		// Registry buckets count v <= bounds[i] per bucket; OpenMetrics
+		// buckets are cumulative.
+		var cum uint64
+		for i, bound := range h.Bounds {
+			if i < len(h.Counts) {
+				cum += h.Counts[i]
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", n, openMetricsFloat(bound), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, h.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", n, openMetricsFloat(h.Sum), n, h.Count); err != nil {
+			return err
+		}
+	}
+
+	_, err := fmt.Fprint(w, "# EOF\n")
+	return err
+}

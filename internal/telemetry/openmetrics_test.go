@@ -1,0 +1,141 @@
+package telemetry
+
+import (
+	"bytes"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// populateRegistry builds a registry exercising all three metric
+// families, including names needing sanitization.
+func populateRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("core.allocs").Add(42)
+	reg.Counter("event.fieldptr-hit").Add(7)
+	reg.Gauge("core.metadata_load_factor").Set(0.75)
+	reg.Gauge("security.repeat.polar.identical_rate").Set(0)
+	h := reg.Histogram(MetricCacheProbeLen, ProbeLenBuckets)
+	for _, v := range []float64{1, 1, 1, 2, 3, 9} {
+		h.Observe(v)
+	}
+	return reg
+}
+
+var (
+	typeLine   = regexp.MustCompile(`^# TYPE ([a-zA-Z_][a-zA-Z0-9_]*) (counter|gauge|histogram)$`)
+	sampleLine = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)(\{le="[^"]+"\})? (-?[0-9.eE+-]+|\+Inf|-Inf|NaN)$`)
+)
+
+// validateOpenMetrics is a promtool-shaped format checker with no
+// external dependency: every line must be a TYPE line, a sample of an
+// already-declared family, or the terminal EOF; histogram buckets must
+// be cumulative (monotone nondecreasing) and end with le="+Inf".
+func validateOpenMetrics(t *testing.T, text string) {
+	t.Helper()
+	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+	if len(lines) == 0 || lines[len(lines)-1] != "# EOF" {
+		t.Fatalf("exposition must end with '# EOF', got %q", lines[len(lines)-1])
+	}
+	families := make(map[string]string) // name -> type
+	lastBucket := make(map[string]uint64)
+	sawInf := make(map[string]bool)
+	for i, line := range lines[:len(lines)-1] {
+		if m := typeLine.FindStringSubmatch(line); m != nil {
+			if _, dup := families[m[1]]; dup {
+				t.Fatalf("line %d: duplicate TYPE for %s", i+1, m[1])
+			}
+			families[m[1]] = m[2]
+			continue
+		}
+		m := sampleLine.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("line %d: not a valid TYPE or sample line: %q", i+1, line)
+		}
+		name, label, value := m[1], m[2], m[3]
+		base := name
+		for _, suffix := range []string{"_total", "_bucket", "_sum", "_count"} {
+			if s, ok := strings.CutSuffix(name, suffix); ok {
+				base = s
+				break
+			}
+		}
+		typ, ok := families[base]
+		if !ok {
+			// Gauges sample under the bare family name.
+			typ, ok = families[name]
+			base = name
+		}
+		if !ok {
+			t.Fatalf("line %d: sample %q before its TYPE line", i+1, name)
+		}
+		switch typ {
+		case "counter":
+			if !strings.HasSuffix(name, "_total") {
+				t.Fatalf("line %d: counter sample %q lacks _total suffix", i+1, name)
+			}
+		case "histogram":
+			if strings.HasSuffix(name, "_bucket") {
+				if label == "" {
+					t.Fatalf("line %d: bucket sample without le label", i+1)
+				}
+				n, err := strconv.ParseUint(value, 10, 64)
+				if err != nil {
+					t.Fatalf("line %d: bucket count %q not an integer", i+1, value)
+				}
+				if n < lastBucket[base] {
+					t.Fatalf("line %d: bucket counts not cumulative for %s", i+1, base)
+				}
+				lastBucket[base] = n
+				if label == `{le="+Inf"}` {
+					sawInf[base] = true
+				}
+			}
+		}
+		if typ != "histogram" && label != "" {
+			t.Fatalf("line %d: unexpected label on %s sample", i+1, typ)
+		}
+	}
+	for name, typ := range families {
+		if typ == "histogram" && !sawInf[name] {
+			t.Fatalf("histogram %s has no +Inf bucket", name)
+		}
+	}
+}
+
+func TestWriteOpenMetricsFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := populateRegistry().Snapshot().WriteOpenMetrics(&buf); err != nil {
+		t.Fatalf("WriteOpenMetrics: %v", err)
+	}
+	text := buf.String()
+	validateOpenMetrics(t, text)
+
+	for _, want := range []string{
+		"polar_core_allocs_total 42",
+		"polar_event_fieldptr_hit_total 7",
+		"polar_core_metadata_load_factor 0.75",
+		`polar_core_offset_cache_probe_len_bucket{le="1"} 3`,
+		`polar_core_offset_cache_probe_len_bucket{le="+Inf"} 6`,
+		"polar_core_offset_cache_probe_len_count 6",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q\n%s", want, text)
+		}
+	}
+}
+
+func TestWriteOpenMetricsDeterministic(t *testing.T) {
+	snap := populateRegistry().Snapshot()
+	var a, b bytes.Buffer
+	if err := snap.WriteOpenMetrics(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.WriteOpenMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two renders of the same snapshot differ")
+	}
+}

@@ -325,35 +325,46 @@ func (v *VM) HooksAttached() Hooks { return v.hooks }
 
 // Run executes @main with the given integer arguments.
 func (v *VM) Run(args ...int64) (int64, error) {
-	if v.useBytecode() {
-		idx, ok := v.prog.funcIdx["main"]
-		if !ok {
-			return 0, ir.ErrNoMain
-		}
-		return v.callBC(v.prog.bcFuncs[idx], args)
-	}
-	f := v.prog.Func("main")
-	if f == nil {
-		return 0, ir.ErrNoMain
-	}
-	ops := make([]ir.Value, len(args))
-	for i, a := range args {
-		ops[i] = ir.Const(a)
-	}
-	return v.call(f, ops, nil, -1)
+	return v.runEntry("main", args)
 }
 
 // CallFunc executes an arbitrary module function with integer arguments.
 func (v *VM) CallFunc(name string, args ...int64) (int64, error) {
+	return v.runEntry(name, args)
+}
+
+// runEntry dispatches one top-level execution on whichever engine is
+// active, bracketing it with fuel-checkpoint events when telemetry is
+// attached. The checkpoints are engine-independent (both engines share
+// this entry and maintain exact fuel parity), so event streams stay
+// identical across engines.
+func (v *VM) runEntry(name string, args []int64) (int64, error) {
+	if v.tel != nil {
+		v.tel.Emit(telemetry.Event{Kind: telemetry.EvFuelCheckpoint, Size: int(v.fuelLeft), Detail: "run-start"})
+	}
+	ret, err := v.dispatchEntry(name, args)
+	if v.tel != nil {
+		v.tel.Emit(telemetry.Event{Kind: telemetry.EvFuelCheckpoint, Size: int(v.fuelLeft), Detail: "run-end"})
+	}
+	return ret, err
+}
+
+func (v *VM) dispatchEntry(name string, args []int64) (int64, error) {
 	if v.useBytecode() {
 		idx, ok := v.prog.funcIdx[name]
 		if !ok {
+			if name == "main" {
+				return 0, ir.ErrNoMain
+			}
 			return 0, fmt.Errorf("%w: @%s", ErrUnknownFunc, name)
 		}
 		return v.callBC(v.prog.bcFuncs[idx], args)
 	}
 	f := v.prog.Func(name)
 	if f == nil {
+		if name == "main" {
+			return 0, ir.ErrNoMain
+		}
 		return 0, fmt.Errorf("%w: @%s", ErrUnknownFunc, name)
 	}
 	ops := make([]ir.Value, len(args))

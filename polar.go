@@ -30,6 +30,7 @@ import (
 	"polar/internal/policy"
 	"polar/internal/taint"
 	"polar/internal/telemetry"
+	"polar/internal/telemetry/flight"
 	"polar/internal/telemetry/profile"
 	"polar/internal/vm"
 )
@@ -279,6 +280,7 @@ type options struct {
 	policy        *policy.Policy
 	tel           *telemetry.Telemetry
 	prof          *profile.SiteProfiler
+	flight        *flight.Recorder
 	runtimeObs    func(LiveRuntime)
 	engine        Engine
 	engineSet     bool
@@ -338,6 +340,25 @@ func WithPolicy(p *Policy) Option { return func(o *options) { o.policy = p } }
 // is attached — the run appears as a span on its timeline. Disabled
 // (nil, the default) telemetry costs one branch per emission point.
 func WithTelemetry(t *Telemetry) Option { return func(o *options) { o.tel = t } }
+
+// FlightRecorder is the security flight recorder: a fixed-size ring of
+// recent runtime events that the POLaR runtime snapshots into a
+// deterministic forensic dump on every detected violation (and on
+// demand via CaptureFinal). Create one with NewFlightRecorder and pass
+// it via WithFlightRecorder alongside WithTelemetry.
+type FlightRecorder = flight.Recorder
+
+// ForensicDump is one captured flight-recorder snapshot.
+type ForensicDump = flight.Dump
+
+// NewFlightRecorder returns a flight recorder retaining the last
+// ringCap events (<= 0 selects the default of 256).
+func NewFlightRecorder(ringCap int) *FlightRecorder { return flight.NewRecorder(ringCap) }
+
+// WithFlightRecorder attaches a flight recorder to the run. Requires
+// WithTelemetry (the recorder's event window is fed from the telemetry
+// bus); without it the recorder sees no events and captures nothing.
+func WithFlightRecorder(r *FlightRecorder) Option { return func(o *options) { o.flight = r } }
 
 // WithProfiler attaches a hot-site profiler to the run: the VM charges
 // interpreted cycles to each basic block it enters, and the runtime
@@ -532,6 +553,7 @@ func runtimeConfig(o *options, table *classinfo.Table, perClass map[uint64]layou
 	cfg := core.DefaultConfig(o.seed)
 	cfg.Telemetry = o.tel
 	cfg.Profiler = o.prof
+	cfg.Flight = o.flight
 	if o.warnOnly {
 		cfg.Policy = core.PolicyWarn
 	}
