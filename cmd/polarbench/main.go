@@ -9,7 +9,11 @@
 //	           [-prom dir] [-trace-json file]
 //
 // Experiments: table1, table2, table3, table4, fig6, fig7, security,
-// ablation. Default runs all of them. The text format is what
+// static, traces, ablation. Default runs all of them. traces is the
+// trace-level engine-differential suite: every workload runs hardened
+// under the bytecode and legacy engines with a deterministic execution
+// trace attached (DESIGN.md §11), the traces must be byte-identical,
+// and -exectrace DIR keeps them for polartrace. The text format is what
 // EXPERIMENTS.md records; csv is plotting-ready. -metrics appends a
 // deterministic JSON metrics snapshot after each experiment's output
 // (machine-readable companion to the tables). -prom additionally
@@ -55,6 +59,7 @@ func main() {
 	promDir := flag.String("prom", "", "write each experiment's OpenMetrics exposition to <dir>/<experiment>.prom")
 	traceJSON := flag.String("trace-json", "", "write a Chrome trace-event timeline of the suite to this file")
 	engine := flag.String("engine", "bytecode", "execution engine for every experiment: bytecode or legacy")
+	exectraceDir := flag.String("exectrace", "", "traces experiment: also write each workload's per-engine execution trace to <dir>/<app>.<engine>.xt")
 	flag.Parse()
 	eng, err := vm.ParseEngine(*engine)
 	if err != nil {
@@ -93,7 +98,13 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	err = run(sel, csv, emitConfig{json: *metrics, promDir: *promDir}, *reps, *trials, *fuzzIters, *seed)
+	if *exectraceDir != "" {
+		if err := os.MkdirAll(*exectraceDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "polarbench:", err)
+			os.Exit(1)
+		}
+	}
+	err = run(sel, csv, emitConfig{json: *metrics, promDir: *promDir}, *reps, *trials, *fuzzIters, *seed, *exectraceDir)
 	cleanup()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "polarbench:", err)
@@ -157,7 +168,7 @@ func emitMetrics(cfg emitConfig, name string, fill func(*telemetry.Registry)) er
 	return nil
 }
 
-func run(sel func(string) bool, csv bool, metrics emitConfig, reps, trials, fuzzIters int, seed int64) error {
+func run(sel func(string) bool, csv bool, metrics emitConfig, reps, trials, fuzzIters int, seed int64, exectraceDir string) error {
 	if sel("table1") {
 		sp := evalrun.Span("table1", "experiment")
 		rows, err := evalrun.TableI(fuzzIters, seed)
@@ -283,6 +294,28 @@ func run(sel func(string) bool, csv bool, metrics emitConfig, reps, trials, fuzz
 		}
 		if err := emitMetrics(metrics, "static", func(reg *telemetry.Registry) { evalrun.PublishStaticTaint(rows, reg) }); err != nil {
 			return err
+		}
+	}
+	if sel("traces") {
+		sp := evalrun.Span("traces", "experiment")
+		rows, err := evalrun.Traces(exectraceDir, seed)
+		sp.End()
+		if err != nil {
+			return err
+		}
+		if csv {
+			fmt.Print(evalrun.CSVTraces(rows))
+		} else {
+			fmt.Println(evalrun.RenderTraces(rows))
+		}
+		if err := emitMetrics(metrics, "traces", func(reg *telemetry.Registry) { evalrun.PublishTraces(rows, reg) }); err != nil {
+			return err
+		}
+		// The trace-level engine-differential contract is a hard gate:
+		// byte-divergent traces mean the engines disagree about runtime
+		// events, which no timing table should paper over.
+		if evalrun.TracesDiverged(rows) {
+			return fmt.Errorf("traces: engines diverged (see table above)")
 		}
 	}
 	if sel("ablation") {

@@ -38,6 +38,12 @@
 //	-trace-json   Chrome trace-event timeline (parse → cie → instrument →
 //	              run phases, violation markers) written to the file;
 //	              load it in chrome://tracing or Perfetto
+//	-exectrace    deterministic binary execution trace (schema
+//	              polar-exectrace/v1): block entries, calls, every olr_*
+//	              operation with its resolved offset. Byte-identical for
+//	              the same module+seed on either engine; inspect and
+//	              diff with polartrace. -exectrace-limit caps records.
+//	              With -runs the trace rides run 0, like -flight.
 //	-profile      hot-site profile: interpreted cycles, member
 //	              resolutions and metadata probes per IR site. The text
 //	              top-N report goes to stderr and the pprof-compatible
@@ -64,7 +70,11 @@
 //	-health       attach the live health monitor (entropy gauges,
 //	              offset-probe-scan and entropy-depletion detectors);
 //	              report JSON on stderr after the run, and
-//	              /debug/polar/health with -http
+//	              /debug/polar/health with -http. The detector
+//	              thresholds are tunable via -health-scan-offsets,
+//	              -health-scan-violations, -health-depletion-allocs,
+//	              -health-depletion-live, -health-depletion-layouts and
+//	              -health-recompute (defaults unchanged)
 //	-log          structured slog JSON for violations and health
 //	              transitions appended to this file ("-" = stderr)
 package main
@@ -116,7 +126,40 @@ type runConfig struct {
 	flightCap        int
 	flightDump       string
 	health           bool
+	healthCfg        health.Config
 	logPath          string
+	exectrace        string
+	exectraceLimit   uint64
+}
+
+// outputConflict rejects two flags writing into the same file: the
+// last writer would silently clobber the first, and for the binary
+// execution trace any interleaving corrupts the stream. Streams ("-",
+// "") are exempt — stdout/stderr interleaving is the caller's choice.
+func outputConflict(c runConfig) error {
+	seen := make(map[string]string)
+	for _, t := range []struct{ flag, path string }{
+		{"-trace-json", c.traceJSON},
+		{"-exectrace", c.exectrace},
+		{"-flight-dump", c.flightDump},
+		{"-prom", c.prom},
+		{"-profile", c.profilePath},
+		{"-cpuprofile", c.cpuProfile},
+		{"-memprofile", c.memProfile},
+		{"-log", c.logPath},
+	} {
+		if t.path == "" || t.path == "-" {
+			continue
+		}
+		if prev, dup := seen[t.path]; dup {
+			return fmt.Errorf("%s and %s both write to %q: choose distinct output files", prev, t.flag, t.path)
+		}
+		seen[t.path] = t.flag
+	}
+	if c.exectrace == "-" {
+		return fmt.Errorf("-exectrace cannot write the binary trace to stdout (it would interleave with program output); name a file")
+	}
+	return nil
 }
 
 func main() {
@@ -145,8 +188,21 @@ func main() {
 	flag.IntVar(&c.flightCap, "flight", 0, "attach the security flight recorder with a ring of N events (0 = off)")
 	flag.StringVar(&c.flightDump, "flight-dump", "", "write the forensic report JSON to this file (\"-\" = stdout; implies -flight)")
 	flag.BoolVar(&c.health, "health", false, "attach the live health monitor (report on stderr; /debug/polar/health with -http)")
+	hdef := health.DefaultConfig()
+	flag.IntVar(&c.healthCfg.ScanMinOffsets, "health-scan-offsets", hdef.ScanMinOffsets, "health: distinct violation offsets per class before the scan detector fires")
+	flag.Uint64Var(&c.healthCfg.ScanMinViolations, "health-scan-violations", hdef.ScanMinViolations, "health: violations per class before the scan detector fires")
+	flag.Uint64Var(&c.healthCfg.DepletionMinAllocs, "health-depletion-allocs", hdef.DepletionMinAllocs, "health: allocations per class before depletion is considered")
+	flag.Uint64Var(&c.healthCfg.DepletionMinLive, "health-depletion-live", hdef.DepletionMinLive, "health: live objects per class before depletion is considered")
+	flag.IntVar(&c.healthCfg.DepletionMaxLayouts, "health-depletion-layouts", hdef.DepletionMaxLayouts, "health: live-layout count at or below which a class is depleted")
+	flag.Uint64Var(&c.healthCfg.RecomputeEvery, "health-recompute", hdef.RecomputeEvery, "health: events between full entropy recomputations")
 	flag.StringVar(&c.logPath, "log", "", "append slog JSON records for violations and health transitions to this file (\"-\" = stderr)")
+	flag.StringVar(&c.exectrace, "exectrace", "", "write the deterministic binary execution trace (polar-exectrace/v1) to this file")
+	flag.Uint64Var(&c.exectraceLimit, "exectrace-limit", 0, "stop recording execution-trace events after N records (0 = unbounded; overflow is counted)")
 	flag.Parse()
+	if err := outputConflict(c); err != nil {
+		fmt.Fprintln(os.Stderr, "polarun:", err)
+		os.Exit(2)
+	}
 	eng, err := polar.ParseEngine(c.engine)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "polarun:", err)
@@ -172,7 +228,8 @@ func run(c runConfig) error {
 	}
 	var tel *polar.Telemetry
 	if c.metrics || c.traceJSON != "" || c.httpAddr != "" ||
-		c.prom != "" || c.flightCap > 0 || c.health || c.logPath != "" {
+		c.prom != "" || c.flightCap > 0 || c.health || c.logPath != "" ||
+		c.exectrace != "" {
 		tel = polar.NewTelemetry()
 	}
 	var logger *slog.Logger
@@ -195,7 +252,7 @@ func run(c runConfig) error {
 	}
 	var hmon *health.Monitor
 	if c.health {
-		hmon = health.NewMonitor(logger)
+		hmon = health.NewMonitorWith(c.healthCfg, logger)
 		hmon.AttachOnce(tel.Bus)
 	}
 	if c.traceJSON != "" {
@@ -223,6 +280,29 @@ func run(c runConfig) error {
 		}()
 		tel.WithTracer(tr)
 	}
+	var xw *polar.ExecTraceWriter
+	if c.exectrace != "" {
+		f, err := os.Create(c.exectrace)
+		if err != nil {
+			return err
+		}
+		if c.exectraceLimit > 0 {
+			xw = polar.NewExecTraceLimit(f, c.exectraceLimit)
+		} else {
+			xw = polar.NewExecTrace(f)
+		}
+		// Deliberately a separate defer from the -trace-json one: each
+		// trace must land on disk complete (footer, flush, close) even
+		// when the other — or the run itself — fails.
+		defer func() {
+			if err := xw.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "polarun: closing execution trace:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "polarun: closing execution trace file:", err)
+			}
+		}()
+	}
 	var prof *polar.SiteProfiler
 	if c.profilePath != "" || c.httpAddr != "" {
 		prof = polar.NewSiteProfiler()
@@ -243,6 +323,9 @@ func run(c runConfig) error {
 		}
 		if rec != nil {
 			ih.SetFlight(rec)
+		}
+		if xw != nil {
+			ih.SetExecTrace(xw)
 		}
 		// A reservoir sample of the event stream backs the
 		// /debug/polar/reservoir download; the bus fans every event into
@@ -360,6 +443,12 @@ func run(c runConfig) error {
 		if rec != nil && i == 0 {
 			opts = append(opts, polar.WithFlightRecorder(rec))
 		}
+		// Like the flight recorder, the execution trace rides run 0 only:
+		// one writer, one program-ordered stream, deterministic bytes at
+		// any -parallel width.
+		if xw != nil && i == 0 {
+			opts = append(opts, polar.WithExecTrace(xw))
+		}
 		if pol != nil {
 			opts = append(opts, polar.WithPolicy(pol))
 		}
@@ -438,6 +527,11 @@ func run(c runConfig) error {
 			return err
 		}
 	}
+	// Fold the loss counters owned by attached components into the
+	// registry so the -metrics/-prom snapshots surface trace and ring
+	// drops (nil receivers are no-ops).
+	rec.Publish(telRegistry(tel))
+	xw.Publish(telRegistry(tel))
 	if c.metrics {
 		data, err := tel.Registry.Snapshot().EncodeJSON()
 		if err != nil {
@@ -486,6 +580,14 @@ func run(c runConfig) error {
 		return fmt.Errorf("health monitor CRITICAL: %v", hmon.Report().Reasons)
 	}
 	return nil
+}
+
+// telRegistry unwraps the registry from a possibly-nil telemetry.
+func telRegistry(tel *polar.Telemetry) *telemetry.Registry {
+	if tel == nil {
+		return nil
+	}
+	return tel.Registry
 }
 
 // writeProm renders the registry snapshot in OpenMetrics text format.

@@ -7,6 +7,7 @@ import (
 	"polar/internal/classinfo"
 	"polar/internal/layout"
 	"polar/internal/telemetry"
+	"polar/internal/telemetry/exectrace"
 	"polar/internal/telemetry/flight"
 	"polar/internal/telemetry/profile"
 	"polar/internal/vm"
@@ -71,6 +72,14 @@ type Config struct {
 	// give. Share it with the VM (vm.WithProfiler) so sites carry both
 	// interpreted cycles and probe counts.
 	Profiler *profile.SiteProfiler
+	// ExecTrace, when non-nil, is the deterministic execution-trace
+	// writer: the runtime records every olr_malloc/olr_free and every
+	// olr_getptr resolution (with the chosen offset and resolution
+	// path) directly — richer than the bus events, which the writer
+	// skips for these kinds to avoid double-counting. Share the writer
+	// with the VM (vm.WithExecTrace) so block/call records interleave
+	// with the olr_* records in program order.
+	ExecTrace *exectrace.Writer
 }
 
 // DefaultConfig mirrors the paper's evaluation configuration.
@@ -140,6 +149,10 @@ type Runtime struct {
 	histProbe   *telemetry.Histogram // olr_getptr probe length (1=cache hit)
 	histEntropy *telemetry.Histogram // entropy bits of each generated layout
 
+	// Execution-trace writer (nil when Config.ExecTrace is unset; the
+	// emission points then cost one branch each).
+	xt *exectrace.Writer
+
 	// Hot-site profiler (nil when Config.Profiler is unset). profSites
 	// caches the per-site counter cells keyed by the interned site
 	// string, so attribution is one map hit per access.
@@ -184,6 +197,15 @@ func New(table *classinfo.Table, cfg Config) *Runtime {
 		if cfg.Flight != nil {
 			cfg.Flight.AttachOnce(t.Bus)
 		}
+		// The exectrace writer rides the bus for layout-gen, rerand,
+		// violation and fuel-checkpoint events (its direct records below
+		// cover the hot olr_* operations). Idempotent, like Flight.
+		if cfg.ExecTrace != nil {
+			cfg.ExecTrace.AttachOnce(t.Bus)
+		}
+	}
+	if cfg.ExecTrace != nil {
+		r.xt = cfg.ExecTrace
 	}
 	if cfg.Profiler != nil {
 		r.prof = cfg.Profiler
@@ -390,6 +412,9 @@ func (r *Runtime) olrMalloc(v *vm.VM, classHash uint64) (int64, error) {
 			Class: classHash, Layout: l.Hash(), Detail: cls.Name(),
 		})
 	}
+	if r.xt != nil {
+		r.xt.Alloc(r.xt.Intern(r.curCall.Site()), classHash, base, l.TotalSize, l.Hash(), r.xt.Intern(cls.Name()))
+	}
 	return int64(base), nil
 }
 
@@ -456,6 +481,9 @@ func (r *Runtime) olrFree(v *vm.VM, base uint64) error {
 	if r.tel != nil {
 		r.tel.Emit(telemetry.Event{Kind: telemetry.EvFree, Addr: base, Class: meta.ClassHash, Layout: meta.Layout.Hash()})
 	}
+	if r.xt != nil {
+		r.xt.Free(r.xt.Intern(r.curCall.Site()), meta.ClassHash, base, meta.Layout.Hash())
+	}
 	r.cache.invalidate(base, len(meta.Layout.Offsets))
 	if r.cfg.DetectUAF {
 		r.store.MarkFreed(base)
@@ -465,6 +493,14 @@ func (r *Runtime) olrFree(v *vm.VM, base uint64) error {
 	}
 	v.UntrackObject(base)
 	return v.Heap.Free(base)
+}
+
+// xtGetptr records one completed olr_getptr resolution on the
+// execution trace. Error exits (abort-policy violations, seal
+// failures, out-of-range faults) record nothing: the run dies there,
+// and the bus-level violation record already marks the spot.
+func (r *Runtime) xtGetptr(classHash uint64, field int, base uint64, off int, res exectrace.Resolution) {
+	r.xt.Getptr(r.xt.Intern(r.curCall.Site()), classHash, field, base, off, res)
 }
 
 // olrGetptr implements the instrumented member access (Fig. 4's
@@ -484,6 +520,9 @@ func (r *Runtime) olrGetptr(base uint64, field int, classHash uint64) (int64, er
 		if r.tel != nil {
 			r.histProbe.Observe(1)
 			r.tel.Emit(telemetry.Event{Kind: telemetry.EvFieldHit, Addr: base, Class: classHash, Field: field})
+		}
+		if r.xt != nil {
+			r.xtGetptr(classHash, field, base, int(off), exectrace.ResCacheHit)
 		}
 		return int64(base + uint64(off)), nil
 	}
@@ -522,10 +561,16 @@ func (r *Runtime) olrGetptr(base uint64, field int, classHash uint64) (int64, er
 			if err := r.violate(ViolationBadClass, base, classHash, nil); err != nil {
 				return 0, err
 			}
+			if r.xt != nil {
+				r.xtGetptr(classHash, field, base, 0, exectrace.ResStatic)
+			}
 			return int64(base), nil
 		}
 		if field < 0 || field >= len(cls.Members) {
 			return 0, fmt.Errorf("polar: field %d out of range for %s", field, cls.Name())
+		}
+		if r.xt != nil {
+			r.xtGetptr(classHash, field, base, cls.Members[field].StaticOffset, exectrace.ResStatic)
 		}
 		return int64(base + uint64(cls.Members[field].StaticOffset)), nil
 	}
@@ -545,6 +590,9 @@ func (r *Runtime) olrGetptr(base uint64, field int, classHash uint64) (int64, er
 	if field < 0 || field >= len(meta.Layout.Offsets) {
 		// Confused index beyond the actual object's member count: land
 		// on the object base (defined, harmless) rather than faulting.
+		if r.xt != nil {
+			r.xtGetptr(classHash, field, base, 0, exectrace.ResStatic)
+		}
 		return int64(base), nil
 	}
 	off, err := meta.Layout.FieldOffset(field)
@@ -555,6 +603,9 @@ func (r *Runtime) olrGetptr(base uint64, field int, classHash uint64) (int64, er
 	// dangling resolutions must keep hitting the slow path.
 	if meta.ClassHash == classHash && !meta.Freed {
 		r.cache.put(base, classHash, field, int32(off))
+	}
+	if r.xt != nil {
+		r.xtGetptr(classHash, field, base, off, exectrace.ResMetadata)
 	}
 	return int64(base + uint64(off)), nil
 }

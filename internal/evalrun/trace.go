@@ -1,0 +1,179 @@
+package evalrun
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"polar/internal/core"
+	"polar/internal/instrument"
+	"polar/internal/telemetry"
+	"polar/internal/telemetry/exectrace"
+	"polar/internal/vm"
+	"polar/internal/workload"
+)
+
+// TraceRow is one workload's dual-engine execution-trace result: the
+// hardened module ran once per engine under the same seed with a
+// deterministic trace attached, and the two traces were compared.
+type TraceRow struct {
+	App     string
+	Records uint64 // event records per trace (identical across engines when Identical)
+	Bytes   int    // encoded trace size per engine
+	// Identical reports byte equality of the two traces — the strongest
+	// form of the engine-differential contract.
+	Identical bool
+	// Divergence is the first divergent record when the traces differ
+	// ("" when identical): "record N: <bytecode record> != <legacy record>".
+	Divergence string
+}
+
+// traceOne runs the hardened program once with a trace writer attached
+// and returns the encoded trace.
+func traceOne(ins *instrument.Result, p *vm.Program, w *workload.Workload, seed int64, eng vm.Engine) ([]byte, error) {
+	var buf bytes.Buffer
+	xw := exectrace.NewWriter(&buf)
+	tel := telemetry.New()
+	xw.AttachOnce(tel.Bus)
+	cfg := core.DefaultConfig(seed)
+	cfg.Telemetry = tel
+	cfg.ExecTrace = xw
+	_, _, err := runOnce(p, w.Input, w.Args, func(v *vm.VM) {
+		core.New(ins.Table, cfg).Attach(v)
+	}, vm.WithEngine(eng), vm.WithTelemetry(tel), vm.WithExecTrace(xw))
+	if err != nil {
+		return nil, err
+	}
+	if err := xw.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Traces runs every workload hardened under both engines with an
+// execution trace attached and compares the traces — the trace-level
+// engine-differential suite. When dir is non-empty the traces are also
+// written there as <app>.<engine>.xt for polartrace to chew on.
+// Deterministic at any parallelism: each workload's seed derives from
+// (seed, app name), and the rows come back in catalog order.
+func Traces(dir string, seed int64) ([]TraceRow, error) {
+	ws := workload.All()
+	rows := make([]TraceRow, len(ws))
+	if err := ForEach(len(ws), 0, func(i int) error {
+		w := ws[i]
+		sp := Span("traces/"+w.Name, "workload")
+		defer sp.End()
+		tseed := TaskSeed(seed, "traces/"+w.Name)
+		ins, err := instrument.Apply(w.Module, nil)
+		if err != nil {
+			return fmt.Errorf("%s: instrument: %w", w.Name, err)
+		}
+		p, err := vm.Compile(ins.Module)
+		if err != nil {
+			return fmt.Errorf("%s: compile: %w", w.Name, err)
+		}
+		bc, err := traceOne(ins, p, w, tseed, vm.EngineBytecode)
+		if err != nil {
+			return fmt.Errorf("%s: bytecode: %w", w.Name, err)
+		}
+		lg, err := traceOne(ins, p, w, tseed, vm.EngineLegacy)
+		if err != nil {
+			return fmt.Errorf("%s: legacy: %w", w.Name, err)
+		}
+		row := TraceRow{App: w.Name, Bytes: len(bc), Identical: bytes.Equal(bc, lg)}
+		ta, err := exectrace.Read(bytes.NewReader(bc))
+		if err != nil {
+			return fmt.Errorf("%s: decoding bytecode trace: %w", w.Name, err)
+		}
+		row.Records = ta.Count
+		if !row.Identical {
+			tb, err := exectrace.Read(bytes.NewReader(lg))
+			if err != nil {
+				return fmt.Errorf("%s: decoding legacy trace: %w", w.Name, err)
+			}
+			if d := exectrace.Diff(ta, tb); d != nil {
+				a, b := "<end of trace>", "<end of trace>"
+				if d.A != nil {
+					a = d.A.Format()
+				}
+				if d.B != nil {
+					b = d.B.Format()
+				}
+				row.Divergence = fmt.Sprintf("record %d: %s != %s", d.Index, a, b)
+			} else {
+				row.Divergence = "records identical but encodings differ (interning order?)"
+			}
+		}
+		if dir != "" {
+			for _, t := range []struct {
+				eng  string
+				data []byte
+			}{{"bytecode", bc}, {"legacy", lg}} {
+				path := filepath.Join(dir, fmt.Sprintf("%s.%s.xt", w.Name, t.eng))
+				if err := os.WriteFile(path, t.data, 0o644); err != nil {
+					return err
+				}
+			}
+		}
+		rows[i] = row
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// RenderTraces renders the trace-differential table. A non-identical
+// row carries its first divergence inline — that line is the bug
+// report.
+func RenderTraces(rows []TraceRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Execution traces — bytecode vs legacy engine (byte comparison)\n")
+	fmt.Fprintf(&b, "%-18s %10s %10s  %s\n", "app", "records", "bytes", "engines")
+	ok := 0
+	for _, r := range rows {
+		verdict := "identical"
+		if !r.Identical {
+			verdict = "DIVERGED " + r.Divergence
+		} else {
+			ok++
+		}
+		fmt.Fprintf(&b, "%-18s %10d %10d  %s\n", r.App, r.Records, r.Bytes, verdict)
+	}
+	fmt.Fprintf(&b, "%d/%d workloads byte-identical across engines\n", ok, len(rows))
+	return b.String()
+}
+
+// CSVTraces renders the rows as CSV.
+func CSVTraces(rows []TraceRow) string {
+	var b strings.Builder
+	b.WriteString("app,records,bytes,identical,divergence\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s,%d,%d,%t,%s\n", r.App, r.Records, r.Bytes, r.Identical, strings.ReplaceAll(r.Divergence, ",", ";"))
+	}
+	return b.String()
+}
+
+// PublishTraces folds the rows into a metrics registry.
+func PublishTraces(rows []TraceRow, reg *telemetry.Registry) {
+	for _, r := range rows {
+		reg.Counter("trace." + r.App + ".records").Set(r.Records)
+		g := reg.Gauge("trace." + r.App + ".identical")
+		if r.Identical {
+			g.Set(1)
+		}
+	}
+}
+
+// TracesDiverged reports whether any row failed the byte-identity
+// contract (the polarbench exit-status gate for CI).
+func TracesDiverged(rows []TraceRow) bool {
+	for _, r := range rows {
+		if !r.Identical {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,94 @@
+package exectrace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// contextRadius is how many records before the divergence Diff keeps
+// on each side — enough to see the block/call neighborhood that led
+// into the first differing event without dumping whole traces.
+const contextRadius = 5
+
+// Divergence localizes the first difference between two traces.
+type Divergence struct {
+	// Index is the position of the first differing record (also valid
+	// when one trace is a strict prefix of the other: it is then the
+	// length of the shorter trace).
+	Index int
+	// A and B are the records at Index; nil means that trace ended
+	// before the other.
+	A, B *Record
+	// ContextA and ContextB are up to contextRadius records preceding
+	// Index on each side. They are equal unless the traces were
+	// unequal before Index (they never are — Diff stops at the first
+	// difference), so one is enough for display; both are kept for
+	// symmetry in programmatic use.
+	ContextA, ContextB []Record
+}
+
+// Diff compares two traces record-by-record and returns the first
+// divergence, or nil when the event sequences are identical. Footer
+// counters are not compared — a capped trace that dropped records
+// already differs in its record sequence, and drop counts legitimately
+// differ between bounded and unbounded writers observing one run.
+func Diff(a, b *Trace) *Divergence {
+	n := len(a.Records)
+	if len(b.Records) < n {
+		n = len(b.Records)
+	}
+	for i := 0; i < n; i++ {
+		if a.Records[i] != b.Records[i] {
+			return &Divergence{
+				Index:    i,
+				A:        &a.Records[i],
+				B:        &b.Records[i],
+				ContextA: tail(a.Records, i),
+				ContextB: tail(b.Records, i),
+			}
+		}
+	}
+	if len(a.Records) == len(b.Records) {
+		return nil
+	}
+	d := &Divergence{Index: n, ContextA: tail(a.Records, n), ContextB: tail(b.Records, n)}
+	if len(a.Records) > n {
+		d.A = &a.Records[n]
+	}
+	if len(b.Records) > n {
+		d.B = &b.Records[n]
+	}
+	return d
+}
+
+func tail(recs []Record, end int) []Record {
+	start := end - contextRadius
+	if start < 0 {
+		start = 0
+	}
+	return append([]Record(nil), recs[start:end]...)
+}
+
+// Format renders the divergence as the report `polartrace diff`
+// prints: shared context, then the two records side by side.
+func (d *Divergence) Format(nameA, nameB string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "traces diverge at record %d\n", d.Index)
+	if len(d.ContextA) > 0 {
+		sb.WriteString("shared context before divergence:\n")
+		for i, r := range d.ContextA {
+			fmt.Fprintf(&sb, "  [%d] %s\n", d.Index-len(d.ContextA)+i, r.Format())
+		}
+	}
+	if d.A != nil {
+		fmt.Fprintf(&sb, "%s[%d]: %s\n", nameA, d.Index, d.A.Format())
+	} else {
+		fmt.Fprintf(&sb, "%s[%d]: <end of trace>\n", nameA, d.Index)
+	}
+	if d.B != nil {
+		fmt.Fprintf(&sb, "%s[%d]: %s\n", nameB, d.Index, d.B.Format())
+	} else {
+		fmt.Fprintf(&sb, "%s[%d]: <end of trace>\n", nameB, d.Index)
+	}
+	return sb.String()
+}

@@ -1,0 +1,330 @@
+package exectrace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"polar/internal/telemetry"
+)
+
+// Kind names a decoded record's type.
+type Kind uint8
+
+// Decoded record kinds (the wire kind bytes, re-exported as a typed
+// enum so consumers never touch raw bytes).
+const (
+	KindAlloc     Kind = Kind(recAlloc)
+	KindFree      Kind = Kind(recFree)
+	KindGetptr    Kind = Kind(recGetptr)
+	KindBlock     Kind = Kind(recBlock)
+	KindCall      Kind = Kind(recCall)
+	KindFuel      Kind = Kind(recFuel)
+	KindViolation Kind = Kind(recViolation)
+	KindLayoutGen Kind = Kind(recLayoutGen)
+	KindRerand    Kind = Kind(recRerand)
+	KindEvent     Kind = Kind(recEvent)
+)
+
+// String implements fmt.Stringer; the names are what `polartrace
+// inspect -kind` matches against.
+func (k Kind) String() string {
+	switch k {
+	case KindAlloc:
+		return "alloc"
+	case KindFree:
+		return "free"
+	case KindGetptr:
+		return "getptr"
+	case KindBlock:
+		return "block"
+	case KindCall:
+		return "call"
+	case KindFuel:
+		return "fuel"
+	case KindViolation:
+		return "violation"
+	case KindLayoutGen:
+		return "layout-gen"
+	case KindRerand:
+		return "rerand"
+	case KindEvent:
+		return "event"
+	default:
+		return "?"
+	}
+}
+
+// Record is one decoded trace event with string ids resolved. All
+// fields are comparable, so Record == Record is exactly "same event" —
+// the property Diff is built on.
+type Record struct {
+	Kind   Kind
+	Site   string // "@fn.block" site, or "" when unknown
+	Fn     string // callee name (KindCall)
+	Class  uint64 // class hash (0 = raw VM object)
+	Base   uint64 // object base / event address
+	Size   int64  // bytes, or remaining fuel for KindFuel
+	Layout uint64 // layout identity hash
+	Field  int64  // member index, -1 when n/a
+	Off    int64  // resolved offset (KindGetptr)
+	Res    Resolution
+	Ev     telemetry.EventKind // original bus kind (KindEvent)
+	Label  uint64              // taint label bitmask (KindEvent)
+	Detail string              // kind-specific tag (class name, violation kind, ...)
+}
+
+// Format renders the record for `polartrace inspect`: one line, stable
+// field order, no indices — purely a function of the record.
+func (r Record) Format() string {
+	switch r.Kind {
+	case KindAlloc:
+		return fmt.Sprintf("alloc site=%s class=%#x base=%#x size=%d layout=%#x detail=%s", orDash(r.Site), r.Class, r.Base, r.Size, r.Layout, orDash(r.Detail))
+	case KindFree:
+		return fmt.Sprintf("free site=%s class=%#x base=%#x layout=%#x", orDash(r.Site), r.Class, r.Base, r.Layout)
+	case KindGetptr:
+		return fmt.Sprintf("getptr site=%s class=%#x field=%d base=%#x off=%d res=%s", orDash(r.Site), r.Class, r.Field, r.Base, r.Off, r.Res)
+	case KindBlock:
+		return fmt.Sprintf("block site=%s", orDash(r.Site))
+	case KindCall:
+		return fmt.Sprintf("call fn=%s", orDash(r.Fn))
+	case KindFuel:
+		return fmt.Sprintf("fuel remaining=%d detail=%s", r.Size, orDash(r.Detail))
+	case KindViolation:
+		return fmt.Sprintf("violation kind=%s addr=%#x class=%#x layout=%#x field=%d site=%s", orDash(r.Detail), r.Base, r.Class, r.Layout, r.Field, orDash(r.Site))
+	case KindLayoutGen:
+		return fmt.Sprintf("layout-gen class=%#x layout=%#x size=%d detail=%s", r.Class, r.Layout, r.Size, orDash(r.Detail))
+	case KindRerand:
+		return fmt.Sprintf("rerand addr=%#x size=%d class=%#x layout=%#x detail=%s", r.Base, r.Size, r.Class, r.Layout, orDash(r.Detail))
+	case KindEvent:
+		return fmt.Sprintf("event kind=%s addr=%#x size=%d class=%#x label=%#x site=%s detail=%s", r.Ev, r.Base, r.Size, r.Class, r.Label, orDash(r.Site), orDash(r.Detail))
+	default:
+		return fmt.Sprintf("?kind=%d", r.Kind)
+	}
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// Trace is a fully decoded trace file.
+type Trace struct {
+	Schema  string
+	Records []Record
+	// Count and Dropped come from the footer; Complete reports whether
+	// the footer was present at all (a crashed producer leaves it off).
+	Count    uint64
+	Dropped  uint64
+	Complete bool
+}
+
+// ReadFile decodes the trace at path.
+func ReadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	t, err := Read(bufio.NewReaderSize(f, 1<<16))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}
+
+// Read decodes a trace from r.
+func Read(r io.Reader) (*Trace, error) {
+	br, ok := r.(io.ByteReader)
+	if !ok {
+		br2 := bufio.NewReader(r)
+		r, br = br2, br2
+	}
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("exectrace: read magic: %w", err)
+	}
+	if string(magic[:]) != Magic {
+		return nil, fmt.Errorf("exectrace: bad magic %q (not a polar-exectrace file)", magic[:])
+	}
+	schema, err := readString(r, br)
+	if err != nil {
+		return nil, fmt.Errorf("exectrace: read schema: %w", err)
+	}
+	if schema != Schema {
+		return nil, fmt.Errorf("exectrace: unsupported schema %q (want %q)", schema, Schema)
+	}
+
+	t := &Trace{Schema: schema}
+	strs := map[uint64]string{}
+	lookup := func(id uint64) string { return strs[id] }
+	var payload []byte
+	for {
+		size, err := binary.ReadUvarint(br)
+		if err == io.EOF {
+			return t, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("exectrace: record %d: length: %w", len(t.Records), err)
+		}
+		if size == 0 || size > 1<<20 {
+			return nil, fmt.Errorf("exectrace: record %d: implausible length %d", len(t.Records), size)
+		}
+		if uint64(cap(payload)) < size {
+			payload = make([]byte, size)
+		}
+		payload = payload[:size]
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil, fmt.Errorf("exectrace: record %d: body: %w", len(t.Records), err)
+		}
+		kind := payload[0]
+		fields := payload[1:]
+		if kind == recString {
+			id, rest, err := uv(fields)
+			if err != nil {
+				return nil, fmt.Errorf("exectrace: string def: %w", err)
+			}
+			slen, rest, err := uv(rest)
+			if err != nil {
+				return nil, fmt.Errorf("exectrace: string def %d: %w", id, err)
+			}
+			if uint64(len(rest)) != slen {
+				return nil, fmt.Errorf("exectrace: string def %d: %d bytes, want %d", id, len(rest), slen)
+			}
+			strs[id] = string(rest)
+			continue
+		}
+		if kind == recEOF {
+			count, rest, err := uv(fields)
+			if err != nil {
+				return nil, fmt.Errorf("exectrace: footer: %w", err)
+			}
+			dropped, _, err := uv(rest)
+			if err != nil {
+				return nil, fmt.Errorf("exectrace: footer: %w", err)
+			}
+			t.Count, t.Dropped, t.Complete = count, dropped, true
+			continue // tolerate trailing bytes only if a reader concatenated; loop exits on EOF
+		}
+		rec, err := decodeRecord(kind, fields, lookup)
+		if err != nil {
+			return nil, fmt.Errorf("exectrace: record %d: %w", len(t.Records), err)
+		}
+		t.Records = append(t.Records, rec)
+	}
+}
+
+// uv decodes one uvarint from b.
+func uv(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("truncated varint")
+	}
+	return v, b[n:], nil
+}
+
+func decodeRecord(kind byte, b []byte, str func(uint64) string) (Record, error) {
+	// want decodes a fixed sequence of uvarints; every record body is
+	// exactly its field list, so leftovers mean corruption.
+	want := func(n int) ([]uint64, error) {
+		out := make([]uint64, n)
+		var err error
+		for i := 0; i < n; i++ {
+			out[i], b, err = uv(b)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if len(b) != 0 {
+			return nil, fmt.Errorf("%d trailing bytes", len(b))
+		}
+		return out, nil
+	}
+	switch kind {
+	case recAlloc:
+		f, err := want(6)
+		if err != nil {
+			return Record{}, err
+		}
+		return Record{Kind: KindAlloc, Site: str(f[0]), Class: f[1], Base: f[2], Size: int64(f[3]), Layout: f[4], Detail: str(f[5])}, nil
+	case recFree:
+		f, err := want(4)
+		if err != nil {
+			return Record{}, err
+		}
+		return Record{Kind: KindFree, Site: str(f[0]), Class: f[1], Base: f[2], Layout: f[3]}, nil
+	case recGetptr:
+		f, err := want(6)
+		if err != nil {
+			return Record{}, err
+		}
+		return Record{Kind: KindGetptr, Site: str(f[0]), Class: f[1], Field: int64(f[2]) - 1, Base: f[3], Off: int64(f[4]), Res: Resolution(f[5])}, nil
+	case recBlock:
+		f, err := want(1)
+		if err != nil {
+			return Record{}, err
+		}
+		return Record{Kind: KindBlock, Site: str(f[0])}, nil
+	case recCall:
+		f, err := want(1)
+		if err != nil {
+			return Record{}, err
+		}
+		return Record{Kind: KindCall, Fn: str(f[0])}, nil
+	case recFuel:
+		f, err := want(2)
+		if err != nil {
+			return Record{}, err
+		}
+		return Record{Kind: KindFuel, Size: int64(f[0]), Detail: str(f[1])}, nil
+	case recViolation:
+		f, err := want(6)
+		if err != nil {
+			return Record{}, err
+		}
+		return Record{Kind: KindViolation, Detail: str(f[0]), Base: f[1], Class: f[2], Layout: f[3], Field: int64(f[4]) - 1, Site: str(f[5])}, nil
+	case recLayoutGen:
+		f, err := want(4)
+		if err != nil {
+			return Record{}, err
+		}
+		return Record{Kind: KindLayoutGen, Class: f[0], Layout: f[1], Size: int64(f[2]), Detail: str(f[3])}, nil
+	case recRerand:
+		f, err := want(5)
+		if err != nil {
+			return Record{}, err
+		}
+		return Record{Kind: KindRerand, Base: f[0], Size: int64(f[1]), Class: f[2], Layout: f[3], Detail: str(f[4])}, nil
+	case recEvent:
+		f, err := want(9)
+		if err != nil {
+			return Record{}, err
+		}
+		return Record{
+			Kind: KindEvent, Ev: telemetry.EventKind(f[0]), Base: f[1], Size: int64(f[2]),
+			Class: f[3], Layout: f[4], Field: int64(f[5]) - 1, Label: f[6], Site: str(f[7]), Detail: str(f[8]),
+		}, nil
+	default:
+		return Record{}, fmt.Errorf("unknown record kind %d", kind)
+	}
+}
+
+// readString reads uvarint-length-prefixed bytes.
+func readString(r io.Reader, br io.ByteReader) (string, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<20 {
+		return "", fmt.Errorf("implausible string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

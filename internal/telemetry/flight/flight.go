@@ -171,6 +171,23 @@ func (r *Recorder) Window() []RecordedEvent {
 	return r.window()
 }
 
+// Publish snapshots the recorder's loss/occupancy state into a metrics
+// registry, for the OpenMetrics exposition: "flight.dropped" counts
+// events that have fallen off the ring (total seen minus retained),
+// "flight.dumps_dropped" counts forensic dumps discarded past the dump
+// cap, and the "flight.ring_occupancy" gauge is the retained fraction
+// of capacity (1.0 = full window).
+func (r *Recorder) Publish(reg *telemetry.Registry) {
+	if r == nil || reg == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	reg.Counter("flight.dropped").Set(r.seq - uint64(len(r.ring)))
+	reg.Counter("flight.dumps_dropped").Set(uint64(r.dropped))
+	reg.Gauge("flight.ring_occupancy").Set(float64(len(r.ring)) / float64(r.cap))
+}
+
 // victimTimeline extracts the events involving the victim object from
 // the window: events addressed at its base, plus layout-generation
 // events for any layout those events carry (layout generation precedes

@@ -33,6 +33,7 @@ import (
 
 	"polar/internal/core"
 	"polar/internal/telemetry"
+	"polar/internal/telemetry/exectrace"
 	"polar/internal/telemetry/flight"
 	"polar/internal/telemetry/health"
 	"polar/internal/telemetry/profile"
@@ -55,6 +56,7 @@ type Handler struct {
 	res    *sample.Reservoir
 	hmon   *health.Monitor
 	flight *flight.Recorder
+	xt     *exectrace.Writer
 }
 
 // New builds the introspection handler. prof may be nil (the hotsites
@@ -96,6 +98,31 @@ func (h *Handler) SetFlight(r *flight.Recorder) {
 	h.mu.Unlock()
 }
 
+// SetExecTrace attaches the execution-trace writer so the metrics
+// endpoints can surface its record/drop counters
+// (polar_exectrace_records_total, polar_exectrace_dropped_total).
+//
+// Reading counters off a single-owner writer from the HTTP goroutine
+// is a benign data race in the Go-memory-model sense but a sound one
+// operationally (monotonic uint64 reads); callers who need exactness
+// scrape after the run.
+func (h *Handler) SetExecTrace(w *exectrace.Writer) {
+	h.mu.Lock()
+	h.xt = w
+	h.mu.Unlock()
+}
+
+// publishAttached refreshes registry entries that mirror state owned
+// by attached components (flight recorder loss counters, exectrace
+// drop counters) so every metrics scrape reflects them.
+func (h *Handler) publishAttached() {
+	h.mu.RLock()
+	fr, xt := h.flight, h.xt
+	h.mu.RUnlock()
+	fr.Publish(h.tel.Registry)
+	xt.Publish(h.tel.Registry)
+}
+
 // Mux returns a ServeMux with every introspection route registered.
 func (h *Handler) Mux() *http.ServeMux {
 	mux := http.NewServeMux()
@@ -117,6 +144,7 @@ func (h *Handler) Mux() *http.ServeMux {
 
 // metrics serves the registry snapshot as deterministic JSON.
 func (h *Handler) metrics(w http.ResponseWriter, r *http.Request) {
+	h.publishAttached()
 	data, err := h.tel.Registry.Snapshot().EncodeJSON()
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -129,6 +157,7 @@ func (h *Handler) metrics(w http.ResponseWriter, r *http.Request) {
 
 // metricsProm serves the registry snapshot in OpenMetrics text format.
 func (h *Handler) metricsProm(w http.ResponseWriter, r *http.Request) {
+	h.publishAttached()
 	w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
 	if err := h.tel.Registry.Snapshot().WriteOpenMetrics(w); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)

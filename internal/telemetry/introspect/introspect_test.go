@@ -12,6 +12,7 @@ import (
 
 	"polar/internal/core"
 	"polar/internal/telemetry"
+	"polar/internal/telemetry/exectrace"
 	"polar/internal/telemetry/flight"
 	"polar/internal/telemetry/health"
 	"polar/internal/telemetry/profile"
@@ -330,5 +331,58 @@ func TestFlightEndpoint(t *testing.T) {
 	}
 	if report.Schema != flight.SchemaVersion || len(report.Dumps) != 1 {
 		t.Errorf("schema=%q dumps=%d, want %q/1", report.Schema, len(report.Dumps), flight.SchemaVersion)
+	}
+}
+
+// TestMetricsSurfaceAttachedCounters checks that a metrics scrape
+// refreshes the loss counters owned by attached components: the flight
+// recorder's ring-drop counters and occupancy gauge, and the exectrace
+// writer's record/drop counters, all without any explicit Publish call
+// by the harness.
+func TestMetricsSurfaceAttachedCounters(t *testing.T) {
+	tel := telemetry.New()
+	h := New(tel, nil)
+	srv := httptest.NewServer(h.Mux())
+	t.Cleanup(srv.Close)
+
+	// A 2-slot ring observing 5 events has dropped 3 and sits full.
+	rec := flight.NewRecorder(2)
+	rec.AttachOnce(tel.Bus)
+	h.SetFlight(rec)
+	for i := 0; i < 5; i++ {
+		tel.Bus.Emit(telemetry.Event{Kind: telemetry.EvAlloc, Addr: uint64(0x100 + i)})
+	}
+
+	// A capped trace writer that recorded 1 block and dropped 2.
+	xw := exectrace.NewWriterLimit(io.Discard, 1)
+	for i := 0; i < 3; i++ {
+		xw.Block(xw.Intern("@main.entry"))
+	}
+	h.SetExecTrace(xw)
+
+	resp, body := get(t, srv.URL+"/debug/polar/metrics.prom")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	for _, want := range []string{
+		"polar_flight_dropped_total 3",
+		"polar_flight_dumps_dropped_total 0",
+		"polar_flight_ring_occupancy 1",
+		"polar_exectrace_records_total 1",
+		"polar_exectrace_dropped_total 2",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q:\n%s", want, body)
+		}
+	}
+
+	// The JSON snapshot sees the same refreshed values.
+	_, jsonBody := get(t, srv.URL+"/debug/polar/metrics")
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal([]byte(jsonBody), &snap); err != nil {
+		t.Fatalf("metrics body is not a Snapshot: %v", err)
+	}
+	if snap.Counters["exectrace.dropped"] != 2 || snap.Counters["flight.dropped"] != 3 {
+		t.Errorf("snapshot counters = %v", snap.Counters)
 	}
 }

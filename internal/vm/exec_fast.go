@@ -78,6 +78,10 @@ func (v *VM) callBC(f *bcFunc, args []int64) (int64, error) {
 		v.Stats.MaxDepth = v.depth
 	}
 	v.Stats.Calls++
+	var xtFrames []uint32
+	if v.xt != nil {
+		xtFrames = v.xtEnter(fn)
+	}
 	savedStack := v.stackTop
 	regs := v.getFrame(f.numRegs)
 	defer func() {
@@ -98,6 +102,11 @@ func (v *VM) callBC(f *bcFunc, args []int64) (int64, error) {
 blockLoop:
 	for {
 		bb := &f.blocks[blk]
+		if xtFrames != nil {
+			if f := xtFrames[blk]; !v.xt.FastAppend4(f) {
+				v.xt.BlockFrameSlow(f)
+			}
+		}
 		if v.profSites != nil {
 			c, ok := v.profSites[bb.irb]
 			if !ok {

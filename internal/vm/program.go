@@ -139,6 +139,16 @@ func (p *Program) NewInstance(opts ...Option) (*VM, error) {
 	if v.prof != nil {
 		v.profSites = make(map[*ir.Block]*profile.SiteCounts)
 	}
+	if v.xt != nil {
+		v.xtBlocks = make(map[*ir.Func][]uint32)
+		v.xtFuncs = make(map[*ir.Func]uint32)
+		// Ride the bus for everything that is not worth a direct hook
+		// (raw allocs/frees, fuel checkpoints, violations). AttachOnce
+		// keeps a writer shared between the VM and core subscribed once.
+		if v.tel != nil {
+			v.xt.AttachOnce(v.tel.Bus)
+		}
+	}
 	v.fuelLeft = v.fuel
 	if v.covOn {
 		v.coverage = make([]byte, coverageSize)

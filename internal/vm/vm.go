@@ -9,6 +9,7 @@ import (
 	"polar/internal/heap"
 	"polar/internal/ir"
 	"polar/internal/telemetry"
+	"polar/internal/telemetry/exectrace"
 	"polar/internal/telemetry/profile"
 )
 
@@ -188,6 +189,43 @@ type VM struct {
 	// strings they key on are interned once in the Program.
 	prof      *profile.SiteProfiler
 	profSites map[*ir.Block]*profile.SiteCounts
+
+	// xt is the deterministic execution-trace writer (nil unless
+	// WithExecTrace). xtBlocks/xtFuncs cache precomputed block-record
+	// frame words / interned function ids per instance; the maps are
+	// per-instance but the Writer assigns ids in first-use order, which
+	// both engines reach identically — that is what makes cross-engine
+	// traces byte-comparable. Both engines hook it directly; attaching
+	// a trace does NOT force the legacy engine (see useBytecode).
+	xt       *exectrace.Writer
+	xtBlocks map[*ir.Func][]uint32
+	xtFuncs  map[*ir.Func]uint32
+}
+
+// xtEnter records entry into fn on the execution trace and returns
+// fn's per-block table of precomputed exectrace.BlockFrame words for
+// the dispatch loop to index by block number — a slice access plus an
+// inlined 4-byte append per block entry instead of a map probe and an
+// encoder, which is what keeps tracing inside its <5% budget. First
+// entry into a function interns its name and every block site in one
+// program-order batch; both engines enter functions identically, so
+// the interning order (part of the determinism contract) is too.
+func (v *VM) xtEnter(fn *ir.Func) []uint32 {
+	id, ok := v.xtFuncs[fn]
+	if !ok {
+		id = v.xt.Intern("@" + fn.Name)
+		v.xtFuncs[fn] = id
+	}
+	frames, ok := v.xtBlocks[fn]
+	if !ok {
+		frames = make([]uint32, len(fn.Blocks))
+		for i, b := range fn.Blocks {
+			frames[i] = exectrace.BlockFrame(v.xt.Intern(v.prog.SiteName(b)))
+		}
+		v.xtBlocks[fn] = frames
+	}
+	v.xt.Call(id)
+	return frames
 }
 
 // traceInstr emits one trace line (called only when tracing is on).
@@ -255,6 +293,21 @@ func WithTelemetry(t *telemetry.Telemetry) Option {
 func WithProfiler(p *profile.SiteProfiler) Option {
 	return func(v *VM) { v.prof = p }
 }
+
+// WithExecTrace attaches a deterministic execution-trace writer: both
+// engines record block entries and calls directly (the trace is not an
+// instruction log — block granularity keeps the overhead inside the
+// <5% budget), and NewInstance subscribes the writer to the telemetry
+// bus (when one is attached) for allocation, fuel-checkpoint and
+// violation records. A nil w disables tracing with no overhead beyond
+// a nil check. The writer is single-owner, like the VM itself: give
+// every concurrently running VM its own writer.
+func WithExecTrace(w *exectrace.Writer) Option {
+	return func(v *VM) { v.xt = w }
+}
+
+// ExecTrace returns the attached execution-trace writer (may be nil).
+func (v *VM) ExecTrace() *exectrace.Writer { return v.xt }
 
 // Profiler returns the attached hot-site profiler (may be nil).
 func (v *VM) Profiler() *profile.SiteProfiler { return v.prof }
@@ -406,6 +459,10 @@ func (v *VM) call(fn *ir.Func, args []ir.Value, callerRegs []int64, callerDest i
 		v.Stats.MaxDepth = v.depth
 	}
 	v.Stats.Calls++
+	var xtFrames []uint32
+	if v.xt != nil {
+		xtFrames = v.xtEnter(fn)
+	}
 	savedStack := v.stackTop
 	regs := v.getFrame(fn.NumRegs)
 	defer func() {
@@ -446,6 +503,11 @@ func (v *VM) call(fn *ir.Func, args []ir.Value, callerRegs []int64, callerDest i
 	prevBlk := -1
 	for {
 		b := fn.Blocks[blk]
+		if xtFrames != nil {
+			if f := xtFrames[blk]; !v.xt.FastAppend4(f) {
+				v.xt.BlockFrameSlow(f)
+			}
+		}
 		if profiling {
 			if psc != nil {
 				if d := v.Stats.Instructions - profBase; d != 0 {

@@ -30,6 +30,7 @@ import (
 	"polar/internal/policy"
 	"polar/internal/taint"
 	"polar/internal/telemetry"
+	"polar/internal/telemetry/exectrace"
 	"polar/internal/telemetry/flight"
 	"polar/internal/telemetry/profile"
 	"polar/internal/vm"
@@ -281,6 +282,7 @@ type options struct {
 	tel           *telemetry.Telemetry
 	prof          *profile.SiteProfiler
 	flight        *flight.Recorder
+	xtrace        *exectrace.Writer
 	runtimeObs    func(LiveRuntime)
 	engine        Engine
 	engineSet     bool
@@ -359,6 +361,35 @@ func NewFlightRecorder(ringCap int) *FlightRecorder { return flight.NewRecorder(
 // WithTelemetry (the recorder's event window is fed from the telemetry
 // bus); without it the recorder sees no events and captures nothing.
 func WithFlightRecorder(r *FlightRecorder) Option { return func(o *options) { o.flight = r } }
+
+// ExecTraceWriter streams the deterministic execution trace (schema
+// polar-exectrace/v1): block entries, calls, every olr_* operation
+// with its resolved offset, fuel checkpoints and violations, in
+// program order with no wall-clock state — the same module under the
+// same seed produces a byte-identical trace on either engine. Create
+// one per run with NewExecTrace, pass it via WithExecTrace, and Close
+// it after the run to write the footer. Inspect, aggregate and diff
+// traces with cmd/polartrace.
+type ExecTraceWriter = exectrace.Writer
+
+// NewExecTrace returns an execution-trace writer streaming to w. The
+// writer buffers internally; Close flushes and appends the footer but
+// does not close w.
+func NewExecTrace(w io.Writer) *ExecTraceWriter { return exectrace.NewWriter(w) }
+
+// NewExecTraceLimit is NewExecTrace with a record cap: events past
+// maxRecords are dropped (and counted), while the string table and
+// footer stay intact so the truncated trace still parses.
+func NewExecTraceLimit(w io.Writer, maxRecords uint64) *ExecTraceWriter {
+	return exectrace.NewWriterLimit(w, maxRecords)
+}
+
+// WithExecTrace attaches an execution-trace writer to the run. A run
+// with a trace but no WithTelemetry gets a private telemetry layer, so
+// the trace still carries the bus-fed records (fuel checkpoints, raw
+// VM allocations, violations). Writers are single-owner: give each
+// concurrent run its own.
+func WithExecTrace(w *ExecTraceWriter) Option { return func(o *options) { o.xtrace = w } }
 
 // WithProfiler attaches a hot-site profiler to the run: the VM charges
 // interpreted cycles to each basic block it enters, and the runtime
@@ -554,6 +585,7 @@ func runtimeConfig(o *options, table *classinfo.Table, perClass map[uint64]layou
 	cfg.Telemetry = o.tel
 	cfg.Profiler = o.prof
 	cfg.Flight = o.flight
+	cfg.ExecTrace = o.xtrace
 	if o.warnOnly {
 		cfg.Policy = core.PolicyWarn
 	}
@@ -598,6 +630,13 @@ func gather(opts []Option) *options {
 	for _, f := range opts {
 		f(o)
 	}
+	if o.xtrace != nil && o.tel == nil {
+		// The trace's fuel-checkpoint, raw-allocation and violation
+		// records ride the telemetry bus; a traced run without an
+		// explicit observability layer gets a private one so the trace
+		// is complete either way.
+		o.tel = telemetry.New()
+	}
 	return o
 }
 
@@ -614,6 +653,9 @@ func vmOptions(o *options) []vm.Option {
 	}
 	if o.prof != nil {
 		vmOpts = append(vmOpts, vm.WithProfiler(o.prof))
+	}
+	if o.xtrace != nil {
+		vmOpts = append(vmOpts, vm.WithExecTrace(o.xtrace))
 	}
 	if o.engineSet {
 		vmOpts = append(vmOpts, vm.WithEngine(o.engine))
