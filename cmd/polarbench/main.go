@@ -6,7 +6,8 @@
 //
 //	polarbench [-reps n] [-trials n] [-fuzz n] [-only table1,fig6,...]
 //	           [-seed n] [-parallel n] [-format text|csv] [-metrics]
-//	           [-prom dir] [-trace-json file]
+//	           [-prom dir] [-trace-json file] [-layout-mode all|metadata|stateless]
+//	           [-rekey-epoch n]
 //
 // Experiments: table1, table2, table3, table4, fig6, fig7, security,
 // static, traces, ablation. Default runs all of them. traces is the
@@ -42,6 +43,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"polar/internal/core"
 	"polar/internal/evalrun"
 	"polar/internal/telemetry"
 	"polar/internal/vm"
@@ -60,6 +62,8 @@ func main() {
 	traceJSON := flag.String("trace-json", "", "write a Chrome trace-event timeline of the suite to this file")
 	engine := flag.String("engine", "bytecode", "execution engine for every experiment: bytecode or legacy")
 	exectraceDir := flag.String("exectrace", "", "traces experiment: also write each workload's per-engine execution trace to <dir>/<app>.<engine>.xt")
+	layoutMode := flag.String("layout-mode", "all", "traces experiment: layout-resolution modes to gate — all, metadata or stateless")
+	rekeyEpoch := flag.Int("rekey-epoch", 0, "stateless mode: advance the derivation epoch every n frees (0 disables)")
 	flag.Parse()
 	eng, err := vm.ParseEngine(*engine)
 	if err != nil {
@@ -67,6 +71,16 @@ func main() {
 		os.Exit(2)
 	}
 	vm.SetDefaultEngine(eng)
+	var traceModes []core.LayoutMode
+	if *layoutMode != "all" && *layoutMode != "" {
+		m, err := core.ParseLayoutMode(*layoutMode)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "polarbench:", err)
+			os.Exit(2)
+		}
+		traceModes = []core.LayoutMode{m}
+	}
+	evalrun.SetRekeyEpoch(*rekeyEpoch)
 
 	want := map[string]bool{}
 	if *only != "" {
@@ -104,7 +118,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	err = run(sel, csv, emitConfig{json: *metrics, promDir: *promDir}, *reps, *trials, *fuzzIters, *seed, *exectraceDir)
+	err = run(sel, csv, emitConfig{json: *metrics, promDir: *promDir}, *reps, *trials, *fuzzIters, *seed, *exectraceDir, traceModes)
 	cleanup()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "polarbench:", err)
@@ -168,7 +182,7 @@ func emitMetrics(cfg emitConfig, name string, fill func(*telemetry.Registry)) er
 	return nil
 }
 
-func run(sel func(string) bool, csv bool, metrics emitConfig, reps, trials, fuzzIters int, seed int64, exectraceDir string) error {
+func run(sel func(string) bool, csv bool, metrics emitConfig, reps, trials, fuzzIters int, seed int64, exectraceDir string, traceModes []core.LayoutMode) error {
 	if sel("table1") {
 		sp := evalrun.Span("table1", "experiment")
 		rows, err := evalrun.TableI(fuzzIters, seed)
@@ -298,7 +312,7 @@ func run(sel func(string) bool, csv bool, metrics emitConfig, reps, trials, fuzz
 	}
 	if sel("traces") {
 		sp := evalrun.Span("traces", "experiment")
-		rows, err := evalrun.Traces(exectraceDir, seed)
+		rows, err := evalrun.Traces(exectraceDir, seed, traceModes...)
 		sp.End()
 		if err != nil {
 			return err

@@ -130,6 +130,8 @@ type runConfig struct {
 	logPath          string
 	exectrace        string
 	exectraceLimit   uint64
+	layoutMode       string
+	rekeyEpoch       int
 }
 
 // outputConflict rejects two flags writing into the same file: the
@@ -198,6 +200,8 @@ func main() {
 	flag.StringVar(&c.logPath, "log", "", "append slog JSON records for violations and health transitions to this file (\"-\" = stderr)")
 	flag.StringVar(&c.exectrace, "exectrace", "", "write the deterministic binary execution trace (polar-exectrace/v1) to this file")
 	flag.Uint64Var(&c.exectraceLimit, "exectrace-limit", 0, "stop recording execution-trace events after N records (0 = unbounded; overflow is counted)")
+	flag.StringVar(&c.layoutMode, "layout-mode", "metadata", "layout-resolution strategy: metadata (per-object table) or stateless (keyed derivation, no UAF detection)")
+	flag.IntVar(&c.rekeyEpoch, "rekey-epoch", 0, "stateless mode: re-randomize every live object's layout after every N frees (0 = never)")
 	flag.Parse()
 	if err := outputConflict(c); err != nil {
 		fmt.Fprintln(os.Stderr, "polarun:", err)
@@ -209,6 +213,10 @@ func main() {
 		os.Exit(2)
 	}
 	polar.SetDefaultEngine(eng)
+	if _, err := polar.ParseLayoutMode(c.layoutMode); err != nil {
+		fmt.Fprintln(os.Stderr, "polarun:", err)
+		os.Exit(2)
+	}
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: polarun [-hardened|-harden] [-input file] [-seed n] program.ir [args...]")
 		os.Exit(2)
@@ -420,6 +428,12 @@ func run(c runConfig) error {
 			seed = evalrun.TaskSeed(c.seed, fmt.Sprintf("run/%d", i))
 		}
 		opts := []polar.Option{polar.WithSeed(seed), polar.WithInput(input), polar.WithArgs(args...)}
+		// Validated at startup; the zero value (metadata) applies on "".
+		mode, _ := polar.ParseLayoutMode(c.layoutMode)
+		opts = append(opts, polar.WithLayoutMode(mode))
+		if c.rekeyEpoch > 0 {
+			opts = append(opts, polar.WithRekeyEvery(c.rekeyEpoch))
+		}
 		if c.warn {
 			opts = append(opts, polar.WithWarnPolicy())
 		}

@@ -66,17 +66,27 @@ func TestEngineDifferentialWorkloadTraces(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full workload catalog; covered by the CI trace job")
 	}
+	// A rekey schedule makes the stateless arm also exercise the
+	// epoch-advance and live-object remap paths under the differential.
+	evalrun.SetRekeyEpoch(64)
+	defer evalrun.SetRekeyEpoch(0)
 	rows, err := evalrun.Traces("", 11)
 	if err != nil {
 		t.Fatal(err)
 	}
+	byMode := map[string]int{}
 	for _, r := range rows {
+		byMode[r.Mode]++
 		if !r.Identical {
-			t.Errorf("%s: engine traces diverged: %s", r.App, r.Divergence)
+			t.Errorf("%s/%s: engine traces diverged: %s", r.Mode, r.App, r.Divergence)
 		}
 		if r.Records == 0 {
-			t.Errorf("%s: empty trace", r.App)
+			t.Errorf("%s/%s: empty trace", r.Mode, r.App)
 		}
+	}
+	if byMode["metadata"] == 0 || byMode["stateless"] == 0 ||
+		byMode["metadata"] != byMode["stateless"] {
+		t.Fatalf("mode coverage = %v, want the full catalog per layout mode", byMode)
 	}
 }
 

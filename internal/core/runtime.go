@@ -26,14 +26,33 @@ type Config struct {
 	// CacheSize is the offset-lookup cache capacity in entries
 	// (rounded up to a power of two); 0 disables the cache. Default 8192.
 	CacheSize int
+	// LayoutMode selects the layout-resolution strategy (resolver.go):
+	// LayoutModeMetadata (zero value) is the paper's MetaStore-backed
+	// path; LayoutModeStateless recomputes each object's permutation
+	// from a keyed hash of its base address — no metadata probe, no
+	// per-object record.
+	LayoutMode LayoutMode
+	// RekeyEvery, in stateless mode, advances the derivation epoch after
+	// that many instrumented frees, re-randomizing every live managed
+	// object in place. 0 disables rekeying. Ignored in metadata mode
+	// (per-allocation layouts are already independent).
+	RekeyEvery int
 	// RerandomizeOnCopy controls whether olr_memcpy gives the duplicate
 	// copy a fresh layout (the paper's default) or clones the source
 	// layout ("could be disabled ... for performance-purposes", §IV.A.2).
+	// Stateless mode re-randomizes copies inherently (the destination's
+	// layout is derived from its own address), so the knob is inert there.
 	RerandomizeOnCopy bool
 	// DetectUAF enables ghost-metadata use-after-free detection.
+	// Metadata mode only: stateless keeps no ghost records, so a
+	// dangling access degrades to the static-fallback arm (DESIGN.md
+	// §12 has the full per-mode detection matrix).
 	DetectUAF bool
 	// MetadataIntegrity seals every metadata record with a keyed MAC
 	// verified on lookup — the §VI.A hardening (see integrity.go).
+	// Metadata mode only: stateless has no records to seal (the keyed
+	// derivation plays the equivalent role — forging a layout requires
+	// the key).
 	MetadataIntegrity bool
 	// Interner, when non-nil, is a shared layout-dedup table: runtimes
 	// given the same interner pool their canonical layouts, so many
@@ -102,7 +121,14 @@ type Stats struct {
 	MemberAccess uint64
 	CacheHits    uint64
 	CacheMisses  uint64
-	Violations   map[ViolationKind]uint64
+	// MetaProbes counts metadata-table lookups made by the member-access
+	// path (olr_getptr cache misses in metadata mode; identically zero
+	// in stateless mode — the ablation's "no cache needed" row).
+	MetaProbes uint64
+	// PeakLive is the high-water mark of resolver-managed live objects,
+	// the denominator of the metadata-bytes-per-live-object column.
+	PeakLive   uint64
+	Violations map[ViolationKind]uint64
 	// ViolationsDropped counts detections that arrived after the
 	// structured record log filled (the counters above still include
 	// them; only the per-record detail is lost).
@@ -117,17 +143,29 @@ const maxViolationRecords = 1024
 // Runtime is the POLaR object-tracking runtime attached to one VM.
 // It is not safe for concurrent use (the VM is single-threaded).
 type Runtime struct {
-	cfg    Config
-	table  *classinfo.Table
+	cfg   Config
+	table *classinfo.Table
+	// store/cache back the metadata strategy. They are always
+	// constructed (diagnostics, forensics and tests read them) but the
+	// stateless resolver never populates them.
 	store  *MetaStore
 	cache  *offsetCache
 	rng    *rand.Rand
 	secret uint64
 
+	// resolver is the pluggable layout-resolution strategy: every olr_*
+	// entry point delegates its strategy-specific ladder here.
+	resolver LayoutResolver
+
 	allocs     uint64
 	frees      uint64
 	memcpys    uint64
 	accesses   uint64
+	metaProbes uint64
+	// liveObjs/peakLive track the resolver-managed object population
+	// (the bytes-per-live-object denominator).
+	liveObjs   uint64
+	peakLive   uint64
 	violations map[ViolationKind]uint64
 
 	// Structured violation log (capped; see maxViolationRecords).
@@ -181,6 +219,15 @@ func New(table *classinfo.Table, cfg Config) *Runtime {
 		secret:     rng.Uint64() | 1,
 		violations: make(map[ViolationKind]uint64),
 		curField:   -1,
+	}
+	// The stateless key halves are drawn after the canary secret, so the
+	// metadata strategy's layout-generation stream is byte-identical to
+	// what it was before the strategy layer existed.
+	switch cfg.LayoutMode {
+	case LayoutModeStateless:
+		r.resolver = newStatelessResolver(r)
+	default:
+		r.resolver = &metaResolver{rt: r}
 	}
 	if t := cfg.Telemetry; t != nil {
 		r.tel = t
@@ -241,6 +288,8 @@ func (r *Runtime) Stats() Stats {
 		MemberAccess:      r.accesses,
 		CacheHits:         r.cache.hits,
 		CacheMisses:       r.cache.misses,
+		MetaProbes:        r.metaProbes,
+		PeakLive:          r.peakLive,
 		Violations:        make(map[ViolationKind]uint64, len(r.violations)),
 		ViolationsDropped: r.droppedRecords,
 		Meta:              r.store.Stats(),
@@ -287,8 +336,35 @@ func (r *Runtime) ViolationLog() RecordSet {
 	}
 }
 
-// Store exposes the metadata table (tests, diagnostics).
+// Store exposes the metadata table (tests, diagnostics). In stateless
+// mode it exists but stays empty.
 func (r *Runtime) Store() *MetaStore { return r.store }
+
+// Resolver exposes the active layout-resolution strategy.
+func (r *Runtime) Resolver() LayoutResolver { return r.resolver }
+
+// Rerandomize forces a global re-randomization pass (stateless epoch
+// advance + live-object remap); reports false when the active strategy
+// has no global rekey.
+func (r *Runtime) Rerandomize(v *vm.VM) (bool, error) { return r.resolver.Rerandomize(v) }
+
+// MetadataBytesPerLiveObject amortizes the strategy's per-object
+// metadata footprint over the peak live population — the ablation's
+// memory column. Identically zero in stateless mode.
+func (r *Runtime) MetadataBytesPerLiveObject() float64 {
+	if r.peakLive == 0 {
+		return 0
+	}
+	return float64(r.resolver.MetadataBytes()) / float64(r.peakLive)
+}
+
+// noteLiveObject records one more resolver-managed live object.
+func (r *Runtime) noteLiveObject() {
+	r.liveObjs++
+	if r.liveObjs > r.peakLive {
+		r.peakLive = r.liveObjs
+	}
+}
 
 // LookupObject returns the metadata for an object base, if tracked.
 func (r *Runtime) LookupObject(base uint64) (*ObjectMeta, bool) { return r.store.Lookup(base) }
@@ -299,14 +375,21 @@ func (r *Runtime) LookupObject(base uint64) (*ObjectMeta, bool) { return r.store
 // and emits an EvViolation event; PolicyAbort additionally returns the
 // *Violation error.
 func (r *Runtime) violate(kind ViolationKind, addr uint64, classHash uint64, meta *ObjectMeta) error {
+	var layoutID uint64
+	if meta != nil && meta.Layout != nil {
+		layoutID = meta.Layout.Hash()
+	}
+	return r.violateWith(kind, addr, classHash, layoutID, meta)
+}
+
+// violateWith is the metadata-free entry: stateless-mode detections
+// carry a derived layout identity but no ObjectMeta (forensic dumps
+// then locate the victim through the allocator instead of the record).
+func (r *Runtime) violateWith(kind ViolationKind, addr, classHash, layoutID uint64, meta *ObjectMeta) error {
 	r.violations[kind]++
 	class := "?"
 	if classHash != 0 {
 		class = r.className(classHash)
-	}
-	var layoutID uint64
-	if meta != nil && meta.Layout != nil {
-		layoutID = meta.Layout.Hash()
 	}
 	site := r.curCall.Site()
 	field := r.curField
@@ -364,7 +447,7 @@ func (r *Runtime) Attach(v *vm.VM) {
 	})
 	v.RegisterBuiltin("olr_getptr", func(c *vm.Call) (int64, error) {
 		r.curCall, r.curField = c, int(c.Arg(1))
-		return r.olrGetptr(uint64(c.Arg(0)), int(c.Arg(1)), uint64(c.Arg(2)))
+		return r.olrGetptr(c.VM, uint64(c.Arg(0)), int(c.Arg(1)), uint64(c.Arg(2)))
 	})
 	v.RegisterBuiltin("olr_memcpy", func(c *vm.Call) (int64, error) {
 		r.curCall, r.curField = c, -1
@@ -376,9 +459,10 @@ func (r *Runtime) Attach(v *vm.VM) {
 	})
 }
 
-// olrMalloc implements the instrumented allocation site: generate a
-// fresh per-allocation layout, allocate, install canaries, register
-// metadata.
+// olrMalloc implements the instrumented allocation site: the resolver
+// allocates and installs its per-object state (layout record or
+// nothing), then the strategy-independent tail arms canaries, tracks
+// the object type, and emits the alloc events.
 func (r *Runtime) olrMalloc(v *vm.VM, classHash uint64) (int64, error) {
 	cls, ok := r.table.ByHash(classHash)
 	if !ok {
@@ -387,21 +471,12 @@ func (r *Runtime) olrMalloc(v *vm.VM, classHash uint64) (int64, error) {
 		}
 		return 0, nil
 	}
-	l, err := r.generateLayout(cls)
-	if err != nil {
-		return 0, fmt.Errorf("polar: layout for %s: %w", cls.Name(), err)
-	}
-	l = r.store.Intern(classHash, l)
-	base, err := v.Heap.Alloc(l.TotalSize)
+	base, l, err := r.resolver.Alloc(v, cls)
 	if err != nil {
 		return 0, err
 	}
 	r.allocs++
-	meta, old := r.store.Register(base, classHash, l, l.TotalSize)
-	r.seal(meta)
-	if old != nil {
-		r.cache.invalidate(base, len(old.Layout.Offsets))
-	}
+	r.noteLiveObject()
 	v.TrackObject(base, cls.Struct)
 	if err := r.armTraps(v, base, l); err != nil {
 		return 0, err
@@ -418,12 +493,20 @@ func (r *Runtime) olrMalloc(v *vm.VM, classHash uint64) (int64, error) {
 	return int64(base), nil
 }
 
-func (r *Runtime) generateLayout(cls *classinfo.Class) (*layout.Layout, error) {
+// layoutConfigFor resolves the layout configuration for one class,
+// honoring the per-class override map (§IV.B.1's feedback loop) in
+// every strategy — norandom/pinned classes stay pinned in stateless
+// mode too.
+func (r *Runtime) layoutConfigFor(cls *classinfo.Class) layout.Config {
 	cfg := r.cfg.Layout
 	if over, ok := r.cfg.PerClass[cls.Hash]; ok {
 		cfg = over
 	}
-	return r.generateLayoutWith(cls, cfg)
+	return cfg
+}
+
+func (r *Runtime) generateLayout(cls *classinfo.Class) (*layout.Layout, error) {
+	return r.generateLayoutWith(cls, r.layoutConfigFor(cls))
 }
 
 // armTraps writes fresh canaries into every trap slot.
@@ -457,241 +540,76 @@ func (r *Runtime) checkTraps(v *vm.VM, base uint64, l *layout.Layout) (int, erro
 	return -1, nil
 }
 
-// olrFree implements the instrumented deallocation site: validate,
-// check traps, retire metadata (keeping a ghost for UAF detection).
+// olrFree implements the instrumented deallocation site. The resolver
+// validates the free (bad-free/double-free/UAF classification and the
+// booby-trap sweep are strategy-specific), the strategy-independent
+// tail emits the free events, then the per-object state is retired and
+// the chunk released. AfterFree runs last — the stateless epoch-rekey
+// schedule must only ever remap objects that survived this free.
 func (r *Runtime) olrFree(v *vm.VM, base uint64) error {
-	meta, ok := r.store.Lookup(base)
-	if !ok {
-		return r.violate(ViolationBadFree, base, 0, nil)
-	}
-	if err := r.verifySeal(meta); err != nil {
+	l, classHash, proceed, err := r.resolver.BeginFree(v, base)
+	if err != nil || !proceed {
 		return err
-	}
-	if meta.Freed {
-		return r.violate(ViolationDoubleFree, base, meta.ClassHash, meta)
-	}
-	if bad, err := r.checkTraps(v, base, meta.Layout); err != nil {
-		return err
-	} else if bad >= 0 {
-		if verr := r.violate(ViolationTrap, base+uint64(bad), meta.ClassHash, meta); verr != nil {
-			return verr
-		}
 	}
 	r.frees++
-	if r.tel != nil {
-		r.tel.Emit(telemetry.Event{Kind: telemetry.EvFree, Addr: base, Class: meta.ClassHash, Layout: meta.Layout.Hash()})
+	if l != nil {
+		if r.liveObjs > 0 {
+			r.liveObjs--
+		}
+		if r.tel != nil {
+			r.tel.Emit(telemetry.Event{Kind: telemetry.EvFree, Addr: base, Class: classHash, Layout: l.Hash()})
+		}
+		if r.xt != nil {
+			r.xt.Free(r.xt.Intern(r.curCall.Site()), classHash, base, l.Hash())
+		}
 	}
-	if r.xt != nil {
-		r.xt.Free(r.xt.Intern(r.curCall.Site()), meta.ClassHash, base, meta.Layout.Hash())
-	}
-	r.cache.invalidate(base, len(meta.Layout.Offsets))
-	if r.cfg.DetectUAF {
-		r.store.MarkFreed(base)
-		r.seal(meta) // Freed participates in the MAC
-	} else {
-		r.store.Drop(base)
+	if err := r.resolver.FinishFree(v, base); err != nil {
+		return err
 	}
 	v.UntrackObject(base)
-	return v.Heap.Free(base)
-}
-
-// xtGetptr records one completed olr_getptr resolution on the
-// execution trace. Error exits (abort-policy violations, seal
-// failures, out-of-range faults) record nothing: the run dies there,
-// and the bus-level violation record already marks the spot.
-func (r *Runtime) xtGetptr(classHash uint64, field int, base uint64, off int, res exectrace.Resolution) {
-	r.xt.Getptr(r.xt.Intern(r.curCall.Site()), classHash, field, base, off, res)
+	if err := v.Heap.Free(base); err != nil {
+		return err
+	}
+	return r.resolver.AfterFree(v)
 }
 
 // olrGetptr implements the instrumented member access (Fig. 4's
-// olr_getptr(A, 2)): resolve the randomized offset of field through the
-// metadata, consulting the lookup cache first. The cache is keyed by
-// (base, class, field) and invalidated on free/re-registration, so a
-// hit can only occur for a live, correctly-typed object — the slow path
-// performs the UAF and type-confusion checks.
-func (r *Runtime) olrGetptr(base uint64, field int, classHash uint64) (int64, error) {
+// olr_getptr(A, 2)): the resolver maps (base, classHash, field) to the
+// randomized offset, and emitGetptr — the single trace exit for every
+// resolution path — records it. Probe lengths observed inside the
+// resolvers use the one canonical bucket vocabulary documented at
+// telemetry.ProbeLenBuckets.
+func (r *Runtime) olrGetptr(v *vm.VM, base uint64, field int, classHash uint64) (int64, error) {
 	r.accesses++
-	var psc *profile.SiteCounts
 	if r.prof != nil {
-		psc = r.profSite()
-		psc.IncGetptr()
+		r.profSite().IncGetptr()
 	}
-	if off, hit := r.cache.get(base, classHash, field); hit {
-		if r.tel != nil {
-			r.histProbe.Observe(1)
-			r.tel.Emit(telemetry.Event{Kind: telemetry.EvFieldHit, Addr: base, Class: classHash, Field: field})
-		}
-		if r.xt != nil {
-			r.xtGetptr(classHash, field, base, int(off), exectrace.ResCacheHit)
-		}
-		return int64(base + uint64(off)), nil
-	}
-	if psc != nil {
-		psc.IncProbe()
-	}
-	meta, ok := r.store.Lookup(base)
-	if r.tel != nil {
-		// Probe length: 1 = cache hit (above), 2 = metadata lookup,
-		// 3 = metadata miss + static-table fallback.
-		if ok {
-			r.histProbe.Observe(2)
-		} else {
-			r.histProbe.Observe(3)
-		}
-		r.tel.Emit(telemetry.Event{Kind: telemetry.EvFieldMiss, Addr: base, Class: classHash, Field: field})
-	}
-	if ok {
-		if err := r.verifySeal(meta); err != nil {
-			return 0, err
-		}
-	}
-	if ok && r.cfg.DetectUAF && meta.Freed {
-		if err := r.violate(ViolationUAF, base, meta.ClassHash, meta); err != nil {
-			return 0, err
-		}
-		// Warn policy: fall through and resolve against the ghost layout,
-		// which is what a real dangling access would touch.
-	}
-	if !ok {
-		// Untracked object (stack/global instance of a randomized class,
-		// or memory the pass could not see allocated): fall back to the
-		// compiler's static layout.
-		cls, found := r.table.ByHash(classHash)
-		if !found {
-			if err := r.violate(ViolationBadClass, base, classHash, nil); err != nil {
-				return 0, err
-			}
-			if r.xt != nil {
-				r.xtGetptr(classHash, field, base, 0, exectrace.ResStatic)
-			}
-			return int64(base), nil
-		}
-		if field < 0 || field >= len(cls.Members) {
-			return 0, fmt.Errorf("polar: field %d out of range for %s", field, cls.Name())
-		}
-		if r.xt != nil {
-			r.xtGetptr(classHash, field, base, cls.Members[field].StaticOffset, exectrace.ResStatic)
-		}
-		return int64(base + uint64(cls.Members[field].StaticOffset)), nil
-	}
-	if meta.ClassHash != classHash {
-		// The access site was compiled against a different class than
-		// the one recorded at allocation time — a type-confused access.
-		// The metadata of Fig. 4 carries the allocation's class hash, so
-		// this check is one compare on the lookup path.
-		if err := r.violate(ViolationTypeConfusion, base, meta.ClassHash, meta); err != nil {
-			return 0, err
-		}
-		// Warn policy: fall through and resolve against the actual
-		// object's randomized layout — the confused read lands on
-		// whatever the allocation's layout put at that member index,
-		// which is the nondeterminism §III.B.2 describes.
-	}
-	if field < 0 || field >= len(meta.Layout.Offsets) {
-		// Confused index beyond the actual object's member count: land
-		// on the object base (defined, harmless) rather than faulting.
-		if r.xt != nil {
-			r.xtGetptr(classHash, field, base, 0, exectrace.ResStatic)
-		}
-		return int64(base), nil
-	}
-	off, err := meta.Layout.FieldOffset(field)
+	off, res, err := r.resolver.Resolve(v, base, field, classHash)
 	if err != nil {
-		return 0, fmt.Errorf("polar: %s: %w", r.className(meta.ClassHash), err)
+		// Error exits (abort-policy violations, seal failures,
+		// out-of-range faults) record nothing: the run dies there, and
+		// the bus-level violation record already marks the spot.
+		return 0, err
 	}
-	// Only well-typed live accesses populate the cache; confused or
-	// dangling resolutions must keep hitting the slow path.
-	if meta.ClassHash == classHash && !meta.Freed {
-		r.cache.put(base, classHash, field, int32(off))
-	}
-	if r.xt != nil {
-		r.xtGetptr(classHash, field, base, off, exectrace.ResMetadata)
-	}
+	r.emitGetptr(classHash, field, base, off, res)
 	return int64(base + uint64(off)), nil
 }
 
-// olrMemcpy implements the instrumented object copy (§IV.A.2): when the
-// source is a tracked object, the copy is performed member-wise so the
-// destination can carry its own (fresh or cloned) randomized layout.
+// emitGetptr records one completed olr_getptr resolution on the
+// execution trace. Every resolver exit funnels through here, so a new
+// strategy cannot miss (or double-emit) a trace record.
+func (r *Runtime) emitGetptr(classHash uint64, field int, base uint64, off int, res exectrace.Resolution) {
+	if r.xt != nil {
+		r.xt.Getptr(r.xt.Intern(r.curCall.Site()), classHash, field, base, off, res)
+	}
+}
+
+// olrMemcpy implements the instrumented object copy (§IV.A.2); the
+// member-wise remap between source and destination layouts is
+// strategy-specific.
 func (r *Runtime) olrMemcpy(v *vm.VM, dst, src uint64, n int, classHash uint64) error {
 	r.memcpys++
-	srcMeta, srcTracked := r.store.Lookup(src)
-	if srcTracked {
-		if err := r.verifySeal(srcMeta); err != nil {
-			return err
-		}
-	}
-	if srcTracked && r.cfg.DetectUAF && srcMeta.Freed {
-		if err := r.violate(ViolationUAF, src, srcMeta.ClassHash, srcMeta); err != nil {
-			return err
-		}
-	}
-	if !srcTracked {
-		// Raw copy; if the destination is a tracked object we must write
-		// member-wise into its randomized layout from a static-layout
-		// source image.
-		if dstMeta, ok := r.store.Lookup(dst); ok && !dstMeta.Freed {
-			return r.copyStaticToRandom(v, dst, dstMeta, src)
-		}
-		return v.Mem.Copy(dst, src, n)
-	}
-	cls, ok := r.table.ByHash(srcMeta.ClassHash)
-	if !ok {
-		return v.Mem.Copy(dst, src, n)
-	}
-	if bad, err := r.checkTraps(v, src, srcMeta.Layout); err != nil {
-		return err
-	} else if bad >= 0 {
-		if verr := r.violate(ViolationTrap, src+uint64(bad), srcMeta.ClassHash, srcMeta); verr != nil {
-			return verr
-		}
-	}
-	dstMeta, dstTracked := r.store.Lookup(dst)
-	if dstTracked && !dstMeta.Freed {
-		if dstMeta.ClassHash != srcMeta.ClassHash {
-			// Copying one class's image over a live object of another
-			// class is a type-confused write (§III.A.1 in memcpy form).
-			if err := r.violate(ViolationTypeConfusion, dst, dstMeta.ClassHash, dstMeta); err != nil {
-				return err
-			}
-			// Warn policy: perform the raw copy the unprotected program
-			// would have done — clobbering dst's randomized image — and
-			// leave the booby traps to catch the damage later.
-			return v.Mem.Copy(dst, src, n)
-		}
-		// Destination already has its own randomized layout: remap.
-		return r.copyMemberwise(v, dst, dstMeta.Layout, src, srcMeta.Layout, cls)
-	}
-	// Destination is an untracked region (fresh raw chunk, stack or
-	// global). Give it a layout of its own when it is a heap chunk large
-	// enough; otherwise fall back to the static layout so subsequent
-	// accesses still resolve via the static path.
-	if size, live, isChunk := v.Heap.SizeOf(dst); isChunk && live {
-		l, err := r.layoutFitting(cls, srcMeta.Layout, size)
-		if err != nil {
-			return err
-		}
-		if l != nil {
-			l = r.store.Intern(srcMeta.ClassHash, l)
-			dm, old := r.store.Register(dst, srcMeta.ClassHash, l, l.TotalSize)
-			r.seal(dm)
-			if old != nil {
-				r.cache.invalidate(dst, len(old.Layout.Offsets))
-			}
-			v.TrackObject(dst, cls.Struct)
-			if err := r.armTraps(v, dst, l); err != nil {
-				return err
-			}
-			if r.tel != nil {
-				r.tel.Emit(telemetry.Event{
-					Kind: telemetry.EvMemcpyRerand, Addr: dst, Size: n,
-					Class: srcMeta.ClassHash, Layout: l.Hash(), Detail: cls.Name(),
-				})
-			}
-			return r.copyMemberwise(v, dst, l, src, srcMeta.Layout, cls)
-		}
-	}
-	return r.copyRandomToStatic(v, dst, src, srcMeta, cls)
+	return r.resolver.Memcpy(v, dst, src, n, classHash)
 }
 
 // layoutFitting picks the layout for a duplicate copy, no larger than
@@ -733,7 +651,9 @@ func (r *Runtime) layoutFitting(cls *classinfo.Class, srcLayout *layout.Layout, 
 	return nil, nil
 }
 
-func (r *Runtime) generateLayoutWith(cls *classinfo.Class, cfg layout.Config) (*layout.Layout, error) {
+// fieldsOf converts a class's members into layout generation inputs,
+// also counting function pointers (the entropy report needs them).
+func fieldsOf(cls *classinfo.Class) ([]layout.FieldInfo, int) {
 	fields := make([]layout.FieldInfo, len(cls.Members))
 	nFptrs := 0
 	for i, m := range cls.Members {
@@ -742,10 +662,14 @@ func (r *Runtime) generateLayoutWith(cls *classinfo.Class, cfg layout.Config) (*
 			nFptrs++
 		}
 	}
-	l, err := layout.Generate(fields, cfg, r.rng)
-	if err != nil {
-		return nil, err
-	}
+	return fields, nFptrs
+}
+
+// noteLayoutGen attributes one layout generation to its class: the
+// hot-site profiler's per-class counter, the entropy histogram, and the
+// EvLayoutGen event. Both strategies funnel through here (the stateless
+// resolver also re-derives on memo misses, each a generation).
+func (r *Runtime) noteLayoutGen(cls *classinfo.Class, cfg layout.Config, nFptrs int, l *layout.Layout) {
 	if r.prof != nil {
 		gc, ok := r.profGens[cls.Hash]
 		if !ok {
@@ -761,6 +685,15 @@ func (r *Runtime) generateLayoutWith(cls *classinfo.Class, cfg layout.Config) (*
 			Size: l.TotalSize, Detail: cls.Name(),
 		})
 	}
+}
+
+func (r *Runtime) generateLayoutWith(cls *classinfo.Class, cfg layout.Config) (*layout.Layout, error) {
+	fields, nFptrs := fieldsOf(cls)
+	l, err := layout.Generate(fields, cfg, r.rng)
+	if err != nil {
+		return nil, err
+	}
+	r.noteLayoutGen(cls, cfg, nFptrs, l)
 	return l, nil
 }
 
@@ -781,9 +714,11 @@ func (r *Runtime) copyMemberwise(v *vm.VM, dst uint64, dl *layout.Layout, src ui
 	return nil
 }
 
-func (r *Runtime) copyRandomToStatic(v *vm.VM, dst, src uint64, srcMeta *ObjectMeta, cls *classinfo.Class) error {
+// copyRandomToStatic writes a randomized source image out to the
+// compiler's static layout (untracked destination).
+func (r *Runtime) copyRandomToStatic(v *vm.VM, dst, src uint64, sl *layout.Layout, cls *classinfo.Class) error {
 	for i, m := range cls.Members {
-		so, err := srcMeta.Layout.FieldOffset(i)
+		so, err := sl.FieldOffset(i)
 		if err != nil {
 			return err
 		}
@@ -794,13 +729,11 @@ func (r *Runtime) copyRandomToStatic(v *vm.VM, dst, src uint64, srcMeta *ObjectM
 	return nil
 }
 
-func (r *Runtime) copyStaticToRandom(v *vm.VM, dst uint64, dstMeta *ObjectMeta, src uint64) error {
-	cls, ok := r.table.ByHash(dstMeta.ClassHash)
-	if !ok {
-		return v.Mem.Copy(dst, src, dstMeta.Size)
-	}
+// copyStaticToRandom writes a static-layout source image into a managed
+// destination's randomized layout.
+func (r *Runtime) copyStaticToRandom(v *vm.VM, dst uint64, dl *layout.Layout, cls *classinfo.Class, src uint64) error {
 	for i, m := range cls.Members {
-		do, err := dstMeta.Layout.FieldOffset(i)
+		do, err := dl.FieldOffset(i)
 		if err != nil {
 			return err
 		}
@@ -815,21 +748,7 @@ func (r *Runtime) copyStaticToRandom(v *vm.VM, dst uint64, dstMeta *ObjectMeta, 
 // sweep of one object; returns 1 if intact, 0 if a trap fired (under
 // PolicyWarn) and an error under PolicyAbort.
 func (r *Runtime) olrCheck(v *vm.VM, base uint64) (int64, error) {
-	meta, ok := r.store.Lookup(base)
-	if !ok {
-		return 1, nil
-	}
-	bad, err := r.checkTraps(v, base, meta.Layout)
-	if err != nil {
-		return 0, err
-	}
-	if bad < 0 {
-		return 1, nil
-	}
-	if verr := r.violate(ViolationTrap, base+uint64(bad), meta.ClassHash, meta); verr != nil {
-		return 0, verr
-	}
-	return 0, nil
+	return r.resolver.Check(v, base)
 }
 
 func (r *Runtime) className(hash uint64) string {

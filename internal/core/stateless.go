@@ -1,0 +1,523 @@
+package core
+
+import (
+	"fmt"
+
+	"polar/internal/classinfo"
+	"polar/internal/ir"
+	"polar/internal/layout"
+	"polar/internal/telemetry"
+	"polar/internal/telemetry/exectrace"
+	"polar/internal/vm"
+)
+
+// epochMix spreads the re-randomization epoch across the SipHash key's
+// second half so consecutive epochs select unrelated permutations.
+const epochMix = 0x9e3779b97f4a7c15
+
+// derivedEntry is one slot of the direct-mapped derivation memo.
+// Derivation is a pure function of (key, epoch, class, base), so an
+// evicted or missing entry is simply recomputed. A populated entry is
+// additionally a liveness witness: it is only written while base is
+// tracked as that class and is cleared on free (FinishFree), so a hit
+// lets the resolve hot path skip the VM type-map lookup entirely — the
+// stateless analogue of the metadata strategy's offset-cache hit.
+type derivedEntry struct {
+	base  uint64
+	class uint64
+	epoch uint64
+	l     *layout.Layout
+}
+
+// statelessResolver derives each object's permutation from a SipHash of
+// its base address under (seed, epoch) at access time — SPAM's design
+// point (arXiv 2007.13808): no MetaStore record, no offset-cache probe,
+// zero metadata bytes per live object. Objects are identified through
+// the VM's type-tracking map (which both engines maintain identically),
+// and chunks are sized by layout.MaxSize so every epoch's layout fits
+// the same slab, which is what makes epoch-rekey remapping safe.
+//
+// Detection matrix (see DESIGN.md §12): bad-class, type confusion,
+// booby traps, bad free and double free (via allocator liveness) still
+// fire; UAF detection needs the ghost records only the metadata
+// strategy keeps, and metadata-integrity seals have no metadata to
+// seal — Config.DetectUAF and Config.MetadataIntegrity are therefore
+// inert in this mode (documented, not silently skipped: New rejects no
+// configuration, but a dangling access degrades to the static-fallback
+// arm instead of a ViolationUAF).
+type statelessResolver struct {
+	rt *Runtime
+
+	// k0/k1 are the SipHash key halves, drawn from the seeded run RNG;
+	// the current epoch is folded into k1 at derivation time.
+	k0, k1 uint64
+	epoch  uint64
+
+	// rekeyEvery triggers a global epoch advance (and live-object remap)
+	// after that many instrumented frees; 0 disables rekeying.
+	rekeyEvery uint64
+	freeCount  uint64
+	rekeys     uint64
+
+	// Direct-mapped derivation memo (one entry covers every field of an
+	// object, unlike the per-(base, field) offset cache). Sized like the
+	// offset cache from Config.CacheSize; nil when the cache is disabled.
+	memo     []derivedEntry
+	memoMask uint64
+
+	// maxSizes caches the per-class slab bound (layout.MaxSize).
+	maxSizes map[uint64]int
+}
+
+func newStatelessResolver(r *Runtime) *statelessResolver {
+	s := &statelessResolver{
+		rt:       r,
+		k0:       r.rng.Uint64(),
+		k1:       r.rng.Uint64(),
+		maxSizes: make(map[uint64]int),
+	}
+	if r.cfg.RekeyEvery > 0 {
+		s.rekeyEvery = uint64(r.cfg.RekeyEvery)
+	}
+	if n := r.cfg.CacheSize; n > 0 {
+		p := 1
+		for p < n {
+			p <<= 1
+		}
+		s.memo = make([]derivedEntry, p)
+		s.memoMask = uint64(p - 1)
+	}
+	return s
+}
+
+func (s *statelessResolver) Mode() LayoutMode { return LayoutModeStateless }
+
+// maxSize returns the class's slab bound: the chunk every stateless
+// allocation of cls gets, large enough for the layout any (key, epoch,
+// base) derives.
+func (s *statelessResolver) maxSize(cls *classinfo.Class) int {
+	if v, ok := s.maxSizes[cls.Hash]; ok {
+		return v
+	}
+	fields, _ := fieldsOf(cls)
+	v := layout.MaxSize(fields, s.rt.layoutConfigFor(cls))
+	s.maxSizes[cls.Hash] = v
+	return v
+}
+
+// deriveRaw recomputes the layout of (cls, base) under the given epoch
+// with no telemetry side effects — the rekey path uses it to recover
+// the outgoing epoch's layout.
+func (s *statelessResolver) deriveRaw(cls *classinfo.Class, base, epoch uint64) (*layout.Layout, error) {
+	cfg := s.rt.layoutConfigFor(cls)
+	fields, _ := fieldsOf(cls)
+	return layout.GenerateKeyed(fields, cfg, s.k0, s.k1^(epoch*epochMix), base^cls.Hash)
+}
+
+// layoutFor returns the current-epoch layout of (cls, base), memoized.
+// A memo miss re-derives and re-emits the layout-generation telemetry —
+// deterministically, since eviction order is a pure function of the
+// access sequence.
+func (s *statelessResolver) layoutFor(cls *classinfo.Class, base uint64) (*layout.Layout, error) {
+	var e *derivedEntry
+	if s.memo != nil {
+		e = &s.memo[s.memoIdx(base)]
+		if e.l != nil && e.base == base && e.class == cls.Hash && e.epoch == s.epoch {
+			return e.l, nil
+		}
+	}
+	l, err := s.deriveRaw(cls, base, s.epoch)
+	if err != nil {
+		return nil, err
+	}
+	r := s.rt
+	_, nFptrs := fieldsOf(cls)
+	r.noteLayoutGen(cls, r.layoutConfigFor(cls), nFptrs, l)
+	if e != nil {
+		*e = derivedEntry{base: base, class: cls.Hash, epoch: s.epoch, l: l}
+	}
+	return l, nil
+}
+
+// memoIdx maps a base address to its direct-mapped memo slot.
+func (s *statelessResolver) memoIdx(base uint64) uint64 {
+	h := base * 0x9e3779b97f4a7c15
+	h ^= h >> 29
+	return h & s.memoMask
+}
+
+// memoHit returns the memoized current-epoch layout when the slot
+// witnesses (base, class) as live, nil otherwise.
+func (s *statelessResolver) memoHit(base, class uint64) *layout.Layout {
+	if s.memo == nil {
+		return nil
+	}
+	e := &s.memo[s.memoIdx(base)]
+	if e.l != nil && e.base == base && e.class == class && e.epoch == s.epoch {
+		return e.l
+	}
+	return nil
+}
+
+// managed reports whether base is a live object this strategy lays out:
+// a VM-tracked struct whose class is in the hardening table. Raw
+// allocations of untable'd classes and non-heap memory fall out here
+// and take the static arm, mirroring the metadata strategy's
+// unregistered-object behavior.
+func (s *statelessResolver) managed(v *vm.VM, base uint64) (*classinfo.Class, *layout.Layout, error) {
+	st, ok := v.ObjectType(base)
+	if !ok || st == nil {
+		return nil, nil, nil
+	}
+	cls, ok := s.rt.table.ByName(st.Name)
+	if !ok || cls.Struct != st {
+		return nil, nil, nil
+	}
+	l, err := s.layoutFor(cls, base)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cls, l, nil
+}
+
+// Resolve recomputes the member offset from the keyed hash — probe
+// length 0: no metadata structure is consulted on any arm of this
+// ladder (the static fallback observes 3, keeping the static-arm bucket
+// meaning consistent across strategies).
+func (s *statelessResolver) Resolve(v *vm.VM, base uint64, field int, classHash uint64) (int, exectrace.Resolution, error) {
+	r := s.rt
+	cls, found := r.table.ByHash(classHash)
+	if !found {
+		if r.tel != nil {
+			r.histProbe.Observe(3)
+			r.tel.Emit(telemetry.Event{Kind: telemetry.EvFieldMiss, Addr: base, Class: classHash, Field: field})
+		}
+		if err := r.violate(ViolationBadClass, base, classHash, nil); err != nil {
+			return 0, 0, err
+		}
+		return 0, exectrace.ResStatic, nil
+	}
+	// Hot path: the memo witnesses (base, cls) live in this epoch — no
+	// VM type-map lookup, no derivation, just the memoized permutation.
+	if l := s.memoHit(base, classHash); l != nil {
+		if field < 0 || field >= len(l.Offsets) {
+			if r.tel != nil {
+				r.histProbe.Observe(0)
+				r.tel.Emit(telemetry.Event{Kind: telemetry.EvFieldMiss, Addr: base, Class: classHash, Field: field})
+			}
+			return 0, exectrace.ResStatic, nil
+		}
+		if r.tel != nil {
+			r.histProbe.Observe(0)
+			r.tel.Emit(telemetry.Event{Kind: telemetry.EvFieldHit, Addr: base, Class: classHash, Field: field})
+		}
+		return l.Offsets[field], exectrace.ResStateless, nil
+	}
+	st, tracked := v.ObjectType(base)
+	if !tracked || st == nil || (cls.Struct != st && !s.inTable(st)) {
+		// Untracked object: the compiler's static layout, same as the
+		// metadata strategy's unregistered arm. A dangling pointer also
+		// lands here — stateless mode keeps no ghost records, so this is
+		// where UAF detection degrades (DESIGN.md §12).
+		if r.tel != nil {
+			r.histProbe.Observe(3)
+			r.tel.Emit(telemetry.Event{Kind: telemetry.EvFieldMiss, Addr: base, Class: classHash, Field: field})
+		}
+		if field < 0 || field >= len(cls.Members) {
+			return 0, 0, fmt.Errorf("polar: field %d out of range for %s", field, cls.Name())
+		}
+		return cls.Members[field].StaticOffset, exectrace.ResStatic, nil
+	}
+	if cls.Struct != st {
+		// The access site was compiled against a different class than
+		// the allocation's tracked type — type confusion, caught without
+		// any metadata because the VM's type map is the discriminator.
+		actual, ok := r.table.ByName(st.Name)
+		if !ok {
+			return 0, 0, fmt.Errorf("polar: tracked type %s not in table", st.Name)
+		}
+		l, err := s.layoutFor(actual, base)
+		if err != nil {
+			return 0, 0, err
+		}
+		if r.tel != nil {
+			r.histProbe.Observe(0)
+			r.tel.Emit(telemetry.Event{Kind: telemetry.EvFieldMiss, Addr: base, Class: classHash, Field: field})
+		}
+		if err := r.violate(ViolationTypeConfusion, base, actual.Hash, nil); err != nil {
+			return 0, 0, err
+		}
+		// Warn policy: resolve against the actual object's derived
+		// layout — the confused access touches whatever that permutation
+		// put at this index (§III.B.2's nondeterminism).
+		if field < 0 || field >= len(l.Offsets) {
+			return 0, exectrace.ResStatic, nil
+		}
+		return l.Offsets[field], exectrace.ResStateless, nil
+	}
+	// Clean path: the expected class IS the tracked type (pointer
+	// identity — no name lookup on the hot path).
+	l, err := s.layoutFor(cls, base)
+	if err != nil {
+		return 0, 0, err
+	}
+	if field < 0 || field >= len(l.Offsets) {
+		// Confused index beyond the member count: land on the base,
+		// mirroring the metadata strategy.
+		if r.tel != nil {
+			r.histProbe.Observe(0)
+			r.tel.Emit(telemetry.Event{Kind: telemetry.EvFieldMiss, Addr: base, Class: classHash, Field: field})
+		}
+		return 0, exectrace.ResStatic, nil
+	}
+	if r.tel != nil {
+		r.histProbe.Observe(0)
+		r.tel.Emit(telemetry.Event{Kind: telemetry.EvFieldHit, Addr: base, Class: classHash, Field: field})
+	}
+	return l.Offsets[field], exectrace.ResStateless, nil
+}
+
+// inTable reports whether a tracked struct type is one this strategy
+// lays out (identical to managed()'s discriminator, without deriving).
+func (s *statelessResolver) inTable(st *ir.StructType) bool {
+	cls, ok := s.rt.table.ByName(st.Name)
+	return ok && cls.Struct == st
+}
+
+// Alloc carves a MaxSize slab — the address does not exist before the
+// allocation, so the chunk must fit whatever layout the address then
+// selects (and every later epoch's, for rekeying).
+func (s *statelessResolver) Alloc(v *vm.VM, cls *classinfo.Class) (uint64, *layout.Layout, error) {
+	base, err := v.Heap.Alloc(s.maxSize(cls))
+	if err != nil {
+		return 0, nil, err
+	}
+	l, err := s.layoutFor(cls, base)
+	if err != nil {
+		return 0, nil, fmt.Errorf("polar: layout for %s: %w", cls.Name(), err)
+	}
+	return base, l, nil
+}
+
+// BeginFree validates against the allocator itself — the only
+// authority this strategy has. An address that was never a chunk is a
+// bad free; a chunk that is no longer live is a double free (until the
+// allocator recycles it, the same aliasing window the metadata
+// strategy has once a ghost's base is re-registered).
+func (s *statelessResolver) BeginFree(v *vm.VM, base uint64) (*layout.Layout, uint64, bool, error) {
+	r := s.rt
+	_, live, ok := v.Heap.SizeOf(base)
+	if !ok {
+		return nil, 0, false, r.violate(ViolationBadFree, base, 0, nil)
+	}
+	if !live {
+		return nil, 0, false, r.violate(ViolationDoubleFree, base, 0, nil)
+	}
+	cls, l, err := s.managed(v, base)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	if l == nil {
+		// A live chunk the strategy does not lay out (raw allocation):
+		// plain free, no sweep, no violation — the allocator vouches
+		// for it.
+		return nil, 0, true, nil
+	}
+	if bad, err := r.checkTraps(v, base, l); err != nil {
+		return nil, 0, false, err
+	} else if bad >= 0 {
+		if verr := r.violateWith(ViolationTrap, base+uint64(bad), cls.Hash, l.Hash(), nil); verr != nil {
+			return nil, 0, false, verr
+		}
+	}
+	return l, cls.Hash, true, nil
+}
+
+// FinishFree clears the dying object's memo slot. Not for derivation
+// correctness (a recycled base re-derives the same layout anyway) but
+// for the liveness witness: a populated slot lets Resolve skip the VM
+// type-map check, so it must never outlive the object it vouches for.
+func (s *statelessResolver) FinishFree(v *vm.VM, base uint64) error {
+	if s.memo != nil {
+		if e := &s.memo[s.memoIdx(base)]; e.base == base {
+			e.l = nil
+		}
+	}
+	return nil
+}
+
+// AfterFree advances the epoch-rekey schedule. It runs after the chunk
+// is back in the allocator, so a triggered rekey only remaps objects
+// that are still alive.
+func (s *statelessResolver) AfterFree(v *vm.VM) error {
+	if s.rekeyEvery == 0 {
+		return nil
+	}
+	s.freeCount++
+	if s.freeCount%s.rekeyEvery != 0 {
+		return nil
+	}
+	_, err := s.Rerandomize(v)
+	return err
+}
+
+// Rerandomize advances the derivation epoch and remaps every live
+// managed object from its outgoing layout to the incoming one — the
+// stateless replacement for per-object ghost layouts: instead of
+// remembering what a dangling pointer would see, the whole heap moves
+// out from under it. The walk is in ascending base order, so the event
+// and trace streams stay deterministic at any -parallel width.
+func (s *statelessResolver) Rerandomize(v *vm.VM) (bool, error) {
+	r := s.rt
+	oldEpoch := s.epoch
+	s.epoch++
+	s.rekeys++
+	for _, base := range v.TrackedBases() {
+		st, ok := v.ObjectType(base)
+		if !ok || st == nil {
+			continue
+		}
+		cls, ok := r.table.ByName(st.Name)
+		if !ok || cls.Struct != st {
+			continue // raw allocation: not ours to move
+		}
+		ol, err := s.deriveRaw(cls, base, oldEpoch)
+		if err != nil {
+			return false, err
+		}
+		nl, err := s.layoutFor(cls, base)
+		if err != nil {
+			return false, err
+		}
+		if ol.Hash() != nl.Hash() {
+			// Snapshot every member under the outgoing layout first —
+			// old and new positions overlap arbitrarily.
+			imgs := make([][]byte, len(cls.Members))
+			for i, m := range cls.Members {
+				b, err := v.Mem.ReadBytes(base+uint64(ol.Offsets[i]), m.Size)
+				if err != nil {
+					return false, err
+				}
+				imgs[i] = b
+			}
+			for i := range cls.Members {
+				if err := v.Mem.WriteBytes(base+uint64(nl.Offsets[i]), imgs[i]); err != nil {
+					return false, err
+				}
+			}
+		}
+		if err := r.armTraps(v, base, nl); err != nil {
+			return false, err
+		}
+		if r.tel != nil {
+			r.tel.Emit(telemetry.Event{
+				Kind: telemetry.EvMemcpyRerand, Addr: base, Size: nl.TotalSize,
+				Class: cls.Hash, Layout: nl.Hash(), Detail: cls.Name(),
+			})
+		}
+	}
+	return true, nil
+}
+
+// Memcpy mirrors the metadata strategy's §IV.A.2 semantics with derived
+// layouts. RerandomizeOnCopy has no meaning here: the destination's
+// layout is always the one its own address derives — re-randomization
+// on copy is inherent, not optional.
+func (s *statelessResolver) Memcpy(v *vm.VM, dst, src uint64, n int, classHash uint64) error {
+	r := s.rt
+	srcCls, srcL, err := s.managed(v, src)
+	if err != nil {
+		return err
+	}
+	if srcL == nil {
+		// Raw source; if the destination is managed we must write
+		// member-wise into its derived layout from a static-layout
+		// source image.
+		dstCls, dstL, err := s.managed(v, dst)
+		if err != nil {
+			return err
+		}
+		if dstL != nil {
+			return r.copyStaticToRandom(v, dst, dstL, dstCls, src)
+		}
+		return v.Mem.Copy(dst, src, n)
+	}
+	if bad, err := r.checkTraps(v, src, srcL); err != nil {
+		return err
+	} else if bad >= 0 {
+		if verr := r.violateWith(ViolationTrap, src+uint64(bad), srcCls.Hash, srcL.Hash(), nil); verr != nil {
+			return verr
+		}
+	}
+	dstCls, dstL, err := s.managed(v, dst)
+	if err != nil {
+		return err
+	}
+	if dstL != nil {
+		if dstCls.Hash != srcCls.Hash {
+			// Type-confused write, same as the metadata strategy.
+			if err := r.violateWith(ViolationTypeConfusion, dst, dstCls.Hash, dstL.Hash(), nil); err != nil {
+				return err
+			}
+			// Warn policy: the raw copy the unprotected program would do.
+			return v.Mem.Copy(dst, src, n)
+		}
+		return r.copyMemberwise(v, dst, dstL, src, srcL, srcCls)
+	}
+	// Untracked destination. Adopt it only when the chunk can hold any
+	// epoch's layout (the rekey invariant); otherwise copy out to the
+	// static layout so static-arm accesses still resolve.
+	if size, live, isChunk := v.Heap.SizeOf(dst); isChunk && live && size >= s.maxSize(srcCls) {
+		v.TrackObject(dst, srcCls.Struct)
+		dl, err := s.layoutFor(srcCls, dst)
+		if err != nil {
+			return err
+		}
+		r.noteLiveObject()
+		if err := r.armTraps(v, dst, dl); err != nil {
+			return err
+		}
+		if r.tel != nil {
+			r.tel.Emit(telemetry.Event{
+				Kind: telemetry.EvMemcpyRerand, Addr: dst, Size: n,
+				Class: srcCls.Hash, Layout: dl.Hash(), Detail: srcCls.Name(),
+			})
+		}
+		return r.copyMemberwise(v, dst, dl, src, srcL, srcCls)
+	}
+	return r.copyRandomToStatic(v, dst, src, srcL, srcCls)
+}
+
+// Check sweeps a managed object's derived booby traps.
+func (s *statelessResolver) Check(v *vm.VM, base uint64) (int64, error) {
+	r := s.rt
+	cls, l, err := s.managed(v, base)
+	if err != nil {
+		return 0, err
+	}
+	if l == nil {
+		return 1, nil
+	}
+	bad, err := r.checkTraps(v, base, l)
+	if err != nil {
+		return 0, err
+	}
+	if bad < 0 {
+		return 1, nil
+	}
+	if verr := r.violateWith(ViolationTrap, base+uint64(bad), cls.Hash, l.Hash(), nil); verr != nil {
+		return 0, verr
+	}
+	return 0, nil
+}
+
+// MetadataBytes is identically zero — the whole point. The derivation
+// memo is a fixed-size cache that does not grow with the live-object
+// population, so it does not count as per-object metadata.
+func (s *statelessResolver) MetadataBytes() uint64 { return 0 }
+
+// Epoch returns the current re-randomization epoch (tests, stats).
+func (s *statelessResolver) Epoch() uint64 { return s.epoch }
+
+// Rekeys returns how many epoch advances have run.
+func (s *statelessResolver) Rekeys() uint64 { return s.rekeys }

@@ -65,6 +65,8 @@ func (s Stats) Publish(reg *telemetry.Registry) {
 	reg.Counter("core.member_access").Set(s.MemberAccess)
 	reg.Counter("core.cache_hits").Set(s.CacheHits)
 	reg.Counter("core.cache_misses").Set(s.CacheMisses)
+	reg.Counter("core.meta_probes").Set(s.MetaProbes)
+	reg.Counter("core.peak_live_objects").Set(s.PeakLive)
 	for _, kind := range AllViolationKinds() {
 		if n := s.Violations[kind]; n > 0 {
 			reg.Counter("core.violation." + kind.String()).Set(n)

@@ -18,7 +18,7 @@ func TestMetadataLoadFactorUnderReuse(t *testing.T) {
 	for i := 0; i < rounds; i++ {
 		base := h.alloc(h.hashA)
 		for j := 0; j < 4; j++ {
-			if _, err := h.r.olrGetptr(base, 1, h.hashA); err != nil {
+			if _, err := h.r.olrGetptr(h.v, base, 1, h.hashA); err != nil {
 				t.Fatalf("getptr: %v", err)
 			}
 		}
@@ -65,14 +65,18 @@ func TestMetadataLoadFactorUnderReuse(t *testing.T) {
 	if hist.Count != st.MemberAccess {
 		t.Fatalf("probe histogram count = %d, want one observation per access (%d)", hist.Count, st.MemberAccess)
 	}
-	// ProbeLenBuckets = {1,2,3,4}: bucket 0 is cache hits (probe length
-	// 1), bucket 1 is metadata-lookup misses (probe length 2). The
+	// ProbeLenBuckets = {0,1,2,3,4}: bucket 0 (stateless derivations)
+	// stays empty in metadata mode, bucket 1 is cache hits (probe length
+	// 1), bucket 2 is metadata-lookup misses (probe length 2). The
 	// workload produces both in exact counter amounts.
-	if hist.Counts[0] != st.CacheHits {
-		t.Fatalf("probe-length-1 bucket = %d, want cache hits %d", hist.Counts[0], st.CacheHits)
+	if hist.Counts[0] != 0 {
+		t.Fatalf("probe-length-0 bucket = %d, want 0 in metadata mode", hist.Counts[0])
 	}
-	if hist.Counts[1] != st.CacheMisses {
-		t.Fatalf("probe-length-2 bucket = %d, want cache misses %d", hist.Counts[1], st.CacheMisses)
+	if hist.Counts[1] != st.CacheHits {
+		t.Fatalf("probe-length-1 bucket = %d, want cache hits %d", hist.Counts[1], st.CacheHits)
+	}
+	if hist.Counts[2] != st.CacheMisses {
+		t.Fatalf("probe-length-2 bucket = %d, want cache misses %d", hist.Counts[2], st.CacheMisses)
 	}
 	if st.CacheHits == 0 || st.CacheMisses == 0 {
 		t.Fatalf("hits=%d misses=%d, want a workload exercising both paths", st.CacheHits, st.CacheMisses)

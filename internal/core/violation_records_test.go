@@ -210,7 +210,7 @@ func TestViolationRecordsPerKind(t *testing.T) {
 				if err := h.r.olrFree(h.v, base); err != nil {
 					t.Fatalf("free: %v", err)
 				}
-				_, err := h.r.olrGetptr(base, 1, h.hashA)
+				_, err := h.r.olrGetptr(h.v, base, 1, h.hashA)
 				return err
 			},
 			check: func(t *testing.T, h *violationHarness, rec ViolationRecord) {
@@ -223,7 +223,7 @@ func TestViolationRecordsPerKind(t *testing.T) {
 			kind: ViolationTypeConfusion,
 			trigger: func(t *testing.T, h *violationHarness) error {
 				base := h.alloc(h.hashA)
-				_, err := h.r.olrGetptr(base, 0, h.hashB)
+				_, err := h.r.olrGetptr(h.v, base, 0, h.hashB)
 				return err
 			},
 			check: func(t *testing.T, h *violationHarness, rec ViolationRecord) {
@@ -264,7 +264,7 @@ func TestViolationRecordsPerKind(t *testing.T) {
 				if !h.r.CorruptMetadataForTest(base, forged) {
 					t.Fatal("CorruptMetadataForTest found no object")
 				}
-				_, err := h.r.olrGetptr(base, 1, h.hashA)
+				_, err := h.r.olrGetptr(h.v, base, 1, h.hashA)
 				return err
 			},
 			check: func(t *testing.T, h *violationHarness, rec ViolationRecord) {

@@ -15,7 +15,16 @@ type AblationRow struct {
 	Config      string
 	App         string
 	OverheadPct float64
+	// CacheHitPct is the offset-cache hit rate of one representative
+	// hardened run (0 for the stateless arm: no cache exists to hit).
 	CacheHitPct float64
+	// MetaProbes counts metadata-table lookups in that run — the
+	// stateless arm's defining number is 0: no cache needed, no table
+	// probed, every offset derived from the keyed hash.
+	MetaProbes uint64
+	// MetaBytesPerLive is the strategy's metadata footprint amortized
+	// over the peak live-object population (bytes/object; 0 stateless).
+	MetaBytesPerLive float64
 }
 
 // ablationConfigs enumerates the DESIGN.md §4 variants. The offset
@@ -46,6 +55,11 @@ func ablationConfigs(seed int64) []struct {
 			c.Layout.MinDummies, c.Layout.MaxDummies = 3, 4
 		})},
 		{"cacheline-mode", mk(func(c *core.Config) { c.Layout.Mode = layout.ModeCacheLine })},
+		// Layout-resolution ablation (DESIGN.md §12): SPAM-style keyed
+		// derivation instead of the metadata table. The interesting
+		// columns are MetaProbes (identically 0 — no cache needed) and
+		// MetaBytesPerLive (identically 0), traded against UAF detection.
+		{"stateless", mk(func(c *core.Config) { c.LayoutMode = core.LayoutModeStateless })},
 		// Execution-engine ablation: the default runtime config on the
 		// tree-walking reference engine. Overhead percentages are
 		// relative (hardened/baseline on the same engine), so comparing
@@ -92,15 +106,24 @@ func Ablation(reps int, seed int64) ([]AblationRow, error) {
 		if c.cfgName == legacyEngineConfig {
 			vmOpts = append(vmOpts, vm.WithEngine(vm.EngineLegacy))
 		}
-		base, polar, err := measureWorkload(w, reps, TaskSeed(seed, "ablation/"+c.cfgName+"/"+c.app), c.cfg, vmOpts...)
+		base, polar, rt, err := measureWorkload(w, reps, TaskSeed(seed, "ablation/"+c.cfgName+"/"+c.app), c.cfg, vmOpts...)
 		if err != nil {
 			return fmt.Errorf("%s/%s: %w", c.cfgName, c.app, err)
 		}
-		rows[i] = AblationRow{
+		row := AblationRow{
 			Config:      c.cfgName,
 			App:         c.app,
 			OverheadPct: overheadPct(base, polar),
 		}
+		if rt != nil {
+			st := rt.Stats()
+			if total := st.CacheHits + st.CacheMisses; total > 0 {
+				row.CacheHitPct = 100 * float64(st.CacheHits) / float64(total)
+			}
+			row.MetaProbes = st.MetaProbes
+			row.MetaBytesPerLive = rt.MetadataBytesPerLiveObject()
+		}
+		rows[i] = row
 		return nil
 	})
 	if err != nil {
@@ -113,9 +136,13 @@ func Ablation(reps int, seed int64) ([]AblationRow, error) {
 func RenderAblation(rows []AblationRow) string {
 	var b strings.Builder
 	b.WriteString("Ablation: overhead by runtime configuration (DESIGN.md §4)\n")
-	b.WriteString(fmt.Sprintf("%-16s %-14s %9s\n", "config", "app", "ovhd%"))
+	b.WriteString("metadata columns from one representative hardened run per cell;\n")
+	b.WriteString("the stateless arm shows 0 probes / 0 bytes — no cache needed\n")
+	b.WriteString(fmt.Sprintf("%-16s %-14s %9s %9s %12s %10s\n",
+		"config", "app", "ovhd%", "cache-hit%", "meta-probes", "metaB/obj"))
 	for _, r := range rows {
-		b.WriteString(fmt.Sprintf("%-16s %-14s %8.1f%%\n", r.Config, r.App, r.OverheadPct))
+		b.WriteString(fmt.Sprintf("%-16s %-14s %8.1f%% %9.1f%% %12d %10.1f\n",
+			r.Config, r.App, r.OverheadPct, r.CacheHitPct, r.MetaProbes, r.MetaBytesPerLive))
 	}
 	return b.String()
 }

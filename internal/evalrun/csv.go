@@ -128,7 +128,10 @@ func CSVSecurity(rep *SecurityReport) string {
 func CSVAblation(rows []AblationRow) string {
 	out := make([][]string, 0, len(rows))
 	for _, r := range rows {
-		out = append(out, []string{r.Config, r.App, f2(r.OverheadPct)})
+		out = append(out, []string{
+			r.Config, r.App, f2(r.OverheadPct), f2(r.CacheHitPct),
+			strconv.FormatUint(r.MetaProbes, 10), f2(r.MetaBytesPerLive),
+		})
 	}
-	return writeCSV([]string{"config", "app", "overhead_pct"}, out)
+	return writeCSV([]string{"config", "app", "overhead_pct", "cache_hit_pct", "meta_probes", "meta_bytes_per_live"}, out)
 }

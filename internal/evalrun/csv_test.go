@@ -83,8 +83,14 @@ func TestCSVFigure7AndAblation(t *testing.T) {
 	if f7[1][2] != "time_ms" || f7[1][5] != "5.000" {
 		t.Errorf("fig7 row = %v", f7[1])
 	}
-	ab := parseCSV(t, CSVAblation([]AblationRow{{Config: "no-cache", App: "429.mcf", OverheadPct: 1.5}}))
+	ab := parseCSV(t, CSVAblation([]AblationRow{{
+		Config: "no-cache", App: "429.mcf", OverheadPct: 1.5,
+		MetaProbes: 42, MetaBytesPerLive: 64,
+	}}))
 	if ab[1][0] != "no-cache" {
 		t.Errorf("ablation row = %v", ab[1])
+	}
+	if len(ab[0]) != 6 || ab[0][4] != "meta_probes" || ab[1][4] != "42" || ab[1][5] != "64.000" {
+		t.Errorf("ablation metadata columns = %v / %v", ab[0], ab[1])
 	}
 }

@@ -183,13 +183,25 @@ func TestAblationStructure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 7*3 {
-		t.Fatalf("rows = %d, want 21", len(rows))
+	if len(rows) != 8*3 {
+		t.Fatalf("rows = %d, want 24", len(rows))
 	}
 	out := RenderAblation(rows)
-	for _, cfg := range []string{"no-cache", "legacy-engine"} {
+	for _, cfg := range []string{"no-cache", "legacy-engine", "stateless"} {
 		if !strings.Contains(out, cfg) {
 			t.Errorf("render missing config name %q", cfg)
+		}
+	}
+	// The stateless arm's defining numbers: zero metadata probes, zero
+	// metadata bytes per live object; metadata arms probe the table.
+	for _, r := range rows {
+		if r.Config == "stateless" {
+			if r.MetaProbes != 0 || r.MetaBytesPerLive != 0 {
+				t.Errorf("stateless/%s: probes=%d bytes/obj=%v, want 0/0", r.App, r.MetaProbes, r.MetaBytesPerLive)
+			}
+		}
+		if r.Config == "default" && r.MetaProbes == 0 {
+			t.Errorf("default/%s: MetaProbes = 0, want metadata-table lookups", r.App)
 		}
 	}
 }

@@ -19,7 +19,10 @@ import (
 // hardened module ran once per engine under the same seed with a
 // deterministic trace attached, and the two traces were compared.
 type TraceRow struct {
-	App     string
+	App string
+	// Mode is the layout-resolution strategy the run used ("metadata" or
+	// "stateless") — the differential contract must hold per mode.
+	Mode    string
 	Records uint64 // event records per trace (identical across engines when Identical)
 	Bytes   int    // encoded trace size per engine
 	// Identical reports byte equality of the two traces — the strongest
@@ -30,9 +33,25 @@ type TraceRow struct {
 	Divergence string
 }
 
+// rekeyEpoch is the stateless-mode epoch-rekey period the trace suite
+// runs under (see SetRekeyEpoch). Package-level like SetParallelism:
+// configure before running experiments.
+var rekeyEpoch int
+
+// SetRekeyEpoch sets the stateless rekey period (advance the derivation
+// epoch every n instrumented frees) for trace runs; n <= 0 disables
+// rekeying, the default. With a schedule set, the cross-engine gate also
+// exercises the epoch-advance and live-object remap paths.
+func SetRekeyEpoch(n int) {
+	if n < 0 {
+		n = 0
+	}
+	rekeyEpoch = n
+}
+
 // traceOne runs the hardened program once with a trace writer attached
 // and returns the encoded trace.
-func traceOne(ins *instrument.Result, p *vm.Program, w *workload.Workload, seed int64, eng vm.Engine) ([]byte, error) {
+func traceOne(ins *instrument.Result, p *vm.Program, w *workload.Workload, seed int64, eng vm.Engine, mode core.LayoutMode) ([]byte, error) {
 	var buf bytes.Buffer
 	xw := exectrace.NewWriter(&buf)
 	tel := telemetry.New()
@@ -40,6 +59,10 @@ func traceOne(ins *instrument.Result, p *vm.Program, w *workload.Workload, seed 
 	cfg := core.DefaultConfig(seed)
 	cfg.Telemetry = tel
 	cfg.ExecTrace = xw
+	cfg.LayoutMode = mode
+	if mode == core.LayoutModeStateless {
+		cfg.RekeyEvery = rekeyEpoch
+	}
 	_, _, err := runOnce(p, w.Input, w.Args, func(v *vm.VM) {
 		core.New(ins.Table, cfg).Attach(v)
 	}, vm.WithEngine(eng), vm.WithTelemetry(tel), vm.WithExecTrace(xw))
@@ -54,18 +77,40 @@ func traceOne(ins *instrument.Result, p *vm.Program, w *workload.Workload, seed 
 
 // Traces runs every workload hardened under both engines with an
 // execution trace attached and compares the traces — the trace-level
-// engine-differential suite. When dir is non-empty the traces are also
-// written there as <app>.<engine>.xt for polartrace to chew on.
-// Deterministic at any parallelism: each workload's seed derives from
-// (seed, app name), and the rows come back in catalog order.
-func Traces(dir string, seed int64) ([]TraceRow, error) {
+// engine-differential suite, once per layout-resolution mode (no modes
+// given runs both metadata and stateless). When dir is non-empty the
+// traces are also written there for polartrace to chew on:
+// <app>.<engine>.xt for metadata mode, <app>.stateless.<engine>.xt for
+// stateless. Deterministic at any parallelism: each (mode, workload)
+// cell's seed derives from (seed, mode, app name), and the rows come
+// back in mode-major catalog order.
+func Traces(dir string, seed int64, modes ...core.LayoutMode) ([]TraceRow, error) {
+	if len(modes) == 0 {
+		modes = []core.LayoutMode{core.LayoutModeMetadata, core.LayoutModeStateless}
+	}
 	ws := workload.All()
-	rows := make([]TraceRow, len(ws))
-	if err := ForEach(len(ws), 0, func(i int) error {
-		w := ws[i]
-		sp := Span("traces/"+w.Name, "workload")
+	type cell struct {
+		mode core.LayoutMode
+		w    *workload.Workload
+	}
+	var cells []cell
+	for _, m := range modes {
+		for _, w := range ws {
+			cells = append(cells, cell{m, w})
+		}
+	}
+	rows := make([]TraceRow, len(cells))
+	if err := ForEach(len(cells), 0, func(i int) error {
+		mode, w := cells[i].mode, cells[i].w
+		sp := Span("traces/"+mode.String()+"/"+w.Name, "workload")
 		defer sp.End()
-		tseed := TaskSeed(seed, "traces/"+w.Name)
+		// Metadata mode keeps its pre-modes seed id (and file names), so
+		// existing golden traces and dashboards stay comparable.
+		taskID := "traces/" + w.Name
+		if mode != core.LayoutModeMetadata {
+			taskID = "traces/" + mode.String() + "/" + w.Name
+		}
+		tseed := TaskSeed(seed, taskID)
 		ins, err := instrument.Apply(w.Module, nil)
 		if err != nil {
 			return fmt.Errorf("%s: instrument: %w", w.Name, err)
@@ -74,15 +119,15 @@ func Traces(dir string, seed int64) ([]TraceRow, error) {
 		if err != nil {
 			return fmt.Errorf("%s: compile: %w", w.Name, err)
 		}
-		bc, err := traceOne(ins, p, w, tseed, vm.EngineBytecode)
+		bc, err := traceOne(ins, p, w, tseed, vm.EngineBytecode, mode)
 		if err != nil {
-			return fmt.Errorf("%s: bytecode: %w", w.Name, err)
+			return fmt.Errorf("%s/%s: bytecode: %w", mode, w.Name, err)
 		}
-		lg, err := traceOne(ins, p, w, tseed, vm.EngineLegacy)
+		lg, err := traceOne(ins, p, w, tseed, vm.EngineLegacy, mode)
 		if err != nil {
-			return fmt.Errorf("%s: legacy: %w", w.Name, err)
+			return fmt.Errorf("%s/%s: legacy: %w", mode, w.Name, err)
 		}
-		row := TraceRow{App: w.Name, Bytes: len(bc), Identical: bytes.Equal(bc, lg)}
+		row := TraceRow{App: w.Name, Mode: mode.String(), Bytes: len(bc), Identical: bytes.Equal(bc, lg)}
 		ta, err := exectrace.Read(bytes.NewReader(bc))
 		if err != nil {
 			return fmt.Errorf("%s: decoding bytecode trace: %w", w.Name, err)
@@ -107,11 +152,15 @@ func Traces(dir string, seed int64) ([]TraceRow, error) {
 			}
 		}
 		if dir != "" {
+			stem := w.Name
+			if mode != core.LayoutModeMetadata {
+				stem = w.Name + "." + mode.String()
+			}
 			for _, t := range []struct {
 				eng  string
 				data []byte
 			}{{"bytecode", bc}, {"legacy", lg}} {
-				path := filepath.Join(dir, fmt.Sprintf("%s.%s.xt", w.Name, t.eng))
+				path := filepath.Join(dir, fmt.Sprintf("%s.%s.xt", stem, t.eng))
 				if err := os.WriteFile(path, t.data, 0o644); err != nil {
 					return err
 				}
@@ -131,7 +180,7 @@ func Traces(dir string, seed int64) ([]TraceRow, error) {
 func RenderTraces(rows []TraceRow) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Execution traces — bytecode vs legacy engine (byte comparison)\n")
-	fmt.Fprintf(&b, "%-18s %10s %10s  %s\n", "app", "records", "bytes", "engines")
+	fmt.Fprintf(&b, "%-18s %-10s %10s %10s  %s\n", "app", "mode", "records", "bytes", "engines")
 	ok := 0
 	for _, r := range rows {
 		verdict := "identical"
@@ -140,18 +189,18 @@ func RenderTraces(rows []TraceRow) string {
 		} else {
 			ok++
 		}
-		fmt.Fprintf(&b, "%-18s %10d %10d  %s\n", r.App, r.Records, r.Bytes, verdict)
+		fmt.Fprintf(&b, "%-18s %-10s %10d %10d  %s\n", r.App, r.Mode, r.Records, r.Bytes, verdict)
 	}
-	fmt.Fprintf(&b, "%d/%d workloads byte-identical across engines\n", ok, len(rows))
+	fmt.Fprintf(&b, "%d/%d workload/mode cells byte-identical across engines\n", ok, len(rows))
 	return b.String()
 }
 
 // CSVTraces renders the rows as CSV.
 func CSVTraces(rows []TraceRow) string {
 	var b strings.Builder
-	b.WriteString("app,records,bytes,identical,divergence\n")
+	b.WriteString("app,mode,records,bytes,identical,divergence\n")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%s,%d,%d,%t,%s\n", r.App, r.Records, r.Bytes, r.Identical, strings.ReplaceAll(r.Divergence, ",", ";"))
+		fmt.Fprintf(&b, "%s,%s,%d,%d,%t,%s\n", r.App, r.Mode, r.Records, r.Bytes, r.Identical, strings.ReplaceAll(r.Divergence, ",", ";"))
 	}
 	return b.String()
 }
@@ -159,8 +208,14 @@ func CSVTraces(rows []TraceRow) string {
 // PublishTraces folds the rows into a metrics registry.
 func PublishTraces(rows []TraceRow, reg *telemetry.Registry) {
 	for _, r := range rows {
-		reg.Counter("trace." + r.App + ".records").Set(r.Records)
-		g := reg.Gauge("trace." + r.App + ".identical")
+		// Metadata-mode metric names predate the mode column and stay
+		// unsuffixed so existing dashboards keep reading them.
+		name := "trace." + r.App
+		if r.Mode != "" && r.Mode != "metadata" {
+			name += "." + r.Mode
+		}
+		reg.Counter(name + ".records").Set(r.Records)
+		g := reg.Gauge(name + ".identical")
 		if r.Identical {
 			g.Set(1)
 		}

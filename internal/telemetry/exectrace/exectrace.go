@@ -81,6 +81,9 @@ const (
 	// untracked address, or confused member index) — the static or base
 	// offset was returned.
 	ResStatic Resolution = 3
+	// ResStateless: the offset was recomputed from the keyed hash of the
+	// base address (SPAM-style stateless mode) — no metadata probe at all.
+	ResStateless Resolution = 4
 )
 
 // String implements fmt.Stringer.
@@ -92,6 +95,8 @@ func (r Resolution) String() string {
 		return "metadata"
 	case ResStatic:
 		return "static"
+	case ResStateless:
+		return "stateless"
 	default:
 		return "?"
 	}

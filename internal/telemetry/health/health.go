@@ -127,9 +127,14 @@ type classState struct {
 // Monitor is the health evaluator. It implements telemetry.Sink.
 // Safe for concurrent use.
 type Monitor struct {
-	mu         sync.Mutex
-	cfg        Config
-	classes    map[uint64]*classState
+	mu      sync.Mutex
+	cfg     Config
+	classes map[uint64]*classState
+	// objects maps live object bases to their (class, layout) so a
+	// re-randomization event (olr_memcpy adoption or a stateless epoch
+	// rekey) can move the object between layout populations — without
+	// it, liveLayouts would keep counting the outgoing layout forever.
+	objects    map[uint64]objIdentity
 	hits       uint64
 	misses     uint64
 	violations uint64
@@ -138,6 +143,12 @@ type Monitor struct {
 	reasons    []string
 	log        *slog.Logger
 	attached   bool
+}
+
+// objIdentity is one live object's current class and layout identity.
+type objIdentity struct {
+	class  uint64
+	layout uint64
 }
 
 // NewMonitor returns an idle monitor with the default thresholds. log,
@@ -150,7 +161,12 @@ func NewMonitor(log *slog.Logger) *Monitor {
 // NewMonitorWith returns an idle monitor with the given thresholds
 // (zero fields fall back to their defaults).
 func NewMonitorWith(cfg Config, log *slog.Logger) *Monitor {
-	return &Monitor{cfg: cfg.sanitized(), classes: make(map[uint64]*classState), log: log}
+	return &Monitor{
+		cfg:     cfg.sanitized(),
+		classes: make(map[uint64]*classState),
+		objects: make(map[uint64]objIdentity),
+		log:     log,
+	}
 }
 
 // Config returns the (sanitized) thresholds the monitor runs with.
@@ -201,6 +217,7 @@ func (m *Monitor) Event(e telemetry.Event) {
 		if e.Layout != 0 {
 			cs.liveLayouts[e.Layout]++
 			cs.layoutsSeen[e.Layout] = true
+			m.objects[e.Addr] = objIdentity{class: e.Class, layout: e.Layout}
 		}
 	case telemetry.EvFree:
 		if e.Class == 0 {
@@ -213,6 +230,28 @@ func (m *Monitor) Event(e telemetry.Event) {
 				delete(cs.liveLayouts, e.Layout)
 			}
 		}
+		delete(m.objects, e.Addr)
+	case telemetry.EvMemcpyRerand:
+		// The object at e.Addr now lives under a new layout (memcpy
+		// adoption of an untracked chunk, or a stateless epoch rekey):
+		// retire its previous layout identity and count the new one, so
+		// entropy reflects the *effective* layouts, not registration
+		// history.
+		if e.Class == 0 || e.Layout == 0 {
+			break
+		}
+		if prev, ok := m.objects[e.Addr]; ok && prev.layout != 0 {
+			pcs := m.class(prev.class, "")
+			if pcs.liveLayouts[prev.layout] > 0 {
+				if pcs.liveLayouts[prev.layout]--; pcs.liveLayouts[prev.layout] == 0 {
+					delete(pcs.liveLayouts, prev.layout)
+				}
+			}
+		}
+		cs := m.class(e.Class, e.Detail)
+		cs.liveLayouts[e.Layout]++
+		cs.layoutsSeen[e.Layout] = true
+		m.objects[e.Addr] = objIdentity{class: e.Class, layout: e.Layout}
 	case telemetry.EvFieldHit:
 		m.hits++
 	case telemetry.EvFieldMiss:

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 
 	"polar/internal/heap"
 	"polar/internal/ir"
@@ -372,6 +373,19 @@ func (v *VM) TrackObject(base uint64, st *ir.StructType) { v.objects[base] = st 
 
 // UntrackObject removes object tracking at free time.
 func (v *VM) UntrackObject(base uint64) { delete(v.objects, base) }
+
+// TrackedBases returns the base addresses of every tracked live object
+// in ascending order. The sort matters: the stateless rekey walk emits
+// per-object events, and map iteration order must not leak into the
+// event or trace streams (they are byte-identical per seed).
+func (v *VM) TrackedBases() []uint64 {
+	out := make([]uint64, 0, len(v.objects))
+	for base := range v.objects {
+		out = append(out, base)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
 
 // Hooks returns the attached tracer (may be nil).
 func (v *VM) HooksAttached() Hooks { return v.hooks }

@@ -271,7 +271,8 @@ type options struct {
 	noUAF         bool
 	noRerand      bool
 	cacheSize     int
-	layoutMode    layout.Mode
+	resolveMode   core.LayoutMode
+	rekeyEvery    int
 	dummiesMin    int
 	dummiesMax    int
 	setDummies    bool
@@ -315,7 +316,35 @@ func WithoutUAFDetection() Option { return func(o *options) { o.noUAF = true } }
 func WithoutCopyRerandomization() Option { return func(o *options) { o.noRerand = true } }
 
 // WithCacheSize sets the offset-lookup cache capacity (-1 disables).
+// In stateless mode the same knob sizes the derivation memo.
 func WithCacheSize(n int) Option { return func(o *options) { o.cacheSize = n } }
+
+// LayoutMode selects the layout-resolution strategy: LayoutModeMetadata
+// (the paper's per-object metadata table, the default) or
+// LayoutModeStateless (SPAM-style keyed derivation from the base
+// address — zero metadata bytes, no UAF detection). Parse textual flag
+// values with ParseLayoutMode.
+type LayoutMode = core.LayoutMode
+
+// Layout-resolution strategies (see LayoutMode).
+const (
+	LayoutModeMetadata  = core.LayoutModeMetadata
+	LayoutModeStateless = core.LayoutModeStateless
+)
+
+// ParseLayoutMode maps flag spellings ("metadata", "table", "stateless",
+// "") to a LayoutMode.
+func ParseLayoutMode(s string) (LayoutMode, error) { return core.ParseLayoutMode(s) }
+
+// WithLayoutMode selects the layout-resolution strategy for the run.
+// Per-class overrides (norandom/pinned classes) apply in every mode.
+func WithLayoutMode(m LayoutMode) Option { return func(o *options) { o.resolveMode = m } }
+
+// WithRekeyEvery makes stateless mode advance its derivation epoch —
+// re-randomizing every live object's layout in place — after every n
+// instrumented frees (0, the default, disables rekeying). Ignored in
+// metadata mode, which re-randomizes per object on copy instead.
+func WithRekeyEvery(n int) Option { return func(o *options) { o.rekeyEvery = n } }
 
 // WithDummies overrides the dummy-member count range.
 func WithDummies(min, max int) Option {
@@ -597,6 +626,10 @@ func runtimeConfig(o *options, table *classinfo.Table, perClass map[uint64]layou
 	}
 	if o.cacheSize != 0 {
 		cfg.CacheSize = o.cacheSize
+	}
+	cfg.LayoutMode = o.resolveMode
+	if o.rekeyEvery > 0 {
+		cfg.RekeyEvery = o.rekeyEvery
 	}
 	if o.setDummies {
 		cfg.Layout.MinDummies, cfg.Layout.MaxDummies = o.dummiesMin, o.dummiesMax
