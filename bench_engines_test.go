@@ -17,7 +17,7 @@ import (
 // bytecode engine targets.
 //
 // TestEngineSpeedup (run with POLAR_BENCH_ENGINES=1, as CI does) records
-// the pair in BENCH_interp.json and enforces the ≥1.5× contract.
+// the pair in BENCH_interp.json and enforces the ≥2.2× contract.
 
 func enginePair(b *testing.B) (*vm.Program, *workload.Workload) {
 	b.Helper()
@@ -61,7 +61,9 @@ type benchRecord struct {
 
 // TestEngineSpeedup measures both engines under the testing.Benchmark
 // harness, writes BENCH_interp.json, and fails unless the bytecode
-// engine is at least 1.5× faster than the tree-walker. Gated behind
+// engine is at least 2.2× faster than the tree-walker (the PGO
+// superinstruction + operand-file lowering holds ~2.6-3.2× here; the
+// floor leaves headroom for loaded CI machines). Gated behind
 // POLAR_BENCH_ENGINES because it is a timing test: meaningless under
 // -race or on a loaded machine.
 func TestEngineSpeedup(t *testing.T) {
@@ -99,7 +101,7 @@ func TestEngineSpeedup(t *testing.T) {
 		legacy.NsPerOp(), bytecode.NsPerOp(), speedup)
 	fmt.Printf("engine speedup: %.2fx (legacy %d ns/op, bytecode %d ns/op)\n",
 		speedup, legacy.NsPerOp(), bytecode.NsPerOp())
-	if speedup < 1.5 {
-		t.Fatalf("bytecode engine %.2fx faster than legacy, want >= 1.5x", speedup)
+	if speedup < 2.2 {
+		t.Fatalf("bytecode engine %.2fx faster than legacy, want >= 2.2x", speedup)
 	}
 }

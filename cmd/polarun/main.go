@@ -4,7 +4,7 @@
 //
 //	polarun [-hardened|-harden] [-engine bytecode|legacy] [-input file]
 //	        [-seed n] [-stats] [-runs n] [-parallel n] [-metrics]
-//	        [-trace-json file] [-profile file] [-http addr]
+//	        [-trace-json file] [-profile file] [-pgo file] [-http addr]
 //	        program.ir [args...]
 //
 // -engine selects the execution engine: the default bytecode engine
@@ -49,6 +49,15 @@
 //	              top-N report goes to stderr and the pprof-compatible
 //	              protobuf to the named file (`go tool pprof file`)
 //	-profile-top  rows in the text report (default 15)
+//	-pgo          compile under a hot-site profile recorded by a prior
+//	              -pgo-record run: the fuser ranks superinstruction
+//	              candidates by real dynamic weight instead of the
+//	              static loop-depth estimate (DESIGN.md §13)
+//	-pgo-topk     fuse only the K hottest candidate runs (0 = all;
+//	              negative disables generalized fusion)
+//	-pgo-record   write the run's hot-site weights as a JSON profile to
+//	              this file for later -pgo compilation (implies the
+//	              profiler)
 //	-cpuprofile   Go-level CPU profile of the interpreter itself
 //	-memprofile   Go-level allocation profile, written after the run
 //	-http         serve /debug/polar/{metrics,events,hotsites,
@@ -132,6 +141,9 @@ type runConfig struct {
 	exectraceLimit   uint64
 	layoutMode       string
 	rekeyEpoch       int
+	pgoPath          string
+	pgoTopK          int
+	pgoRecord        string
 }
 
 // outputConflict rejects two flags writing into the same file: the
@@ -149,6 +161,7 @@ func outputConflict(c runConfig) error {
 		{"-cpuprofile", c.cpuProfile},
 		{"-memprofile", c.memProfile},
 		{"-log", c.logPath},
+		{"-pgo-record", c.pgoRecord},
 	} {
 		if t.path == "" || t.path == "-" {
 			continue
@@ -202,6 +215,9 @@ func main() {
 	flag.Uint64Var(&c.exectraceLimit, "exectrace-limit", 0, "stop recording execution-trace events after N records (0 = unbounded; overflow is counted)")
 	flag.StringVar(&c.layoutMode, "layout-mode", "metadata", "layout-resolution strategy: metadata (per-object table) or stateless (keyed derivation, no UAF detection)")
 	flag.IntVar(&c.rekeyEpoch, "rekey-epoch", 0, "stateless mode: re-randomize every live object's layout after every N frees (0 = never)")
+	flag.StringVar(&c.pgoPath, "pgo", "", "compile under this hot-site profile (JSON written by -pgo-record)")
+	flag.IntVar(&c.pgoTopK, "pgo-topk", 0, "fuse only the K hottest candidate runs (0 = all, negative = classic pairs only)")
+	flag.StringVar(&c.pgoRecord, "pgo-record", "", "write the run's hot-site weights as a -pgo profile to this file")
 	flag.Parse()
 	if err := outputConflict(c); err != nil {
 		fmt.Fprintln(os.Stderr, "polarun:", err)
@@ -213,6 +229,16 @@ func main() {
 		os.Exit(2)
 	}
 	polar.SetDefaultEngine(eng)
+	if c.pgoPath != "" || c.pgoTopK != 0 {
+		var prof *polar.PGOProfile
+		if c.pgoPath != "" {
+			if prof, err = polar.ReadPGOFile(c.pgoPath); err != nil {
+				fmt.Fprintln(os.Stderr, "polarun:", err)
+				os.Exit(2)
+			}
+		}
+		polar.SetDefaultPGO(prof, c.pgoTopK)
+	}
 	if _, err := polar.ParseLayoutMode(c.layoutMode); err != nil {
 		fmt.Fprintln(os.Stderr, "polarun:", err)
 		os.Exit(2)
@@ -312,7 +338,7 @@ func run(c runConfig) error {
 		}()
 	}
 	var prof *polar.SiteProfiler
-	if c.profilePath != "" || c.httpAddr != "" {
+	if c.profilePath != "" || c.httpAddr != "" || c.pgoRecord != "" {
 		prof = polar.NewSiteProfiler()
 	}
 	var ih *introspect.Handler
@@ -507,6 +533,7 @@ func run(c runConfig) error {
 	fmt.Printf("result: %d\n", res.Value)
 	if c.stats {
 		fmt.Fprintf(os.Stderr, "vm: %s\n", res.VM)
+		fmt.Fprintf(os.Stderr, "vm-perf: %s\n", res.Perf)
 		if c.hardened || c.harden {
 			fmt.Fprintf(os.Stderr, "runtime: %s\n", res.Runtime)
 			if res.ViolationsTruncated {
@@ -525,6 +552,11 @@ func run(c runConfig) error {
 			return err
 		}
 		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if c.pgoRecord != "" {
+		if err := polar.WritePGOFile(c.pgoRecord, prof); err != nil {
 			return err
 		}
 	}

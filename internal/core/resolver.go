@@ -153,6 +153,10 @@ func (m *metaResolver) Resolve(v *vm.VM, base uint64, field int, classHash uint6
 			r.histProbe.Observe(1)
 			r.tel.Emit(telemetry.Event{Kind: telemetry.EvFieldHit, Addr: base, Class: classHash, Field: field})
 		}
+		// A cache hit is a clean, live, well-typed resolution (the slow
+		// path enforced that before populating): safe to memoize at the
+		// calling site's inline cache.
+		r.curCall.Memoize(int64(off))
 		return int(off), exectrace.ResCacheHit, nil
 	}
 	if r.prof != nil {
@@ -221,9 +225,15 @@ func (m *metaResolver) Resolve(v *vm.VM, base uint64, field int, classHash uint6
 		return 0, 0, fmt.Errorf("polar: %s: %w", r.className(meta.ClassHash), err)
 	}
 	// Only well-typed live accesses populate the cache; confused or
-	// dangling resolutions must keep hitting the slow path.
+	// dangling resolutions must keep hitting the slow path. The same rule
+	// gates the per-site inline cache — and the cache-size gate keeps the
+	// "nocache" ablation arm free of inline caching too, so its probe
+	// counts keep meaning what they measure.
 	if meta.ClassHash == classHash && !meta.Freed {
 		r.cache.put(base, classHash, field, int32(off))
+		if r.cache.size > 0 {
+			r.curCall.Memoize(int64(off))
+		}
 	}
 	return off, exectrace.ResMetadata, nil
 }
@@ -245,6 +255,9 @@ func (m *metaResolver) Alloc(v *vm.VM, cls *classinfo.Class) (uint64, *layout.La
 	r.seal(meta)
 	if old != nil {
 		r.cache.invalidate(base, len(old.Layout.Offsets))
+		// Re-registration of a recycled base: inline-cache entries keyed
+		// to the old object must stop matching.
+		r.layoutGen++
 	}
 	return base, l, nil
 }
@@ -364,6 +377,7 @@ func (m *metaResolver) Memcpy(v *vm.VM, dst, src uint64, n int, classHash uint64
 				r.noteLiveObject()
 			} else {
 				r.cache.invalidate(dst, len(old.Layout.Offsets))
+				r.layoutGen++ // re-registration, as in Alloc
 			}
 			v.TrackObject(dst, cls.Struct)
 			if err := r.armTraps(v, dst, l); err != nil {

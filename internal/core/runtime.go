@@ -157,6 +157,15 @@ type Runtime struct {
 	// entry point delegates its strategy-specific ladder here.
 	resolver LayoutResolver
 
+	// layoutGen is the layout generation the engines' per-site inline
+	// caches validate against (vm.InstallLayoutCache). Any event that can
+	// change what (base, class, field) resolves to — a free (the base may
+	// be recycled under another class), a re-registration, a stateless
+	// epoch advance — increments it, invalidating every cached entry at
+	// once. Starts at 1 so a zeroed (never-written) cache entry can never
+	// match.
+	layoutGen uint64
+
 	allocs     uint64
 	frees      uint64
 	memcpys    uint64
@@ -219,6 +228,7 @@ func New(table *classinfo.Table, cfg Config) *Runtime {
 		secret:     rng.Uint64() | 1,
 		violations: make(map[ViolationKind]uint64),
 		curField:   -1,
+		layoutGen:  1,
 	}
 	// The stateless key halves are drawn after the canary secret, so the
 	// metadata strategy's layout-generation stream is byte-identical to
@@ -457,6 +467,58 @@ func (r *Runtime) Attach(v *vm.VM) {
 		r.curCall, r.curField = c, -1
 		return r.olrCheck(c.VM, uint64(c.Arg(0)))
 	})
+	// Hand the engines the inline layout-cache protocol: the generation
+	// counter their cached entries validate against, and the hit callback
+	// that replays this runtime's fast-path observables when a site skips
+	// the resolver entirely.
+	v.InstallLayoutCache(&r.layoutGen, r.icFieldHit)
+}
+
+// profSiteFor is profSite for a caller that carries the site string
+// itself (the inline-cache hit callback runs without curCall set — the
+// builtin dispatch was skipped).
+func (r *Runtime) profSiteFor(site string) *profile.SiteCounts {
+	sc, ok := r.profSites[site]
+	if !ok {
+		sc = r.prof.Site(site)
+		r.profSites[site] = sc
+	}
+	return sc
+}
+
+// icFieldHit is the engines' inline-cache hit callback: a monomorphic
+// olr_getptr site revalidated its memoized offset against the current
+// layout generation and skipped the resolver. The runtime's observable
+// stream must be indistinguishable from the strategy's own fast path —
+// cross-engine trace identity depends on both engines calling this at
+// the same points — so it replays exactly what that arm would have
+// done: the metadata strategy's offset-cache hit (probe length 1,
+// cache.hits) or the stateless memo hit (probe length 0, no cache
+// counters — the stateless ablation row asserts they stay zero).
+func (r *Runtime) icFieldHit(site string, base uint64, field int64, class uint64, off int64) {
+	r.accesses++
+	if r.prof != nil {
+		r.profSiteFor(site).IncGetptr()
+	}
+	stateless := r.resolver.Mode() == LayoutModeStateless
+	if !stateless {
+		r.cache.hits++
+	}
+	if r.tel != nil {
+		if stateless {
+			r.histProbe.Observe(0)
+		} else {
+			r.histProbe.Observe(1)
+		}
+		r.tel.Emit(telemetry.Event{Kind: telemetry.EvFieldHit, Addr: base, Class: class, Field: int(field)})
+	}
+	if r.xt != nil {
+		res := exectrace.ResCacheHit
+		if stateless {
+			res = exectrace.ResStateless
+		}
+		r.xt.Getptr(r.xt.Intern(site), class, int(field), base, int(off), res)
+	}
 }
 
 // olrMalloc implements the instrumented allocation site: the resolver
@@ -570,6 +632,10 @@ func (r *Runtime) olrFree(v *vm.VM, base uint64) error {
 	if err := v.Heap.Free(base); err != nil {
 		return err
 	}
+	// The freed base may be recycled under another class/layout;
+	// invalidate every inline-cache entry. (Plain frees bump the counter
+	// at the engines' free opcode instead — olr_free never reaches it.)
+	r.layoutGen++
 	return r.resolver.AfterFree(v)
 }
 

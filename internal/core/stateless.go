@@ -211,6 +211,9 @@ func (s *statelessResolver) Resolve(v *vm.VM, base uint64, field int, classHash 
 			r.histProbe.Observe(0)
 			r.tel.Emit(telemetry.Event{Kind: telemetry.EvFieldHit, Addr: base, Class: classHash, Field: field})
 		}
+		// The memo witnessed (base, class) live this epoch — the same
+		// clean-resolution guarantee the inline cache needs.
+		r.curCall.Memoize(int64(l.Offsets[field]))
 		return l.Offsets[field], exectrace.ResStateless, nil
 	}
 	st, tracked := v.ObjectType(base)
@@ -273,6 +276,11 @@ func (s *statelessResolver) Resolve(v *vm.VM, base uint64, field int, classHash 
 	if r.tel != nil {
 		r.histProbe.Observe(0)
 		r.tel.Emit(telemetry.Event{Kind: telemetry.EvFieldHit, Addr: base, Class: classHash, Field: field})
+	}
+	// Clean tracked resolution. Gate on the memo so the nocache ablation
+	// arm stays inline-cache-free, mirroring the metadata strategy.
+	if s.memo != nil {
+		r.curCall.Memoize(int64(l.Offsets[field]))
 	}
 	return l.Offsets[field], exectrace.ResStateless, nil
 }
@@ -372,6 +380,9 @@ func (s *statelessResolver) Rerandomize(v *vm.VM) (bool, error) {
 	oldEpoch := s.epoch
 	s.epoch++
 	s.rekeys++
+	// Every derived offset changes with the epoch: invalidate all
+	// inline-cache entries before any object moves.
+	r.layoutGen++
 	for _, base := range v.TrackedBases() {
 		st, ok := v.ObjectType(base)
 		if !ok || st == nil {
@@ -469,6 +480,7 @@ func (s *statelessResolver) Memcpy(v *vm.VM, dst, src uint64, n int, classHash u
 	// static layout so static-arm accesses still resolve.
 	if size, live, isChunk := v.Heap.SizeOf(dst); isChunk && live && size >= s.maxSize(srcCls) {
 		v.TrackObject(dst, srcCls.Struct)
+		r.layoutGen++ // dst's resolution path changed (static -> derived)
 		dl, err := s.layoutFor(srcCls, dst)
 		if err != nil {
 			return err

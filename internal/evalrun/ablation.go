@@ -25,6 +25,14 @@ type AblationRow struct {
 	// MetaBytesPerLive is the strategy's metadata footprint amortized
 	// over the peak live-object population (bytes/object; 0 stateless).
 	MetaBytesPerLive float64
+	// FusedDispatches counts bcFused superinstruction dispatches in the
+	// representative run (0 on the legacy-engine arm: the tree-walker
+	// never dispatches fused runs).
+	FusedDispatches uint64
+	// ICHitPct is the per-site inline layout-cache hit rate of that run
+	// (hits / (hits+misses); meaningful in both layout modes — the
+	// stateless arm memoizes derived offsets the same way).
+	ICHitPct float64
 }
 
 // ablationConfigs enumerates the DESIGN.md §4 variants. The offset
@@ -106,14 +114,16 @@ func Ablation(reps int, seed int64) ([]AblationRow, error) {
 		if c.cfgName == legacyEngineConfig {
 			vmOpts = append(vmOpts, vm.WithEngine(vm.EngineLegacy))
 		}
-		base, polar, rt, err := measureWorkload(w, reps, TaskSeed(seed, "ablation/"+c.cfgName+"/"+c.app), c.cfg, vmOpts...)
+		base, polar, rt, perf, err := measureWorkload(w, reps, TaskSeed(seed, "ablation/"+c.cfgName+"/"+c.app), c.cfg, vmOpts...)
 		if err != nil {
 			return fmt.Errorf("%s/%s: %w", c.cfgName, c.app, err)
 		}
 		row := AblationRow{
-			Config:      c.cfgName,
-			App:         c.app,
-			OverheadPct: overheadPct(base, polar),
+			Config:          c.cfgName,
+			App:             c.app,
+			OverheadPct:     overheadPct(base, polar),
+			FusedDispatches: perf.FusedDispatches,
+			ICHitPct:        100 * perf.HitRate(),
 		}
 		if rt != nil {
 			st := rt.Stats()
@@ -138,11 +148,12 @@ func RenderAblation(rows []AblationRow) string {
 	b.WriteString("Ablation: overhead by runtime configuration (DESIGN.md §4)\n")
 	b.WriteString("metadata columns from one representative hardened run per cell;\n")
 	b.WriteString("the stateless arm shows 0 probes / 0 bytes — no cache needed\n")
-	b.WriteString(fmt.Sprintf("%-16s %-14s %9s %9s %12s %10s\n",
-		"config", "app", "ovhd%", "cache-hit%", "meta-probes", "metaB/obj"))
+	b.WriteString(fmt.Sprintf("%-16s %-14s %9s %9s %12s %10s %10s %8s\n",
+		"config", "app", "ovhd%", "cache-hit%", "meta-probes", "metaB/obj", "fused", "ic-hit%"))
 	for _, r := range rows {
-		b.WriteString(fmt.Sprintf("%-16s %-14s %8.1f%% %9.1f%% %12d %10.1f\n",
-			r.Config, r.App, r.OverheadPct, r.CacheHitPct, r.MetaProbes, r.MetaBytesPerLive))
+		b.WriteString(fmt.Sprintf("%-16s %-14s %8.1f%% %9.1f%% %12d %10.1f %10d %7.1f%%\n",
+			r.Config, r.App, r.OverheadPct, r.CacheHitPct, r.MetaProbes, r.MetaBytesPerLive,
+			r.FusedDispatches, r.ICHitPct))
 	}
 	return b.String()
 }

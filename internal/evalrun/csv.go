@@ -128,10 +128,13 @@ func CSVSecurity(rep *SecurityReport) string {
 func CSVAblation(rows []AblationRow) string {
 	out := make([][]string, 0, len(rows))
 	for _, r := range rows {
+		// New columns go at the end: the CI gates address the stateless
+		// arm's metadata fields positionally ($5/$6).
 		out = append(out, []string{
 			r.Config, r.App, f2(r.OverheadPct), f2(r.CacheHitPct),
 			strconv.FormatUint(r.MetaProbes, 10), f2(r.MetaBytesPerLive),
+			strconv.FormatUint(r.FusedDispatches, 10), f2(r.ICHitPct),
 		})
 	}
-	return writeCSV([]string{"config", "app", "overhead_pct", "cache_hit_pct", "meta_probes", "meta_bytes_per_live"}, out)
+	return writeCSV([]string{"config", "app", "overhead_pct", "cache_hit_pct", "meta_probes", "meta_bytes_per_live", "fused_dispatches", "ic_hit_pct"}, out)
 }

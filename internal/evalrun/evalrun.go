@@ -70,8 +70,9 @@ func runOnce(p *vm.Program, input []byte, args []int64, rt func(*vm.VM), vmOpts 
 
 // measureWorkload returns baseline and POLaR-hardened run times for one
 // workload, verifying checksum equality on the way. The returned runtime
-// is the last hardened rep's — its counters (metadata probes, peak live
-// objects, cache hits) describe one representative execution under cfg.
+// and engine performance counters are the last hardened rep's — probes,
+// cache hits, inline-cache traffic and fused dispatches of one
+// representative execution under cfg.
 //
 // Methodology: baseline and hardened executions are interleaved and the
 // minimum over reps is taken for each — min-of-N is far more robust to
@@ -82,18 +83,18 @@ func runOnce(p *vm.Program, input []byte, args []int64, rt func(*vm.VM), vmOpts 
 // run itself, not validation and layout. All reps of one workload run
 // on the caller's goroutine — a parallel experiment pins each
 // workload's timings to one worker.
-func measureWorkload(w *workload.Workload, reps int, seed int64, cfg core.Config, vmOpts ...vm.Option) (base, polar time.Duration, rt *core.Runtime, err error) {
+func measureWorkload(w *workload.Workload, reps int, seed int64, cfg core.Config, vmOpts ...vm.Option) (base, polar time.Duration, rt *core.Runtime, perf vm.Perf, err error) {
 	baseProg, err := vm.Compile(ir.Clone(w.Module))
 	if err != nil {
-		return 0, 0, nil, fmt.Errorf("%s: %w", w.Name, err)
+		return 0, 0, nil, perf, fmt.Errorf("%s: %w", w.Name, err)
 	}
 	ins, err := instrument.Apply(w.Module, nil)
 	if err != nil {
-		return 0, 0, nil, fmt.Errorf("%s: instrument: %w", w.Name, err)
+		return 0, 0, nil, perf, fmt.Errorf("%s: instrument: %w", w.Name, err)
 	}
 	insProg, err := vm.Compile(ins.Module)
 	if err != nil {
-		return 0, 0, nil, fmt.Errorf("%s: instrumented: %w", w.Name, err)
+		return 0, 0, nil, perf, fmt.Errorf("%s: instrumented: %w", w.Name, err)
 	}
 	if reps < 1 {
 		reps = 1
@@ -111,36 +112,39 @@ func measureWorkload(w *workload.Workload, reps int, seed int64, cfg core.Config
 	for i := 0; i < reps; i++ {
 		d, sum, err := runOnce(baseProg, w.Input, w.Args, nil, vmOpts...)
 		if err != nil {
-			return 0, 0, nil, fmt.Errorf("%s: baseline: %w", w.Name, err)
+			return 0, 0, nil, perf, fmt.Errorf("%s: baseline: %w", w.Name, err)
 		}
 		if first {
 			wantSum, first = sum, false
 		} else if sum != wantSum {
-			return 0, 0, nil, fmt.Errorf("%s: baseline checksum drift", w.Name)
+			return 0, 0, nil, perf, fmt.Errorf("%s: baseline checksum drift", w.Name)
 		}
 		if d < base {
 			base = d
 		}
 
 		runSeed++
+		var hv *vm.VM
 		d, sum, err = runOnce(insProg, w.Input, w.Args, func(v *vm.VM) {
 			c := cfg
 			c.Seed = runSeed
 			c.Interner = interner
 			rt = core.New(ins.Table, c)
 			rt.Attach(v)
+			hv = v
 		}, vmOpts...)
 		if err != nil {
-			return 0, 0, nil, fmt.Errorf("%s: hardened: %w", w.Name, err)
+			return 0, 0, nil, perf, fmt.Errorf("%s: hardened: %w", w.Name, err)
 		}
 		if sum != wantSum {
-			return 0, 0, nil, fmt.Errorf("%s: hardened checksum %d != baseline %d", w.Name, sum, wantSum)
+			return 0, 0, nil, perf, fmt.Errorf("%s: hardened checksum %d != baseline %d", w.Name, sum, wantSum)
 		}
+		perf = hv.Perf
 		if d < polar {
 			polar = d
 		}
 	}
-	return base, polar, rt, nil
+	return base, polar, rt, perf, nil
 }
 
 func overheadPct(base, polar time.Duration) float64 {

@@ -31,7 +31,7 @@ func Figure6(reps int, seed int64) ([]OverheadRow, error) {
 		sp := Span(w.Name, "fig6")
 		defer sp.End()
 		tseed := TaskSeed(seed, "fig6/"+w.Name)
-		base, polar, _, err := measureWorkload(w, reps, tseed, core.DefaultConfig(tseed))
+		base, polar, _, _, err := measureWorkload(w, reps, tseed, core.DefaultConfig(tseed))
 		if err != nil {
 			return err
 		}
@@ -121,7 +121,7 @@ func Figure7(reps int, seed int64) ([]JSRow, error) {
 
 func measureJSKernel(k *workload.JSKernel, reps int, seed int64) (base, polar time.Duration, err error) {
 	w := &workload.Workload{Name: k.Suite + "/" + k.Name, Module: k.Module, Input: k.Input}
-	base, polar, _, err = measureWorkload(w, reps, seed, core.DefaultConfig(seed))
+	base, polar, _, _, err = measureWorkload(w, reps, seed, core.DefaultConfig(seed))
 	return base, polar, err
 }
 

@@ -127,6 +127,8 @@ func PublishAblation(rows []AblationRow, reg *telemetry.Registry) {
 	for _, r := range rows {
 		reg.Gauge(metricName("ablation", r.Config, r.App, "overhead_pct")).Set(r.OverheadPct)
 		reg.Gauge(metricName("ablation", r.Config, r.App, "cache_hit_pct")).Set(r.CacheHitPct)
+		reg.Counter(metricName("ablation", r.Config, r.App, "fused_dispatches")).Set(r.FusedDispatches)
+		reg.Gauge(metricName("ablation", r.Config, r.App, "ic_hit_pct")).Set(r.ICHitPct)
 		reg.Counter(metricName("ablation", r.Config, r.App, "meta_probes")).Set(r.MetaProbes)
 		reg.Gauge(metricName("ablation", r.Config, r.App, "meta_bytes_per_live")).Set(r.MetaBytesPerLive)
 	}

@@ -17,6 +17,7 @@ import (
 	"polar/internal/telemetry/health"
 	"polar/internal/telemetry/profile"
 	"polar/internal/telemetry/sample"
+	"polar/internal/vm"
 )
 
 func newServer(t *testing.T, prof *profile.SiteProfiler) (*telemetry.Telemetry, *httptest.Server) {
@@ -260,6 +261,20 @@ func TestMetricsPromEndpoint(t *testing.T) {
 	}
 	if !strings.HasSuffix(body, "# EOF\n") {
 		t.Error("exposition does not end with # EOF")
+	}
+
+	// The engine performance counters publish under fixed names that
+	// dashboards depend on; pin the OpenMetrics spellings.
+	vm.Perf{InlineHits: 3, InlineMisses: 2, FusedDispatches: 5}.Publish(tel.Registry)
+	_, body = get(t, srv.URL+"/debug/polar/metrics.prom")
+	for _, want := range []string{
+		"polar_vm_inline_cache_hits_total 3",
+		"polar_vm_inline_cache_misses_total 2",
+		"polar_vm_fused_dispatches_total 5",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q:\n%s", want, body)
+		}
 	}
 }
 

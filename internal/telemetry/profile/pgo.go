@@ -1,0 +1,60 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// PGO is a hot-site profile in the shape the bytecode compiler's fusion
+// selector consumes: dynamic weight (interpreted cycles) per
+// "@fn.block" site. It is the persistent, re-loadable distillation of a
+// SiteProfiler run — record once with the profiler on, feed back into
+// later compiles so superinstruction selection follows measured heat
+// instead of the static loop-depth estimate.
+type PGO struct {
+	// Weights maps "@fn.block" -> interpreted cycles observed there.
+	Weights map[string]uint64 `json:"weights"`
+}
+
+// ExportPGO distills a profiler's snapshot into a PGO profile. Sites
+// with zero cycles are kept: their presence marks the function as
+// covered, which tells the fusion selector to trust the profile (cold
+// block) rather than fall back to the static estimate.
+func (p *SiteProfiler) ExportPGO() *PGO {
+	out := &PGO{Weights: make(map[string]uint64)}
+	for _, s := range p.Snapshot() {
+		out.Weights[s.Site] = s.Cycles
+	}
+	return out
+}
+
+// WritePGOFile writes the profile as JSON. encoding/json sorts map keys,
+// so the same profile always serializes byte-identically — the
+// PGO-determinism gate depends on that.
+func WritePGOFile(path string, p *PGO) error {
+	data, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return fmt.Errorf("profile: marshal pgo: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("profile: write pgo: %w", err)
+	}
+	return nil
+}
+
+// ReadPGOFile loads a profile written by WritePGOFile.
+func ReadPGOFile(path string) (*PGO, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("profile: read pgo: %w", err)
+	}
+	var p PGO
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("profile: parse pgo %s: %w", path, err)
+	}
+	if p.Weights == nil {
+		p.Weights = make(map[string]uint64)
+	}
+	return &p, nil
+}

@@ -54,14 +54,30 @@ const (
 	bcFieldLoad  // dest = base+off; d2 = load dest
 	bcFieldStore // dest = base+off; store b through it
 	bcCmpBr      // dest = cmp(a,b); branch on it
+
+	// bcFused is the generalized superinstruction: one dispatch executes
+	// an arbitrary straight-line run of fusable source instructions as a
+	// micro-op sequence (bcInstr.micro). Its weight is the micro count,
+	// so fuel, Stats.Instructions and per-site profiler cycles account
+	// exactly as if each source instruction had dispatched on its own;
+	// every intermediate register is still written. The run may end with
+	// the block terminator (br/condbr), in which case the last micro
+	// performs the branch.
+	bcFused
 )
 
-// weight is the number of source instructions an opcode accounts for.
-func (op bcOp) weight() uint32 {
-	if op >= bcFieldLoad {
+// weight is the number of source instructions an instruction accounts
+// for. It is a bcInstr method (not a bcOp one) because bcFused weighs
+// len(micro).
+func (in *bcInstr) weight() uint32 {
+	switch {
+	case in.op == bcFused:
+		return uint32(len(in.micro))
+	case in.op >= bcFieldLoad:
 		return 2
+	default:
+		return 1
 	}
-	return 1
 }
 
 // bcArg is a pre-resolved operand: an immediate, or a register index
@@ -78,6 +94,73 @@ func (a bcArg) arg(regs []int64) int64 {
 		return regs[a.v]
 	}
 	return a.v
+}
+
+// mcOp is a micro-opcode inside a bcFused run. The set is exactly the
+// fusable subset of bcOp: straight-line register/memory/arithmetic
+// work plus the block terminators. Ops with side channels beyond
+// registers, memory and Stats.FieldAccess (allocation, free, memcpy,
+// memset, calls, returns) are never fused — they would need telemetry
+// and accounting hooks inside the micro loop.
+type mcOp uint8
+
+// Micro-opcodes.
+const (
+	mcLoad mcOp = iota
+	mcStore
+	mcFieldPtr
+	mcElemPtr
+	mcPtrAdd
+	mcBin
+	mcFBin
+	mcCmp
+	mcFCmp
+	mcItoF
+	mcFtoI
+	mcMov
+	mcBr
+	mcCondBr
+
+	// Specialized forms the lowering splits off from the general micros
+	// above: the non-faulting integer arithmetic kinds, the dominant
+	// 8-byte memory width and the compare kinds each get a first-class
+	// micro-opcode, so the hot dispatch is one flat switch with no
+	// secondary kind/size/sign branch per micro. Semantics are exactly
+	// those of the general form they specialize.
+	mcAdd
+	mcSub
+	mcMul
+	mcAnd
+	mcOr
+	mcXor
+	mcShl
+	mcShr
+	mcLoad8  // 8-byte load (never sign-extended)
+	mcStore8 // 8-byte store
+	mcCmpEq
+	mcCmpNe
+	mcCmpLt
+	mcCmpLe
+	mcCmpGt
+	mcCmpGe
+)
+
+// mcInstr is one micro-op of a fused run: a fully pre-decoded
+// single-source-instruction operation. Operands collapse to an int64
+// that is either an immediate or (when aReg/bReg) a register index.
+// Field roles mirror bcInstr: size is the load/store width or elemptr
+// element size, off the fieldptr byte offset or a branch's first
+// target, t1 a condbr's false target.
+type mcInstr struct {
+	op         mcOp
+	kind       uint8
+	signShift  uint8
+	aReg, bReg bool
+	dest       int32
+	size       int32
+	off        int32
+	t1         int32
+	a, b       int64
 }
 
 // bcInstr is one lowered instruction. Field meaning varies by opcode:
@@ -110,6 +193,14 @@ type bcInstr struct {
 	st        *ir.StructType
 	irIn      *ir.Instr
 	args      []bcArg
+	// micro is the pre-decoded micro-op sequence of a bcFused run (nil
+	// for every other opcode); irIn then points at the run's first
+	// source instruction.
+	micro []mcInstr
+	// ic is the instruction's inline layout-cache slot (bcCallBuiltin on
+	// olr_getptr only; -1 everywhere else). Slots index the per-instance
+	// VM.icSlots table; the Program only counts them.
+	ic int32
 }
 
 // bcBlock locates one basic block inside a bcFunc's flat code array.
@@ -129,11 +220,32 @@ type bcFunc struct {
 	// and fuel-scarce paths without any per-instruction accounting.
 	wTo     []uint32
 	numRegs int
+	// consts is the pooled-constant bank: immediate operands of fused
+	// micro-ops are hoisted into dedicated frame registers (installed by
+	// callBC right after the parameters), so the micro loop reads every
+	// operand as regs[idx] with no reg-vs-const branch.
+	consts []bcConst
+}
+
+// bcConst is one pooled micro-operand constant: val is written to frame
+// register slot at function entry.
+type bcConst struct {
+	slot int32
+	val  int64
 }
 
 // executedThrough returns the source-instruction count a block has
 // charged once the instruction at pc completed (or faulted after being
 // counted, matching the tree-walker's count-then-execute order).
 func (f *bcFunc) executedThrough(b *bcBlock, pc int32) uint64 {
-	return uint64(f.wTo[pc]-f.wTo[b.start]) + uint64(f.code[pc].op.weight())
+	return uint64(f.wTo[pc]-f.wTo[b.start]) + uint64(f.code[pc].weight())
+}
+
+// executedThroughSub prices a block prefix that ends partway through a
+// fused run: the instructions before pc in full, plus sub micro-ops of
+// the run at pc (sub = k after micro k-1 completed or faulted — the
+// count-then-execute order applies per micro, exactly as the
+// tree-walker applies it per source instruction).
+func (f *bcFunc) executedThroughSub(b *bcBlock, pc int32, sub uint32) uint64 {
+	return uint64(f.wTo[pc]-f.wTo[b.start]) + uint64(sub)
 }

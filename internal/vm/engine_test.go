@@ -416,40 +416,77 @@ func TestDefaultEngineApplied(t *testing.T) {
 	}
 }
 
-// TestLoweringFusesPairs sanity-checks the lowered form itself: the
-// rich module must actually contain all three superinstructions
-// (otherwise the differential tests exercise nothing).
+// TestLoweringFusesPairs sanity-checks the lowered form itself: under
+// the default fuse-all plan the rich module must contain generalized
+// bcFused runs, and with generic fusion disabled (FusionTopK < 0) the
+// classic peephole pairs must reappear — otherwise the differential
+// tests exercise nothing on one of the two fusion paths.
 func TestLoweringFusesPairs(t *testing.T) {
+	countOps := func(p *Program) map[bcOp]int {
+		found := map[bcOp]int{}
+		for _, bf := range p.bcFuncs {
+			for i := range bf.code {
+				found[bf.code[i].op]++
+			}
+		}
+		return found
+	}
+	checkWeights := func(p *Program) {
+		// Weight bookkeeping: per function, block costs sum to the source
+		// instruction count regardless of how the fuser carved the runs.
+		for fi, bf := range p.bcFuncs {
+			var lowered uint32
+			for _, bb := range bf.blocks {
+				lowered += bb.cost
+			}
+			var source uint32
+			for _, blk := range p.mod.Funcs[fi].Blocks {
+				source += uint32(len(blk.Instrs))
+			}
+			if lowered != source {
+				t.Errorf("@%s: lowered weight %d != source instructions %d", bf.fn.Name, lowered, source)
+			}
+		}
+	}
+
 	p, err := Compile(richModule(t))
 	if err != nil {
 		t.Fatal(err)
 	}
-	found := map[bcOp]int{}
+	found := countOps(p)
+	if found[bcFused] == 0 {
+		t.Errorf("fuse-all lowering produced no bcFused runs (counts: %v)", found)
+	}
+	// Every fused run must account as many source instructions as it
+	// carries micro-ops.
 	for _, bf := range p.bcFuncs {
 		for i := range bf.code {
-			found[bf.code[i].op]++
+			if in := &bf.code[i]; in.op == bcFused {
+				if len(in.micro) < 2 {
+					t.Errorf("@%s: bcFused with %d micros", bf.fn.Name, len(in.micro))
+				}
+				if in.weight() != uint32(len(in.micro)) {
+					t.Errorf("@%s: bcFused weight %d != %d micros", bf.fn.Name, in.weight(), len(in.micro))
+				}
+			}
 		}
+	}
+	checkWeights(p)
+
+	pc, err := CompileWith(richModule(t), CompileOpts{FusionTopK: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	classic := countOps(pc)
+	if classic[bcFused] != 0 {
+		t.Errorf("FusionTopK=-1 still produced %d bcFused runs", classic[bcFused])
 	}
 	for _, op := range []bcOp{bcFieldLoad, bcFieldStore, bcCmpBr} {
-		if found[op] == 0 {
-			t.Errorf("lowered module contains no %d superinstruction (counts: %v)", op, found)
+		if classic[op] == 0 {
+			t.Errorf("classic lowering contains no %d superinstruction (counts: %v)", op, classic)
 		}
 	}
-	// Weight bookkeeping: per function, block costs sum to the source
-	// instruction count.
-	for fi, bf := range p.bcFuncs {
-		var lowered uint32
-		for _, bb := range bf.blocks {
-			lowered += bb.cost
-		}
-		var source uint32
-		for _, blk := range p.mod.Funcs[fi].Blocks {
-			source += uint32(len(blk.Instrs))
-		}
-		if lowered != source {
-			t.Errorf("@%s: lowered weight %d != source instructions %d", bf.fn.Name, lowered, source)
-		}
-	}
+	checkWeights(pc)
 }
 
 // TestFuelSweepSuccessStatsStable: once fuel suffices, Stats must be

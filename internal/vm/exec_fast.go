@@ -53,7 +53,15 @@ func (v *VM) halfExec(in *bcInstr, regs []int64) {
 // tree-walker), the unexecuted batched suffix is refunded, and the
 // profiler is charged for what actually ran.
 func (v *VM) bcExitErr(f *bcFunc, bb *bcBlock, pc int32, charged uint64, psc *profile.SiteCounts, err error) error {
-	actual := f.executedThrough(bb, pc)
+	return v.bcExitErrAt(f, bb, pc, f.code[pc].weight(), charged, psc, err)
+}
+
+// bcExitErrAt is bcExitErr for an exit partway through a fused run: sub
+// micro-ops of the instruction at pc were counted (the faulting micro
+// included, count-then-execute per micro), the rest of the run and the
+// batched suffix are refunded.
+func (v *VM) bcExitErrAt(f *bcFunc, bb *bcBlock, pc int32, sub uint32, charged uint64, psc *profile.SiteCounts, err error) error {
+	actual := f.executedThroughSub(bb, pc, sub)
 	if refund := charged - actual; refund != 0 {
 		v.fuelLeft += refund
 		v.Stats.Instructions -= refund
@@ -62,6 +70,131 @@ func (v *VM) bcExitErr(f *bcFunc, bb *bcBlock, pc int32, charged uint64, psc *pr
 		psc.AddCycles(actual)
 	}
 	return err
+}
+
+// stepMicro executes one micro-op outside the hot loop — the
+// fuel-scarce prefix path. Terminator micros never reach it: a partial
+// prefix is strictly shorter than the run, and a terminator can only be
+// the run's last micro.
+func (v *VM) stepMicro(m *mcInstr, regs []int64) error {
+	// Operands are always register indices (poolMicroConstants), exactly
+	// as in the hot loop.
+	av := regs[m.a]
+	bv := regs[m.b]
+	switch m.op {
+	case mcLoad:
+		u, err := v.Mem.ReadU(uint64(av), int(m.size))
+		if err != nil {
+			return err
+		}
+		if s := m.signShift; s != 0 {
+			regs[m.dest] = int64(u<<s) >> s
+		} else {
+			regs[m.dest] = int64(u)
+		}
+	case mcStore:
+		if err := v.Mem.WriteU(uint64(bv), int(m.size), uint64(av)); err != nil {
+			return err
+		}
+	case mcFieldPtr:
+		regs[m.dest] = int64(uint64(av) + uint64(m.off))
+		v.Stats.FieldAccess++
+	case mcElemPtr:
+		regs[m.dest] = int64(uint64(av) + uint64(bv)*uint64(m.size))
+	case mcPtrAdd:
+		regs[m.dest] = int64(uint64(av) + uint64(bv))
+	case mcBin:
+		r, err := evalBin(ir.BinKind(m.kind), av, bv)
+		if err != nil {
+			return err
+		}
+		regs[m.dest] = r
+	case mcFBin:
+		a := math.Float64frombits(uint64(av))
+		b := math.Float64frombits(uint64(bv))
+		regs[m.dest] = int64(math.Float64bits(evalFBin(ir.BinKind(m.kind), a, b)))
+	case mcCmp:
+		regs[m.dest] = evalCmp(ir.CmpKind(m.kind), av, bv)
+	case mcFCmp:
+		a := math.Float64frombits(uint64(av))
+		b := math.Float64frombits(uint64(bv))
+		regs[m.dest] = evalFCmp(ir.CmpKind(m.kind), a, b)
+	case mcItoF:
+		regs[m.dest] = int64(math.Float64bits(float64(av)))
+	case mcFtoI:
+		regs[m.dest] = int64(math.Float64frombits(uint64(av)))
+	case mcMov:
+		regs[m.dest] = av
+	case mcAdd:
+		regs[m.dest] = av + bv
+	case mcSub:
+		regs[m.dest] = av - bv
+	case mcMul:
+		regs[m.dest] = av * bv
+	case mcAnd:
+		regs[m.dest] = av & bv
+	case mcOr:
+		regs[m.dest] = av | bv
+	case mcXor:
+		regs[m.dest] = av ^ bv
+	case mcShl:
+		regs[m.dest] = av << (uint64(bv) & 63)
+	case mcShr:
+		regs[m.dest] = int64(uint64(av) >> (uint64(bv) & 63))
+	case mcLoad8:
+		u, err := v.Mem.ReadU(uint64(av), 8)
+		if err != nil {
+			return err
+		}
+		regs[m.dest] = int64(u)
+	case mcStore8:
+		if err := v.Mem.WriteU(uint64(bv), 8, uint64(av)); err != nil {
+			return err
+		}
+	case mcCmpEq:
+		regs[m.dest] = evalCmp(ir.CmpEq, av, bv)
+	case mcCmpNe:
+		regs[m.dest] = evalCmp(ir.CmpNe, av, bv)
+	case mcCmpLt:
+		regs[m.dest] = evalCmp(ir.CmpLt, av, bv)
+	case mcCmpLe:
+		regs[m.dest] = evalCmp(ir.CmpLe, av, bv)
+	case mcCmpGt:
+		regs[m.dest] = evalCmp(ir.CmpGt, av, bv)
+	case mcCmpGe:
+		regs[m.dest] = evalCmp(ir.CmpGe, av, bv)
+	}
+	return nil
+}
+
+// fusedPartial runs the fuel-affordable prefix of a fused run when the
+// remaining fuel cannot cover the whole dispatch: exactly what the
+// tree-walker would do — execute fuelLeft more source instructions,
+// then fail the fuel check (or fault mid-prefix with the prefix
+// charged, count-then-execute per micro).
+func (v *VM) fusedPartial(fn *ir.Func, bb *bcBlock, in *bcInstr, regs []int64, charged uint64, psc *profile.SiteCounts) error {
+	k := v.fuelLeft
+	v.fuelLeft = 0
+	v.Stats.Instructions += k
+	charged += k
+	for mi := uint64(0); mi < k; mi++ {
+		if err := v.stepMicro(&in.micro[mi], regs); err != nil {
+			// Micro mi was counted and then faulted; refund the counted
+			// but unexecuted tail of the prefix.
+			refund := k - (mi + 1)
+			v.fuelLeft += refund
+			v.Stats.Instructions -= refund
+			charged -= refund
+			if psc != nil && charged != 0 {
+				psc.AddCycles(charged)
+			}
+			return v.fault(fn, bb.irb, err)
+		}
+	}
+	if psc != nil && charged != 0 {
+		psc.AddCycles(charged)
+	}
+	return fmt.Errorf("%w in @%s.%s", ErrFuelExhausted, fn.Name, bb.irb.Name)
 }
 
 // callBC runs one lowered function to completion. It is the bytecode
@@ -95,8 +228,12 @@ func (v *VM) callBC(f *bcFunc, args []int64) (int64, error) {
 		}
 		copy(regs, args[:n])
 	}
+	for i := range f.consts {
+		regs[f.consts[i].slot] = f.consts[i].val
+	}
 
 	code := f.code
+	mem := v.Mem
 	var psc *profile.SiteCounts
 	blk, prevBlk := 0, -1
 blockLoop:
@@ -136,8 +273,11 @@ blockLoop:
 		for pc := bb.start; pc < end; pc++ {
 			in := &code[pc]
 			if !batched {
-				w := uint64(in.op.weight())
+				w := uint64(in.weight())
 				if v.fuelLeft < w {
+					if in.op == bcFused && v.fuelLeft > 0 {
+						return 0, v.fusedPartial(fn, bb, in, regs, charged, psc)
+					}
 					if v.fuelLeft == 1 && w == 2 {
 						v.halfExec(in, regs)
 						v.fuelLeft--
@@ -194,15 +334,26 @@ blockLoop:
 					return 0, v.bcExitErr(f, bb, pc, charged, psc, v.fault(fn, bb.irb, err))
 				}
 				v.Stats.Frees++
+				if v.icGen != nil {
+					// A freed base may be recycled by a later alloc of a
+					// different class; advancing the layout generation keeps
+					// stale inline-cache entries from matching. (Same point
+					// as the tree-walker's OpFree arm.)
+					*v.icGen++
+				}
 				if v.tel != nil {
 					v.tel.Emit(telemetry.Event{Kind: telemetry.EvFree, Addr: addr})
 				}
 				delete(v.objects, addr)
 			case bcLoad:
 				addr := uint64(in.a.arg(regs))
-				u, err := v.Mem.ReadU(addr, int(in.size))
-				if err != nil {
-					return 0, v.bcExitErr(f, bb, pc, charged, psc, v.fault(fn, bb.irb, err))
+				u, ok := mem.readFast(addr, in.size)
+				if !ok {
+					var err error
+					u, err = mem.ReadU(addr, int(in.size))
+					if err != nil {
+						return 0, v.bcExitErr(f, bb, pc, charged, psc, v.fault(fn, bb.irb, err))
+					}
 				}
 				if s := in.signShift; s != 0 {
 					regs[in.dest] = int64(u<<s) >> s
@@ -212,8 +363,10 @@ blockLoop:
 			case bcStore:
 				addr := uint64(in.b.arg(regs))
 				val := in.a.arg(regs)
-				if err := v.Mem.WriteU(addr, int(in.size), uint64(val)); err != nil {
-					return 0, v.bcExitErr(f, bb, pc, charged, psc, v.fault(fn, bb.irb, err))
+				if in.size != 8 || !mem.write8Fast(addr, uint64(val)) {
+					if err := mem.WriteU(addr, int(in.size), uint64(val)); err != nil {
+						return 0, v.bcExitErr(f, bb, pc, charged, psc, v.fault(fn, bb.irb, err))
+					}
 				}
 			case bcMemcpy:
 				dst := uint64(in.a.arg(regs))
@@ -243,9 +396,13 @@ blockLoop:
 				p := uint64(in.a.arg(regs)) + uint64(in.off)
 				regs[in.dest] = int64(p)
 				v.Stats.FieldAccess++
-				u, err := v.Mem.ReadU(p, int(in.size))
-				if err != nil {
-					return 0, v.bcExitErr(f, bb, pc, charged, psc, v.fault(fn, bb.irb, err))
+				u, ok := mem.readFast(p, in.size)
+				if !ok {
+					var err error
+					u, err = mem.ReadU(p, int(in.size))
+					if err != nil {
+						return 0, v.bcExitErr(f, bb, pc, charged, psc, v.fault(fn, bb.irb, err))
+					}
 				}
 				if s := in.signShift; s != 0 {
 					regs[in.d2] = int64(u<<s) >> s
@@ -259,8 +416,10 @@ blockLoop:
 				// Resolve the value after the pointer register is written:
 				// the store may name the fieldptr result itself.
 				val := in.b.arg(regs)
-				if err := v.Mem.WriteU(p, int(in.size), uint64(val)); err != nil {
-					return 0, v.bcExitErr(f, bb, pc, charged, psc, v.fault(fn, bb.irb, err))
+				if in.size != 8 || !mem.write8Fast(p, uint64(val)) {
+					if err := mem.WriteU(p, int(in.size), uint64(val)); err != nil {
+						return 0, v.bcExitErr(f, bb, pc, charged, psc, v.fault(fn, bb.irb, err))
+					}
 				}
 			case bcElemPtr:
 				base := uint64(in.a.arg(regs))
@@ -322,6 +481,173 @@ blockLoop:
 					blk = int(in.t1)
 				}
 				continue blockLoop
+			case bcFused:
+				v.Perf.FusedDispatches++
+				micro := in.micro
+				for mi := 0; mi < len(micro); mi++ {
+					// All micro operands are register indices after
+					// poolMicroConstants (immediates live in the pooled
+					// const bank; unused operands alias register 0).
+					m := &micro[mi]
+					av := regs[m.a]
+					switch m.op {
+					case mcBin:
+						bv := regs[m.b]
+						switch ir.BinKind(m.kind) {
+						case ir.BinAdd:
+							regs[m.dest] = av + bv
+						case ir.BinSub:
+							regs[m.dest] = av - bv
+						case ir.BinMul:
+							regs[m.dest] = av * bv
+						case ir.BinAnd:
+							regs[m.dest] = av & bv
+						case ir.BinOr:
+							regs[m.dest] = av | bv
+						case ir.BinXor:
+							regs[m.dest] = av ^ bv
+						case ir.BinShl:
+							regs[m.dest] = av << (uint64(bv) & 63)
+						case ir.BinShr:
+							regs[m.dest] = int64(uint64(av) >> (uint64(bv) & 63))
+						default:
+							r, err := evalBin(ir.BinKind(m.kind), av, bv)
+							if err != nil {
+								return 0, v.bcExitErrAt(f, bb, pc, uint32(mi+1), charged, psc, v.fault(fn, bb.irb, err))
+							}
+							regs[m.dest] = r
+						}
+					case mcLoad:
+						u, ok := mem.readFast(uint64(av), m.size)
+						if !ok {
+							var err error
+							u, err = mem.ReadU(uint64(av), int(m.size))
+							if err != nil {
+								return 0, v.bcExitErrAt(f, bb, pc, uint32(mi+1), charged, psc, v.fault(fn, bb.irb, err))
+							}
+						}
+						if s := m.signShift; s != 0 {
+							regs[m.dest] = int64(u<<s) >> s
+						} else {
+							regs[m.dest] = int64(u)
+						}
+					case mcStore:
+						bv := regs[m.b]
+						if m.size != 8 || !mem.write8Fast(uint64(bv), uint64(av)) {
+							if err := mem.WriteU(uint64(bv), int(m.size), uint64(av)); err != nil {
+								return 0, v.bcExitErrAt(f, bb, pc, uint32(mi+1), charged, psc, v.fault(fn, bb.irb, err))
+							}
+						}
+					case mcFieldPtr:
+						regs[m.dest] = int64(uint64(av) + uint64(m.off))
+						v.Stats.FieldAccess++
+					case mcElemPtr:
+						regs[m.dest] = int64(uint64(av) + uint64(regs[m.b])*uint64(m.size))
+					case mcPtrAdd:
+						regs[m.dest] = int64(uint64(av) + uint64(regs[m.b]))
+					case mcCmp:
+						regs[m.dest] = evalCmp(ir.CmpKind(m.kind), av, regs[m.b])
+					case mcFBin:
+						fa := math.Float64frombits(uint64(av))
+						fb := math.Float64frombits(uint64(regs[m.b]))
+						regs[m.dest] = int64(math.Float64bits(evalFBin(ir.BinKind(m.kind), fa, fb)))
+					case mcFCmp:
+						fa := math.Float64frombits(uint64(av))
+						fb := math.Float64frombits(uint64(regs[m.b]))
+						regs[m.dest] = evalFCmp(ir.CmpKind(m.kind), fa, fb)
+					case mcItoF:
+						regs[m.dest] = int64(math.Float64bits(float64(av)))
+					case mcFtoI:
+						regs[m.dest] = int64(math.Float64frombits(uint64(av)))
+					case mcMov:
+						regs[m.dest] = av
+					case mcAdd:
+						regs[m.dest] = av + regs[m.b]
+					case mcSub:
+						regs[m.dest] = av - regs[m.b]
+					case mcMul:
+						regs[m.dest] = av * regs[m.b]
+					case mcAnd:
+						regs[m.dest] = av & regs[m.b]
+					case mcOr:
+						regs[m.dest] = av | regs[m.b]
+					case mcXor:
+						regs[m.dest] = av ^ regs[m.b]
+					case mcShl:
+						regs[m.dest] = av << (uint64(regs[m.b]) & 63)
+					case mcShr:
+						regs[m.dest] = int64(uint64(av) >> (uint64(regs[m.b]) & 63))
+					case mcLoad8:
+						u, ok := mem.readFast8(uint64(av))
+						if !ok {
+							var err error
+							u, err = mem.ReadU(uint64(av), 8)
+							if err != nil {
+								return 0, v.bcExitErrAt(f, bb, pc, uint32(mi+1), charged, psc, v.fault(fn, bb.irb, err))
+							}
+						}
+						regs[m.dest] = int64(u)
+					case mcStore8:
+						if !mem.write8Fast(uint64(regs[m.b]), uint64(av)) {
+							if err := mem.WriteU(uint64(regs[m.b]), 8, uint64(av)); err != nil {
+								return 0, v.bcExitErrAt(f, bb, pc, uint32(mi+1), charged, psc, v.fault(fn, bb.irb, err))
+							}
+						}
+					case mcCmpEq:
+						if av == regs[m.b] {
+							regs[m.dest] = 1
+						} else {
+							regs[m.dest] = 0
+						}
+					case mcCmpNe:
+						if av != regs[m.b] {
+							regs[m.dest] = 1
+						} else {
+							regs[m.dest] = 0
+						}
+					case mcCmpLt:
+						if av < regs[m.b] {
+							regs[m.dest] = 1
+						} else {
+							regs[m.dest] = 0
+						}
+					case mcCmpLe:
+						if av <= regs[m.b] {
+							regs[m.dest] = 1
+						} else {
+							regs[m.dest] = 0
+						}
+					case mcCmpGt:
+						if av > regs[m.b] {
+							regs[m.dest] = 1
+						} else {
+							regs[m.dest] = 0
+						}
+					case mcCmpGe:
+						if av >= regs[m.b] {
+							regs[m.dest] = 1
+						} else {
+							regs[m.dest] = 0
+						}
+					case mcBr:
+						if psc != nil {
+							psc.AddCycles(charged)
+						}
+						prevBlk, blk = blk, int(m.off)
+						continue blockLoop
+					case mcCondBr:
+						if psc != nil {
+							psc.AddCycles(charged)
+						}
+						prevBlk = blk
+						if av != 0 {
+							blk = int(m.off)
+						} else {
+							blk = int(m.t1)
+						}
+						continue blockLoop
+					}
+				}
 			case bcCallFunc:
 				argv := v.argvScratch[:0]
 				for i := range in.args {
@@ -359,6 +685,23 @@ blockLoop:
 					regs[in.dest] = ret
 				}
 			case bcCallBuiltin:
+				if in.ic >= 0 && v.icGen != nil {
+					// Inline layout cache: a monomorphic olr_getptr site
+					// whose (base, field, class) still matches under the
+					// current layout generation skips the resolver entirely.
+					base := uint64(in.args[0].arg(regs))
+					field := in.args[1].arg(regs)
+					class := uint64(in.args[2].arg(regs))
+					if e := &v.icSlots[in.ic]; e.gen == *v.icGen && e.base == base && e.field == field && e.class == class {
+						v.Perf.InlineHits++
+						v.icHit(v.prog.SiteName(bb.irb), base, field, class, e.off)
+						if in.dest >= 0 {
+							regs[in.dest] = int64(base + uint64(e.off))
+						}
+						break
+					}
+					v.Perf.InlineMisses++
+				}
 				bi := v.builtinSlots[in.off]
 				if bi == nil {
 					return 0, v.bcExitErr(f, bb, pc, charged, psc,
@@ -369,7 +712,7 @@ blockLoop:
 					argv = append(argv, in.args[i].arg(regs))
 				}
 				v.argvScratch = argv[:0]
-				v.callScratch = Call{VM: v, Name: in.irIn.Callee, Args: argv, RawArgs: in.irIn.Args, fn: fn, blk: bb.irb}
+				v.callScratch = Call{VM: v, Name: in.irIn.Callee, Args: argv, RawArgs: in.irIn.Args, fn: fn, blk: bb.irb, ic: in.ic + 1}
 				ret, err := bi(&v.callScratch)
 				if err != nil {
 					return 0, v.bcExitErr(f, bb, pc, charged, psc, v.fault(fn, bb.irb, err))

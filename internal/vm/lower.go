@@ -8,20 +8,38 @@ import (
 )
 
 // Lowering flattens each validated function into the bcFunc form at
-// Compile time: one pass per function, peephole fusion over adjacent
-// instruction pairs, every operand pre-resolved against the Program's
-// global layout and function-handle table, every callee bound to a
-// small-int index (module functions directly, builtins through the
-// per-instance slot table RegisterBuiltin populates).
+// Compile time. It runs in three phases per function:
+//
+//  1. Straight 1:1 lowering of every source instruction, with every
+//     operand pre-resolved against the Program's global layout and
+//     function-handle table and every callee bound to a small-int index
+//     (module functions directly, builtins through the per-instance
+//     slot table RegisterBuiltin populates).
+//  2. Fusion. The profile-guided plan built in pgo.go selects
+//     straight-line runs of fusable instructions per block; each
+//     selected run collapses into one dispatch — a classic pair
+//     superinstruction when the run is exactly one of the three
+//     dependent-pair patterns, a generalized bcFused micro-op sequence
+//     otherwise. Outside selected runs the original peephole still
+//     fuses the three classic pairs, so a topK-limited plan degrades to
+//     the historical behavior rather than to no fusion at all.
+//  3. Register allocation (regalloc.go): a linear-scan pass renumbers
+//     the virtual registers into a small dense operand file, shrinking
+//     the per-call frame the interpreter must zero and keeping hot
+//     registers on the same cache lines.
 
-// lowerModule lowers every function of the compiled module.
-func (p *Program) lowerModule() error {
+// lowerModule lowers every function of the compiled module under the
+// fusion plan derived from opts.
+func (p *Program) lowerModule(opts CompileOpts) error {
+	plan := buildFusionPlan(p.mod, opts)
 	p.bcFuncs = make([]*bcFunc, len(p.mod.Funcs))
 	for i, f := range p.mod.Funcs {
-		bf, err := p.lowerFunc(f)
+		bf, err := p.lowerFunc(f, plan.runsFor(i))
 		if err != nil {
 			return fmt.Errorf("vm: lowering @%s: %w", f.Name, err)
 		}
+		allocRegisters(bf)
+		poolMicroConstants(bf)
 		p.bcFuncs[i] = bf
 	}
 	return nil
@@ -70,191 +88,370 @@ func loadShift(t ir.Type) uint8 {
 	return 0
 }
 
-// lowerFunc flattens one function.
-func (p *Program) lowerFunc(f *ir.Func) (*bcFunc, error) {
+// olrGetptrName is the instrumented member-access builtin whose call
+// sites carry per-site inline layout caches (3 args: base, field index,
+// class hash — see internal/instrument).
+const olrGetptrName = "olr_getptr"
+
+// lowerOne lowers a single source instruction 1:1 (no fusion).
+func (p *Program) lowerOne(in *ir.Instr) bcInstr {
+	var out bcInstr
+	out.dest = int32(in.Dest)
+	out.irIn = in
+	out.ic = -1
+
+	switch in.Op {
+	case ir.OpFieldPtr:
+		out.op = bcFieldPtr
+		out.a = p.lowerValue(in.Args[0])
+		out.off = int32(in.Struct.Offset(in.Field))
+	case ir.OpCmp:
+		out.op = bcCmp
+		out.kind = uint8(in.Cmp)
+		out.a = p.lowerValue(in.Args[0])
+		out.b = p.lowerValue(in.Args[1])
+	case ir.OpAlloc:
+		out.op = bcAlloc
+		out.size = int32(in.Type.Size())
+		out.st = in.Struct
+		if len(in.Args) == 1 {
+			out.a = p.lowerValue(in.Args[0])
+		} else {
+			out.a = bcArg{v: 1}
+		}
+	case ir.OpLocal:
+		out.op = bcLocal
+		out.size = int32(in.Type.Size())
+	case ir.OpFree:
+		out.op = bcFree
+		out.a = p.lowerValue(in.Args[0])
+	case ir.OpLoad:
+		out.op = bcLoad
+		out.a = p.lowerValue(in.Args[0])
+		out.size = int32(in.Type.Size())
+		out.signShift = loadShift(in.Type)
+	case ir.OpStore:
+		out.op = bcStore
+		out.a = p.lowerValue(in.Args[0])
+		out.b = p.lowerValue(in.Args[1])
+		out.size = int32(in.Type.Size())
+	case ir.OpMemcpy:
+		out.op = bcMemcpy
+		out.a = p.lowerValue(in.Args[0])
+		out.b = p.lowerValue(in.Args[1])
+		out.c = p.lowerValue(in.Args[2])
+	case ir.OpMemset:
+		out.op = bcMemset
+		out.a = p.lowerValue(in.Args[0])
+		out.b = p.lowerValue(in.Args[1])
+		out.c = p.lowerValue(in.Args[2])
+	case ir.OpElemPtr:
+		out.op = bcElemPtr
+		out.a = p.lowerValue(in.Args[0])
+		out.b = p.lowerValue(in.Args[1])
+		out.size = int32(in.Type.Size())
+	case ir.OpPtrAdd:
+		out.op = bcPtrAdd
+		out.a = p.lowerValue(in.Args[0])
+		out.b = p.lowerValue(in.Args[1])
+	case ir.OpBin:
+		out.op = bcBin
+		out.kind = uint8(in.Bin)
+		out.a = p.lowerValue(in.Args[0])
+		out.b = p.lowerValue(in.Args[1])
+	case ir.OpFBin:
+		out.op = bcFBin
+		out.kind = uint8(in.Bin)
+		out.a = p.lowerValue(in.Args[0])
+		out.b = p.lowerValue(in.Args[1])
+	case ir.OpFCmp:
+		out.op = bcFCmp
+		out.kind = uint8(in.Cmp)
+		out.a = p.lowerValue(in.Args[0])
+		out.b = p.lowerValue(in.Args[1])
+	case ir.OpItoF:
+		out.op = bcItoF
+		out.a = p.lowerValue(in.Args[0])
+	case ir.OpFtoI:
+		out.op = bcFtoI
+		out.a = p.lowerValue(in.Args[0])
+	case ir.OpMov:
+		out.op = bcMov
+		out.a = p.lowerValue(in.Args[0])
+	case ir.OpBr:
+		out.op = bcBr
+		out.t0 = int32(in.Blocks[0])
+	case ir.OpCondBr:
+		out.op = bcCondBr
+		out.a = p.lowerValue(in.Args[0])
+		out.t0 = int32(in.Blocks[0])
+		out.t1 = int32(in.Blocks[1])
+	case ir.OpCall:
+		out.args = make([]bcArg, len(in.Args))
+		for ai, a := range in.Args {
+			out.args[ai] = p.lowerValue(a)
+		}
+		if idx, ok := p.funcIdx[in.Callee]; ok {
+			out.op = bcCallFunc
+			out.off = int32(idx)
+		} else {
+			out.op = bcCallBuiltin
+			out.off = int32(p.builtinSlotFor(in.Callee))
+			if in.Callee == olrGetptrName && len(in.Args) == 3 {
+				// Per-call-site inline layout cache slot. The Program
+				// only numbers the sites; the entries live per instance
+				// and the legacy engine finds its slot via icSlotOf.
+				out.ic = int32(p.numICSites)
+				p.icSlotOf[in] = out.ic
+				p.numICSites++
+			}
+		}
+	case ir.OpRet:
+		if len(in.Args) == 1 {
+			out.op = bcRet
+			out.a = p.lowerValue(in.Args[0])
+		} else {
+			out.op = bcRetVoid
+		}
+	default:
+		// Validation rejects unknown opcodes before lowering runs;
+		// keep a faulting instruction so a foreign module that
+		// somehow bypassed it reports the same error as the
+		// tree-walker.
+		out.op = bcInvalid
+	}
+	return out
+}
+
+// microFor pre-decodes one fusable source instruction into a micro-op.
+// Only called for ops fusableIR admits.
+func (p *Program) microFor(in *ir.Instr) mcInstr {
+	m := mcInstr{dest: int32(in.Dest)}
+	setA := func(v ir.Value) {
+		a := p.lowerValue(v)
+		m.a, m.aReg = a.v, a.reg
+	}
+	setB := func(v ir.Value) {
+		b := p.lowerValue(v)
+		m.b, m.bReg = b.v, b.reg
+	}
+	switch in.Op {
+	case ir.OpLoad:
+		m.op = mcLoad
+		setA(in.Args[0])
+		m.size = int32(in.Type.Size())
+		m.signShift = loadShift(in.Type)
+	case ir.OpStore:
+		m.op = mcStore
+		setA(in.Args[0])
+		setB(in.Args[1])
+		m.size = int32(in.Type.Size())
+	case ir.OpFieldPtr:
+		m.op = mcFieldPtr
+		setA(in.Args[0])
+		m.off = int32(in.Struct.Offset(in.Field))
+	case ir.OpElemPtr:
+		m.op = mcElemPtr
+		setA(in.Args[0])
+		setB(in.Args[1])
+		m.size = int32(in.Type.Size())
+	case ir.OpPtrAdd:
+		m.op = mcPtrAdd
+		setA(in.Args[0])
+		setB(in.Args[1])
+	case ir.OpBin:
+		m.op = mcBin
+		m.kind = uint8(in.Bin)
+		setA(in.Args[0])
+		setB(in.Args[1])
+	case ir.OpFBin:
+		m.op = mcFBin
+		m.kind = uint8(in.Bin)
+		setA(in.Args[0])
+		setB(in.Args[1])
+	case ir.OpCmp:
+		m.op = mcCmp
+		m.kind = uint8(in.Cmp)
+		setA(in.Args[0])
+		setB(in.Args[1])
+	case ir.OpFCmp:
+		m.op = mcFCmp
+		m.kind = uint8(in.Cmp)
+		setA(in.Args[0])
+		setB(in.Args[1])
+	case ir.OpItoF:
+		m.op = mcItoF
+		setA(in.Args[0])
+	case ir.OpFtoI:
+		m.op = mcFtoI
+		setA(in.Args[0])
+	case ir.OpMov:
+		m.op = mcMov
+		setA(in.Args[0])
+	case ir.OpBr:
+		m.op = mcBr
+		m.off = int32(in.Blocks[0])
+	case ir.OpCondBr:
+		m.op = mcCondBr
+		setA(in.Args[0])
+		m.off = int32(in.Blocks[0])
+		m.t1 = int32(in.Blocks[1])
+	}
+	return specializeMicro(m)
+}
+
+// specializeMicro rewrites a general micro-op into its dedicated
+// single-dispatch form when one exists: non-faulting integer arithmetic
+// kinds, 8-byte loads/stores and the compare kinds. Div/rem keep the
+// general mcBin (they fault on zero), sub-word memory ops keep
+// mcLoad/mcStore (they mask and sign-extend).
+func specializeMicro(m mcInstr) mcInstr {
+	switch m.op {
+	case mcBin:
+		switch ir.BinKind(m.kind) {
+		case ir.BinAdd:
+			m.op = mcAdd
+		case ir.BinSub:
+			m.op = mcSub
+		case ir.BinMul:
+			m.op = mcMul
+		case ir.BinAnd:
+			m.op = mcAnd
+		case ir.BinOr:
+			m.op = mcOr
+		case ir.BinXor:
+			m.op = mcXor
+		case ir.BinShl:
+			m.op = mcShl
+		case ir.BinShr:
+			m.op = mcShr
+		}
+	case mcCmp:
+		switch ir.CmpKind(m.kind) {
+		case ir.CmpEq:
+			m.op = mcCmpEq
+		case ir.CmpNe:
+			m.op = mcCmpNe
+		case ir.CmpLt:
+			m.op = mcCmpLt
+		case ir.CmpLe:
+			m.op = mcCmpLe
+		case ir.CmpGt:
+			m.op = mcCmpGt
+		case ir.CmpGe:
+			m.op = mcCmpGe
+		}
+	case mcLoad:
+		if m.size == 8 {
+			m.op = mcLoad8 // loadShift is 0 for full-width loads
+		}
+	case mcStore:
+		if m.size == 8 {
+			m.op = mcStore8
+		}
+	}
+	return m
+}
+
+// classicPair lowers a length-2 run that matches one of the three
+// historical dependent-pair superinstructions, reporting ok=false when
+// the pair is not one of those patterns (the caller then emits bcFused).
+func (p *Program) classicPair(in, next *ir.Instr) (bcInstr, bool) {
+	var out bcInstr
+	out.dest = int32(in.Dest)
+	out.irIn = in
+	out.ic = -1
+	switch {
+	case in.Op == ir.OpFieldPtr && next.Op == ir.OpLoad &&
+		next.Args[0].Kind == ir.ValReg && next.Args[0].Reg == in.Dest:
+		out.op = bcFieldLoad
+		out.a = p.lowerValue(in.Args[0])
+		out.off = int32(in.Struct.Offset(in.Field))
+		out.d2 = int32(next.Dest)
+		out.size = int32(next.Type.Size())
+		out.signShift = loadShift(next.Type)
+		return out, true
+	case in.Op == ir.OpFieldPtr && next.Op == ir.OpStore &&
+		next.Args[1].Kind == ir.ValReg && next.Args[1].Reg == in.Dest:
+		out.op = bcFieldStore
+		out.a = p.lowerValue(in.Args[0])
+		out.off = int32(in.Struct.Offset(in.Field))
+		out.b = p.lowerValue(next.Args[0])
+		out.size = int32(next.Type.Size())
+		return out, true
+	case in.Op == ir.OpCmp && next.Op == ir.OpCondBr &&
+		next.Args[0].Kind == ir.ValReg && next.Args[0].Reg == in.Dest:
+		out.op = bcCmpBr
+		out.kind = uint8(in.Cmp)
+		out.a = p.lowerValue(in.Args[0])
+		out.b = p.lowerValue(in.Args[1])
+		out.t0 = int32(next.Blocks[0])
+		out.t1 = int32(next.Blocks[1])
+		return out, true
+	}
+	return bcInstr{}, false
+}
+
+// lowerFunc flattens one function under the per-block fusion runs
+// selected for it (nil = classic peephole only).
+func (p *Program) lowerFunc(f *ir.Func, runs [][][2]int) (*bcFunc, error) {
 	bf := &bcFunc{fn: f, numRegs: f.NumRegs, blocks: make([]bcBlock, len(f.Blocks))}
 	for bi, blk := range f.Blocks {
 		start := int32(len(bf.code))
 		cost := uint32(0)
-		for ii := 0; ii < len(blk.Instrs); ii++ {
-			in := &blk.Instrs[ii]
-			var out bcInstr
-			out.dest = int32(in.Dest)
-			out.irIn = in
-			fused := false
-
-			switch in.Op {
-			case ir.OpFieldPtr:
-				off := int32(in.Struct.Offset(in.Field))
-				// Superinstruction fusion: a fieldptr whose result feeds
-				// the immediately following load or store collapses into
-				// one dispatch. The fieldptr register is still written
-				// first, so any later use — including a store value that
-				// reads it — sees the tree-walker's exact state.
-				if ii+1 < len(blk.Instrs) {
-					next := &blk.Instrs[ii+1]
-					switch {
-					case next.Op == ir.OpLoad &&
-						next.Args[0].Kind == ir.ValReg && next.Args[0].Reg == in.Dest:
-						out.op = bcFieldLoad
-						out.a = p.lowerValue(in.Args[0])
-						out.off = off
-						out.d2 = int32(next.Dest)
-						out.size = int32(next.Type.Size())
-						out.signShift = loadShift(next.Type)
-						fused = true
-					case next.Op == ir.OpStore &&
-						next.Args[1].Kind == ir.ValReg && next.Args[1].Reg == in.Dest:
-						out.op = bcFieldStore
-						out.a = p.lowerValue(in.Args[0])
-						out.off = off
-						out.b = p.lowerValue(next.Args[0])
-						out.size = int32(next.Type.Size())
-						fused = true
-					}
-				}
-				if !fused {
-					out.op = bcFieldPtr
-					out.a = p.lowerValue(in.Args[0])
-					out.off = off
-				}
-			case ir.OpCmp:
-				if ii+1 < len(blk.Instrs) {
-					if next := &blk.Instrs[ii+1]; next.Op == ir.OpCondBr &&
-						next.Args[0].Kind == ir.ValReg && next.Args[0].Reg == in.Dest {
-						out.op = bcCmpBr
-						out.kind = uint8(in.Cmp)
-						out.a = p.lowerValue(in.Args[0])
-						out.b = p.lowerValue(in.Args[1])
-						out.t0 = int32(next.Blocks[0])
-						out.t1 = int32(next.Blocks[1])
-						fused = true
-					}
-				}
-				if !fused {
-					out.op = bcCmp
-					out.kind = uint8(in.Cmp)
-					out.a = p.lowerValue(in.Args[0])
-					out.b = p.lowerValue(in.Args[1])
-				}
-			case ir.OpAlloc:
-				out.op = bcAlloc
-				out.size = int32(in.Type.Size())
-				out.st = in.Struct
-				if len(in.Args) == 1 {
-					out.a = p.lowerValue(in.Args[0])
-				} else {
-					out.a = bcArg{v: 1}
-				}
-			case ir.OpLocal:
-				out.op = bcLocal
-				out.size = int32(in.Type.Size())
-			case ir.OpFree:
-				out.op = bcFree
-				out.a = p.lowerValue(in.Args[0])
-			case ir.OpLoad:
-				out.op = bcLoad
-				out.a = p.lowerValue(in.Args[0])
-				out.size = int32(in.Type.Size())
-				out.signShift = loadShift(in.Type)
-			case ir.OpStore:
-				out.op = bcStore
-				out.a = p.lowerValue(in.Args[0])
-				out.b = p.lowerValue(in.Args[1])
-				out.size = int32(in.Type.Size())
-			case ir.OpMemcpy:
-				out.op = bcMemcpy
-				out.a = p.lowerValue(in.Args[0])
-				out.b = p.lowerValue(in.Args[1])
-				out.c = p.lowerValue(in.Args[2])
-			case ir.OpMemset:
-				out.op = bcMemset
-				out.a = p.lowerValue(in.Args[0])
-				out.b = p.lowerValue(in.Args[1])
-				out.c = p.lowerValue(in.Args[2])
-			case ir.OpElemPtr:
-				out.op = bcElemPtr
-				out.a = p.lowerValue(in.Args[0])
-				out.b = p.lowerValue(in.Args[1])
-				out.size = int32(in.Type.Size())
-			case ir.OpPtrAdd:
-				out.op = bcPtrAdd
-				out.a = p.lowerValue(in.Args[0])
-				out.b = p.lowerValue(in.Args[1])
-			case ir.OpBin:
-				out.op = bcBin
-				out.kind = uint8(in.Bin)
-				out.a = p.lowerValue(in.Args[0])
-				out.b = p.lowerValue(in.Args[1])
-			case ir.OpFBin:
-				out.op = bcFBin
-				out.kind = uint8(in.Bin)
-				out.a = p.lowerValue(in.Args[0])
-				out.b = p.lowerValue(in.Args[1])
-			case ir.OpFCmp:
-				out.op = bcFCmp
-				out.kind = uint8(in.Cmp)
-				out.a = p.lowerValue(in.Args[0])
-				out.b = p.lowerValue(in.Args[1])
-			case ir.OpItoF:
-				out.op = bcItoF
-				out.a = p.lowerValue(in.Args[0])
-			case ir.OpFtoI:
-				out.op = bcFtoI
-				out.a = p.lowerValue(in.Args[0])
-			case ir.OpMov:
-				out.op = bcMov
-				out.a = p.lowerValue(in.Args[0])
-			case ir.OpBr:
-				out.op = bcBr
-				out.t0 = int32(in.Blocks[0])
-			case ir.OpCondBr:
-				out.op = bcCondBr
-				out.a = p.lowerValue(in.Args[0])
-				out.t0 = int32(in.Blocks[0])
-				out.t1 = int32(in.Blocks[1])
-			case ir.OpCall:
-				out.args = make([]bcArg, len(in.Args))
-				for ai, a := range in.Args {
-					out.args[ai] = p.lowerValue(a)
-				}
-				if idx, ok := p.funcIdx[in.Callee]; ok {
-					out.op = bcCallFunc
-					out.off = int32(idx)
-				} else {
-					out.op = bcCallBuiltin
-					out.off = int32(p.builtinSlotFor(in.Callee))
-				}
-			case ir.OpRet:
-				if len(in.Args) == 1 {
-					out.op = bcRet
-					out.a = p.lowerValue(in.Args[0])
-				} else {
-					out.op = bcRetVoid
-				}
-			default:
-				// Validation rejects unknown opcodes before lowering runs;
-				// keep a faulting instruction so a foreign module that
-				// somehow bypassed it reports the same error as the
-				// tree-walker.
-				out.op = bcInvalid
-			}
-
-			bf.wTo = append(bf.wTo, 0) // filled below
+		var sel [][2]int
+		if bi < len(runs) {
+			sel = runs[bi]
+		}
+		ri := 0
+		emit := func(out bcInstr) {
 			bf.code = append(bf.code, out)
-			cost += out.op.weight()
-			if fused {
-				ii++ // the pair lowered to one superinstruction
+			cost += out.weight()
+		}
+		for ii := 0; ii < len(blk.Instrs); {
+			// A selected fusion run starting here collapses into one
+			// dispatch: a classic pair superinstruction when it is
+			// exactly one of the three dependent-pair patterns, the
+			// generalized micro-op sequence otherwise.
+			if ri < len(sel) && sel[ri][0] == ii {
+				lo, hi := sel[ri][0], sel[ri][1]
+				ri++
+				if hi-lo == 2 {
+					if out, ok := p.classicPair(&blk.Instrs[lo], &blk.Instrs[lo+1]); ok {
+						emit(out)
+						ii = hi
+						continue
+					}
+				}
+				out := bcInstr{op: bcFused, dest: -1, ic: -1, irIn: &blk.Instrs[lo]}
+				out.micro = make([]mcInstr, 0, hi-lo)
+				for k := lo; k < hi; k++ {
+					out.micro = append(out.micro, p.microFor(&blk.Instrs[k]))
+				}
+				emit(out)
+				ii = hi
+				continue
 			}
+			// Outside selected runs: the original peephole over the
+			// three classic pairs, never crossing into a selected run.
+			if ii+1 < len(blk.Instrs) && !(ri < len(sel) && sel[ri][0] == ii+1) {
+				if out, ok := p.classicPair(&blk.Instrs[ii], &blk.Instrs[ii+1]); ok {
+					emit(out)
+					ii += 2
+					continue
+				}
+			}
+			emit(p.lowerOne(&blk.Instrs[ii]))
+			ii++
 		}
 		bf.blocks[bi] = bcBlock{start: start, cost: cost, irb: blk}
 	}
 	// Cumulative weights: wTo[pc] prices code[:pc].
-	bf.wTo = append(bf.wTo, 0)
+	bf.wTo = make([]uint32, len(bf.code)+1)
 	w := uint32(0)
 	for pc := range bf.code {
 		bf.wTo[pc] = w
-		w += bf.code[pc].op.weight()
+		w += bf.code[pc].weight()
 	}
 	bf.wTo[len(bf.code)] = w
 	return bf, nil

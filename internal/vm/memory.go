@@ -43,17 +43,29 @@ var ErrNullDeref = errors.New("vm: null pointer dereference")
 type Memory struct {
 	pages map[uint64][]byte
 
-	// Single-entry page cache: the interpreter has strong locality.
-	lastIdx  uint64
-	lastPage []byte
+	// Two-entry page cache: the interpreter has strong locality, but it
+	// is typically split across two working pages at once (stack locals
+	// vs a heap object), so one entry thrashes exactly on the hottest
+	// load/store interleavings.
+	lastIdx   uint64
+	lastPage  []byte
+	last2Idx  uint64
+	last2Page []byte
 }
 
 func newMemory() *Memory {
-	return &Memory{pages: make(map[uint64][]byte), lastIdx: ^uint64(0)}
+	return &Memory{pages: make(map[uint64][]byte), lastIdx: ^uint64(0), last2Idx: ^uint64(0)}
 }
 
 func (m *Memory) page(idx uint64) []byte {
 	if idx == m.lastIdx {
+		return m.lastPage
+	}
+	if idx == m.last2Idx {
+		// Swap to the front so the fast paths (which probe front first)
+		// keep both working pages hittable.
+		m.lastIdx, m.last2Idx = idx, m.lastIdx
+		m.lastPage, m.last2Page = m.last2Page, m.lastPage
 		return m.lastPage
 	}
 	p, ok := m.pages[idx]
@@ -61,6 +73,7 @@ func (m *Memory) page(idx uint64) []byte {
 		p = make([]byte, pageSize)
 		m.pages[idx] = p
 	}
+	m.last2Idx, m.last2Page = m.lastIdx, m.lastPage
 	m.lastIdx, m.lastPage = idx, p
 	return p
 }
@@ -71,6 +84,60 @@ func (m *Memory) check(addr uint64, n int) error {
 	}
 	_ = n
 	return nil
+}
+
+// loadMask selects the low n bytes of an 8-byte load (readFast).
+var loadMask = [9]uint64{1: 0xff, 2: 0xffff, 4: 0xffff_ffff, 8: ^uint64(0)}
+
+// readFast is the bytecode engine's inline load path: the access must
+// land whole in the cached page with 8 readable bytes at its offset
+// (the wide load is masked down to n). Reports false — never faults —
+// when any condition misses; the caller falls back to ReadU, which
+// re-derives the fault or refills the page cache. Small on purpose so
+// it inlines into the dispatch loop.
+func (m *Memory) readFast(addr uint64, n int32) (uint64, bool) {
+	off := addr & (pageSize - 1)
+	if addr < NullGuard || off+8 > pageSize {
+		return 0, false
+	}
+	if idx := addr >> pageBits; idx == m.lastIdx {
+		return binary.LittleEndian.Uint64(m.lastPage[off:]) & loadMask[n], true
+	} else if idx == m.last2Idx {
+		return binary.LittleEndian.Uint64(m.last2Page[off:]) & loadMask[n], true
+	}
+	return 0, false
+}
+
+// readFast8 is readFast specialized to the full 8-byte width the
+// lowering marks as mcLoad8 — no mask table on the hottest load path.
+func (m *Memory) readFast8(addr uint64) (uint64, bool) {
+	off := addr & (pageSize - 1)
+	if addr < NullGuard || off+8 > pageSize {
+		return 0, false
+	}
+	if idx := addr >> pageBits; idx == m.lastIdx {
+		return binary.LittleEndian.Uint64(m.lastPage[off:]), true
+	} else if idx == m.last2Idx {
+		return binary.LittleEndian.Uint64(m.last2Page[off:]), true
+	}
+	return 0, false
+}
+
+// write8Fast is readFast's store counterpart for the dominant 8-byte
+// width.
+func (m *Memory) write8Fast(addr uint64, v uint64) bool {
+	off := addr & (pageSize - 1)
+	if addr < NullGuard || off+8 > pageSize {
+		return false
+	}
+	if idx := addr >> pageBits; idx == m.lastIdx {
+		binary.LittleEndian.PutUint64(m.lastPage[off:], v)
+		return true
+	} else if idx == m.last2Idx {
+		binary.LittleEndian.PutUint64(m.last2Page[off:], v)
+		return true
+	}
+	return false
 }
 
 // ReadU reads an n-byte little-endian unsigned integer (n ∈ {1,2,4,8}).

@@ -46,6 +46,13 @@ type Program struct {
 	bcFuncs     []*bcFunc
 	funcIdx     map[string]int
 	builtinSlot map[string]int
+
+	// numICSites counts the olr_getptr call sites the lowering numbered
+	// with inline layout-cache slots; icSlotOf maps each such source
+	// instruction to its slot so the tree-walker shares the per-instance
+	// cache (VM.icSlots) with the bytecode engine.
+	numICSites int
+	icSlotOf   map[*ir.Instr]int32
 }
 
 type globalInit struct {
@@ -57,6 +64,14 @@ type globalInit struct {
 // must not be mutated afterwards; Clone it first if the caller keeps
 // rewriting it.
 func Compile(m *ir.Module) (*Program, error) {
+	return CompileWith(m, DefaultPGO())
+}
+
+// CompileWith compiles under explicit optimization inputs (Compile uses
+// the process default installed by SetDefaultPGO). The same module,
+// profile and topK always produce byte-identical lowered code — see
+// Fingerprint.
+func CompileWith(m *ir.Module, opts CompileOpts) (*Program, error) {
 	if err := ir.Validate(m); err != nil {
 		return nil, err
 	}
@@ -68,6 +83,7 @@ func Compile(m *ir.Module) (*Program, error) {
 		siteNames:   make(map[*ir.Block]string),
 		funcIdx:     make(map[string]int, len(m.Funcs)),
 		builtinSlot: make(map[string]int),
+		icSlotOf:    make(map[*ir.Instr]int32),
 	}
 	addr := uint64(GlobalBase)
 	for _, g := range m.Globals {
@@ -88,10 +104,144 @@ func Compile(m *ir.Module) (*Program, error) {
 	}
 	// Lower every function to flat bytecode (needs the complete funcIdx
 	// for direct callee binding).
-	if err := p.lowerModule(); err != nil {
+	if err := p.lowerModule(opts); err != nil {
 		return nil, err
 	}
 	return p, nil
+}
+
+// Fingerprint hashes the complete lowered instruction stream (opcodes,
+// operand kinds and values, micro-op sequences, weights, cache slots,
+// block layout) into a stable 64-bit FNV-1a digest. Two Programs with
+// equal fingerprints execute identical bytecode; the PGO-determinism
+// gate asserts that compiling the same module under the same profile
+// and seed twice agrees here.
+func (p *Program) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xff
+			h *= prime64
+			x >>= 8
+		}
+	}
+	mixArg := func(a bcArg) {
+		if a.reg {
+			mix(1)
+		} else {
+			mix(0)
+		}
+		mix(uint64(a.v))
+	}
+	for _, bf := range p.bcFuncs {
+		mix(uint64(len(bf.code)))
+		mix(uint64(len(bf.blocks)))
+		mix(uint64(bf.numRegs))
+		mix(uint64(len(bf.consts)))
+		for i := range bf.consts {
+			mix(uint64(uint32(bf.consts[i].slot)))
+			mix(uint64(bf.consts[i].val))
+		}
+		for bi := range bf.blocks {
+			mix(uint64(bf.blocks[bi].start))
+			mix(uint64(bf.blocks[bi].cost))
+		}
+		for pc := range bf.code {
+			in := &bf.code[pc]
+			mix(uint64(in.op))
+			mix(uint64(in.kind))
+			mix(uint64(in.signShift))
+			mix(uint64(uint32(in.dest)))
+			mix(uint64(uint32(in.d2)))
+			mix(uint64(uint32(in.size)))
+			mix(uint64(uint32(in.off)))
+			mix(uint64(uint32(in.t0)))
+			mix(uint64(uint32(in.t1)))
+			mix(uint64(uint32(in.ic)))
+			mixArg(in.a)
+			mixArg(in.b)
+			mixArg(in.c)
+			mix(uint64(len(in.args)))
+			for i := range in.args {
+				mixArg(in.args[i])
+			}
+			mix(uint64(len(in.micro)))
+			for mi := range in.micro {
+				m := &in.micro[mi]
+				mix(uint64(m.op))
+				mix(uint64(m.kind))
+				mix(uint64(m.signShift))
+				if m.aReg {
+					mix(1)
+				} else {
+					mix(0)
+				}
+				if m.bReg {
+					mix(1)
+				} else {
+					mix(0)
+				}
+				mix(uint64(uint32(m.dest)))
+				mix(uint64(uint32(m.size)))
+				mix(uint64(uint32(m.off)))
+				mix(uint64(uint32(m.t1)))
+				mix(uint64(m.a))
+				mix(uint64(m.b))
+			}
+		}
+	}
+	return h
+}
+
+// LoweredFuncStats summarizes the lowered form of one function for
+// static introspection (cmd/polarstat).
+type LoweredFuncStats struct {
+	Name         string `json:"name"`
+	SourceInstrs int    `json:"source_instrs"`
+	Dispatches   int    `json:"dispatches"`
+	FusedRuns    int    `json:"fused_runs"`
+	FusedMicros  int    `json:"fused_micros"`
+	ClassicPairs int    `json:"classic_pairs"`
+	ICSites      int    `json:"ic_sites"`
+	OperandRegs  int    `json:"operand_regs"`
+	SourceRegs   int    `json:"source_regs"`
+}
+
+// LoweredStats reports per-function lowering statistics: how many
+// dispatches the flat code needs for how many source instructions,
+// where the fuser collapsed runs, how many olr_getptr sites carry
+// inline caches, and how far register allocation shrank the operand
+// file.
+func (p *Program) LoweredStats() []LoweredFuncStats {
+	out := make([]LoweredFuncStats, 0, len(p.bcFuncs))
+	for _, bf := range p.bcFuncs {
+		s := LoweredFuncStats{
+			Name:        bf.fn.Name,
+			Dispatches:  len(bf.code),
+			OperandRegs: bf.numRegs,
+			SourceRegs:  bf.fn.NumRegs,
+		}
+		for pc := range bf.code {
+			in := &bf.code[pc]
+			s.SourceInstrs += int(in.weight())
+			switch {
+			case in.op == bcFused:
+				s.FusedRuns++
+				s.FusedMicros += len(in.micro)
+			case in.op >= bcFieldLoad:
+				s.ClassicPairs++
+			}
+			if in.ic >= 0 {
+				s.ICSites++
+			}
+		}
+		out = append(out, s)
+	}
+	return out
 }
 
 // Module returns the compiled module. Treat it as read-only.
@@ -128,6 +278,13 @@ func (p *Program) NewInstance(opts ...Option) (*VM, error) {
 	// defaults below, core.Runtime.Attach later) so every registration
 	// lands in both the name map and the bytecode callee table.
 	v.builtinSlots = make([]Builtin, len(p.builtinSlot))
+	if p.numICSites > 0 {
+		// Inline layout-cache entries are per instance (they memoize
+		// instance-specific randomized offsets) and start invalid: a
+		// zero entry's generation never matches a live runtime's, whose
+		// generation counter starts at 1.
+		v.icSlots = make([]icEntry, p.numICSites)
+	}
 	heapOpts := []heap.Option{heap.WithQuarantine(v.quarantine)}
 	if v.heapRand != 0 {
 		heapOpts = append(heapOpts, heap.WithRandomPlacement(v.heapRand))

@@ -43,3 +43,55 @@ func (s Stats) Publish(reg *telemetry.Registry) {
 	reg.Counter("vm.calls").Set(s.Calls)
 	reg.Gauge("vm.max_depth").Set(float64(s.MaxDepth))
 }
+
+// Perf holds engine-strategy counters: inline layout-cache traffic at
+// olr_getptr sites and bcFused superinstruction dispatches. They are
+// deliberately NOT part of Stats — the engine differential suite holds
+// Stats to struct equality across engines, while these legitimately
+// differ (the tree-walker never dispatches fused runs; a hooked run
+// never serves inline-cache hits).
+type Perf struct {
+	// InlineHits/InlineMisses count inline layout-cache lookups at
+	// eligible olr_getptr sites (a hit skips the core resolver; a miss
+	// falls into it and may re-memoize).
+	InlineHits   uint64
+	InlineMisses uint64
+	// FusedDispatches counts bcFused superinstruction dispatches (each
+	// executes a whole micro-op run).
+	FusedDispatches uint64
+}
+
+// String renders the perf counters key=value, like Stats.String.
+func (p Perf) String() string {
+	return fmt.Sprintf("inline-cache-hits=%d inline-cache-misses=%d fused-dispatches=%d",
+		p.InlineHits, p.InlineMisses, p.FusedDispatches)
+}
+
+// HitRate returns the inline-cache hit fraction (0 when no lookups).
+func (p Perf) HitRate() float64 {
+	if t := p.InlineHits + p.InlineMisses; t > 0 {
+		return float64(p.InlineHits) / float64(t)
+	}
+	return 0
+}
+
+// MarshalJSON implements json.Marshaler with stable snake_case keys.
+func (p Perf) MarshalJSON() ([]byte, error) {
+	return json.Marshal(map[string]uint64{
+		"inline_cache_hits":   p.InlineHits,
+		"inline_cache_misses": p.InlineMisses,
+		"fused_dispatches":    p.FusedDispatches,
+	})
+}
+
+// Publish snapshots the perf counters into a telemetry registry under
+// the "vm." prefix (OpenMetrics: polar_vm_inline_cache_hits_total,
+// polar_vm_inline_cache_misses_total, polar_vm_fused_dispatches_total).
+func (p Perf) Publish(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("vm.inline_cache.hits").Set(p.InlineHits)
+	reg.Counter("vm.inline_cache.misses").Set(p.InlineMisses)
+	reg.Counter("vm.fused_dispatches").Set(p.FusedDispatches)
+}

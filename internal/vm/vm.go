@@ -87,6 +87,11 @@ type Call struct {
 	// fn/blk locate the call instruction for diagnostics (see Site).
 	fn  *ir.Func
 	blk *ir.Block
+
+	// ic is the call site's inline layout-cache slot plus one (0 = the
+	// site carries no cache), so the zero Call is inert. Builtins opt
+	// into memoization via Memoize.
+	ic int32
 }
 
 // Site returns the instruction site of the call as "@fn.block" (empty
@@ -114,6 +119,26 @@ func (c *Call) Arg(i int) int64 {
 	return c.Args[i]
 }
 
+// Memoize installs the current olr_getptr resolution into the call
+// site's inline layout cache: the next access at this site with the
+// same (base, field, class) under the same layout generation skips the
+// builtin entirely (both engines). The resolver must only call this on
+// clean resolutions — a live, correctly-typed object whose offset will
+// stay valid until the generation counter next advances. A no-op when
+// the site carries no cache slot or no cache is installed.
+func (c *Call) Memoize(off int64) {
+	if c == nil || c.ic <= 0 || c.VM == nil || c.VM.icGen == nil || len(c.Args) < 3 {
+		return
+	}
+	c.VM.icSlots[c.ic-1] = icEntry{
+		base:  uint64(c.Args[0]),
+		field: c.Args[1],
+		class: uint64(c.Args[2]),
+		off:   off,
+		gen:   *c.VM.icGen,
+	}
+}
+
 const (
 	defaultFuel  = 4_000_000_000
 	maxCallDepth = 512
@@ -128,6 +153,11 @@ type VM struct {
 	Mem   *Memory
 	Heap  *heap.Allocator
 	Stats Stats
+	// Perf holds engine-strategy counters (inline-cache traffic, fused
+	// dispatches). They live outside Stats on purpose: Stats is held to
+	// struct equality across engines by the differential suite, while
+	// Perf legitimately differs (the tree-walker never fuses).
+	Perf Perf
 
 	// prog is the shared immutable Program this instance executes.
 	prog *Program
@@ -152,6 +182,18 @@ type VM struct {
 	// lookups per call with one pointer-map hit. RegisterBuiltin drops
 	// the cache so re-registration keeps working.
 	callBinds map[*ir.Instr]boundCallee
+
+	// Per-call-site inline layout caches (nil/zero unless the compiled
+	// module has olr_getptr sites and a layout runtime installed the
+	// protocol): icSlots holds one entry per numbered site, icGen points
+	// at the runtime's layout-generation counter (entries from an older
+	// generation never hit; the counter starts at 1 so zeroed entries
+	// are invalid), and icHit replays the runtime's fast-path
+	// observables on a hit so both engines' event/trace streams stay
+	// identical to a resolver fast-path resolution.
+	icSlots []icEntry
+	icGen   *uint64
+	icHit   func(site string, base uint64, field int64, class uint64, off int64)
 
 	input  []byte
 	output []byte
@@ -339,6 +381,35 @@ func (v *VM) RegisterBuiltin(name string, fn Builtin) {
 		v.builtinSlots[idx] = fn
 	}
 	v.callBinds = nil
+	// A re-registered olr_getptr must see every call again: zeroed
+	// entries carry generation 0, which no installed runtime's counter
+	// (starting at 1) ever matches.
+	for i := range v.icSlots {
+		v.icSlots[i] = icEntry{}
+	}
+}
+
+// icEntry is one per-call-site inline layout-cache slot: the last clean
+// olr_getptr resolution at that site, valid while the runtime's layout
+// generation still equals gen.
+type icEntry struct {
+	base  uint64
+	class uint64
+	field int64
+	off   int64
+	gen   uint64
+}
+
+// InstallLayoutCache arms the per-call-site inline layout caches: gen
+// is the runtime's layout-generation counter (bumped whenever any
+// memoized offset may have gone stale — free, layout-changing copy,
+// rerandomize), and onHit replays the runtime's fast-path observables
+// (counters, events, trace record) for a served hit. The protocol is
+// engine-independent; with hooks attached the caches stay cold so
+// Hooks.Builtin still observes every call.
+func (v *VM) InstallLayoutCache(gen *uint64, onHit func(site string, base uint64, field int64, class uint64, off int64)) {
+	v.icGen = gen
+	v.icHit = onHit
 }
 
 // Program returns the shared immutable Program this VM executes.
@@ -602,6 +673,13 @@ func (v *VM) call(fn *ir.Func, args []ir.Value, callerRegs []int64, callerDest i
 					return 0, v.fault(fn, b, err)
 				}
 				v.Stats.Frees++
+				if v.icGen != nil {
+					// A raw free can recycle a base address out from under
+					// a memoized resolution; advance the generation so
+					// every inline-cached offset revalidates (same point
+					// in both engines).
+					*v.icGen++
+				}
 				// Hook first: the taint engine attributes the free via
 				// the object-type tracking this delete removes.
 				if v.hooks != nil {
@@ -783,10 +861,13 @@ func (v *VM) call(fn *ir.Func, args []ir.Value, callerRegs []int64, callerDest i
 }
 
 // boundCallee is a resolved call target: a module function, a builtin,
-// or (both nil) a callee that resolves to nothing and faults.
+// or (both nil) a callee that resolves to nothing and faults. ic is the
+// site's inline layout-cache slot plus one (0 = none), resolved from
+// the Program's numbering once per bind.
 type boundCallee struct {
 	fn *ir.Func
 	bi Builtin
+	ic int32
 }
 
 func (v *VM) dispatchCall(fn *ir.Func, b *ir.Block, regs []int64, in *ir.Instr) (int64, error) {
@@ -799,6 +880,9 @@ func (v *VM) dispatchCall(fn *ir.Func, b *ir.Block, regs []int64, in *ir.Instr) 
 		if bound.fn == nil {
 			bound.bi = v.builtins[in.Callee]
 		}
+		if slot, has := v.prog.icSlotOf[in]; has {
+			bound.ic = slot + 1
+		}
 		if v.callBinds == nil {
 			v.callBinds = make(map[*ir.Instr]boundCallee)
 		}
@@ -810,6 +894,21 @@ func (v *VM) dispatchCall(fn *ir.Func, b *ir.Block, regs []int64, in *ir.Instr) 
 	if bound.bi == nil {
 		return 0, v.fault(fn, b, fmt.Errorf("%w: @%s", ErrUnknownFunc, in.Callee))
 	}
+	// Inline layout-cache fast path, shared with the bytecode engine
+	// (same slots, same generation check, same hit callback — that is
+	// what keeps the engines' event and trace streams identical). Hooks
+	// disable it: Hooks.Builtin must observe every call.
+	if bound.ic > 0 && v.icGen != nil && v.hooks == nil {
+		base := uint64(v.resolve(regs, in.Args[0]))
+		field := v.resolve(regs, in.Args[1])
+		class := uint64(v.resolve(regs, in.Args[2]))
+		if e := &v.icSlots[bound.ic-1]; e.gen == *v.icGen && e.base == base && e.field == field && e.class == class {
+			v.Perf.InlineHits++
+			v.icHit(v.prog.SiteName(b), base, field, class, e.off)
+			return int64(base + uint64(e.off)), nil
+		}
+		v.Perf.InlineMisses++
+	}
 	// Builtins never re-enter the interpreter, so one scratch argument
 	// buffer and Call frame per VM suffice (keeps the hot olr_getptr
 	// path allocation-free).
@@ -818,7 +917,7 @@ func (v *VM) dispatchCall(fn *ir.Func, b *ir.Block, regs []int64, in *ir.Instr) 
 		argv = append(argv, v.resolve(regs, a))
 	}
 	v.argvScratch = argv[:0]
-	v.callScratch = Call{VM: v, Name: in.Callee, Args: argv, RawArgs: in.Args, fn: fn, blk: b}
+	v.callScratch = Call{VM: v, Name: in.Callee, Args: argv, RawArgs: in.Args, fn: fn, blk: b, ic: bound.ic}
 	ret, err := bound.bi(&v.callScratch)
 	if err != nil {
 		return 0, v.fault(fn, b, err)

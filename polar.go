@@ -110,6 +110,28 @@ func ParseEngine(s string) (Engine, error) { return vm.ParseEngine(s) }
 // not pass WithEngine (what the CLIs' -engine flag calls).
 func SetDefaultEngine(e Engine) { vm.SetDefaultEngine(e) }
 
+// PGOProfile is a hot-site profile exported from a prior run, used at
+// compile time to rank fusion candidates by real dynamic weight (the
+// CLIs' -pgo flag reads one from disk).
+type PGOProfile = profile.PGO
+
+// ReadPGOFile loads a JSON profile written by WritePGOFile.
+func ReadPGOFile(path string) (*PGOProfile, error) { return profile.ReadPGOFile(path) }
+
+// WritePGOFile exports a profiler's accumulated hot-site weights as a
+// deterministic JSON profile suitable for -pgo.
+func WritePGOFile(path string, p *SiteProfiler) error {
+	return profile.WritePGOFile(path, p.ExportPGO())
+}
+
+// SetDefaultPGO installs the process-wide compile options — a fusion
+// profile and a top-K bound — used by every subsequent compilation that
+// does not pass explicit options (what the CLIs' -pgo/-pgo-topk flags
+// call). A nil profile with topK 0 restores the static default.
+func SetDefaultPGO(p *PGOProfile, topK int) {
+	vm.SetDefaultPGO(vm.CompileOpts{Profile: p, FusionTopK: topK})
+}
+
 // Parse reads the textual IR form (see internal/ir: Print/Parse).
 func Parse(src string) (*Module, error) { return ir.Parse(src) }
 
@@ -463,6 +485,11 @@ type Result struct {
 	Runtime RuntimeStats
 	// VM holds the interpreter counters.
 	VM vm.Stats
+	// Perf holds the bytecode engine's performance-path counters
+	// (inline layout-cache hits/misses, fused dispatches). Zero-valued
+	// on tree-walker runs except for the inline-cache counters, which
+	// both engines share.
+	Perf vm.Perf
 	// Violations are the structured detection records, in order
 	// (populated on hardened runs; capped — see core.ViolationRecords).
 	Violations []ViolationRecord
@@ -530,6 +557,21 @@ func PrepareHardened(h *Hardened) (*Prepared, error) {
 	}, nil
 }
 
+// LoweredFuncStats summarizes the lowered bytecode of one function:
+// dispatch counts vs. source instructions, fused runs and micro-ops,
+// inline-cache sites and the operand-file width after register
+// allocation (polarstat's -lowered section).
+type LoweredFuncStats = vm.LoweredFuncStats
+
+// LoweredStats reports per-function lowering statistics of the
+// compiled program.
+func (p *Prepared) LoweredStats() []LoweredFuncStats { return p.prog.LoweredStats() }
+
+// Fingerprint digests the complete lowered instruction stream. Equal
+// fingerprints mean identical bytecode; the PGO-determinism gate
+// asserts that recompiling under the same profile agrees here.
+func (p *Prepared) Fingerprint() uint64 { return p.prog.Fingerprint() }
+
 // Run executes the prepared program once on a fresh instance.
 func (p *Prepared) Run(opts ...Option) (*Result, error) {
 	o := gather(opts)
@@ -543,7 +585,7 @@ func (p *Prepared) Run(opts ...Option) (*Result, error) {
 			return nil, err
 		}
 		publishVM(v, o)
-		return &Result{Value: val, Output: v.Output(), VM: v.Stats}, nil
+		return &Result{Value: val, Output: v.Output(), VM: v.Stats, Perf: v.Perf}, nil
 	}
 	cfg := runtimeConfig(o, p.table, p.perClass)
 	cfg.Interner = p.interner
@@ -560,7 +602,7 @@ func (p *Prepared) Run(opts ...Option) (*Result, error) {
 	vlog := rt.ViolationLog()
 	return &Result{
 		Value: val, Output: v.Output(), Runtime: rt.Stats(),
-		VM: v.Stats, Violations: vlog.Records,
+		VM: v.Stats, Perf: v.Perf, Violations: vlog.Records,
 		ViolationsTruncated: vlog.Truncated, ViolationsDropped: vlog.Dropped,
 	}, nil
 }
@@ -591,6 +633,7 @@ func publishVM(v *vm.VM, o *options) {
 		return
 	}
 	v.Stats.Publish(o.tel.Registry)
+	v.Perf.Publish(o.tel.Registry)
 	v.Heap.Stats().Publish(o.tel.Registry)
 }
 
