@@ -17,7 +17,12 @@
 // byte-identical across reruns — the traces experiment gates that.
 //
 // Experiments: table1, table2, table3, table4, fig6, fig7, security,
-// static, traces, ablation. Default runs all of them. traces is the
+// static, traces, seeding, ablation. Default runs all of them. seeding
+// is the static IC-seeding differential (DESIGN.md §14): every workload
+// compiles with and without the analysis-computed site classification,
+// both arms run under one seed with execution traces attached, and the
+// gate requires byte-identical traces plus a strict inline-cache miss
+// reduction on at least three workloads. traces is the
 // trace-level engine-differential suite: every workload runs hardened
 // under the bytecode and legacy engines with a deterministic execution
 // trace attached (DESIGN.md §11), the traces must be byte-identical,
@@ -350,6 +355,28 @@ func run(sel func(string) bool, csv bool, metrics emitConfig, reps, trials, fuzz
 		// events, which no timing table should paper over.
 		if evalrun.TracesDiverged(rows) {
 			return fmt.Errorf("traces: engines diverged (see table above)")
+		}
+	}
+	if sel("seeding") {
+		sp := evalrun.Span("seeding", "experiment")
+		rows, err := evalrun.Seeding(seed)
+		sp.End()
+		if err != nil {
+			return err
+		}
+		if csv {
+			fmt.Print(evalrun.CSVSeeding(rows))
+		} else {
+			fmt.Println(evalrun.RenderSeeding(rows))
+		}
+		if err := emitMetrics(metrics, "seeding", func(reg *telemetry.Registry) { evalrun.PublishSeeding(rows, reg) }); err != nil {
+			return err
+		}
+		// Hard gates, like the traces experiment: static seeding must be
+		// observably invisible (byte-identical traces) and must actually
+		// cut inline-cache misses on a share of the workloads.
+		if v := evalrun.SeedingViolations(rows, 3); len(v) > 0 {
+			return fmt.Errorf("seeding: %s", strings.Join(v, "; "))
 		}
 	}
 	if sel("ablation") {

@@ -13,6 +13,15 @@
 //	-taint         print the ranked static TaintClass table
 //	-policy FILE   write a randomization policy derived from the
 //	               static taint pass (single input only)
+//	-context K     call-string depth for heap cloning (default 2;
+//	               0 disables context sensitivity entirely)
+//	-facts FILE    write the olr_getptr site classification (the
+//	               SiteFacts artifact polarc/polarun -facts consume;
+//	               single input only)
+//	-suggest       propose norandom tags for untainted wire-format
+//	               classes
+//	-taint-report FILE  dynamic-campaign policy file (taintclass -o);
+//	               its targets additionally veto -suggest proposals
 //	-metrics       print per-pass timing and finding counts to stderr
 //
 // Exit status: 0 clean (below the gate), 1 findings at/above -fail-on,
@@ -25,9 +34,12 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"polar"
 	"polar/internal/analysis"
+	"polar/internal/ir"
+	"polar/internal/policy"
 	"polar/internal/telemetry"
 )
 
@@ -36,6 +48,10 @@ func main() {
 	failOn := flag.String("fail-on", "error", "minimum severity that fails the run (info|warning|error|none)")
 	taintOut := flag.Bool("taint", false, "print the ranked static TaintClass table")
 	policyOut := flag.String("policy", "", "write a policy file derived from the static taint pass")
+	contextK := flag.Int("context", 2, "call-string depth for heap cloning (0 = context-insensitive)")
+	factsOut := flag.String("facts", "", "write the SiteFacts artifact for analysis-guided compilation")
+	suggest := flag.Bool("suggest", false, "propose norandom tags for untainted wire-format classes")
+	taintReport := flag.String("taint-report", "", "dynamic-campaign policy file whose targets veto -suggest")
 	metricsOut := flag.Bool("metrics", false, "print per-pass metrics to stderr")
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -45,6 +61,19 @@ func main() {
 	if *policyOut != "" && flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "polarlint: -policy needs exactly one input module")
 		os.Exit(2)
+	}
+	if *factsOut != "" && flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "polarlint: -facts needs exactly one input module")
+		os.Exit(2)
+	}
+	var dynTainted []string
+	if *taintReport != "" {
+		pol, err := policy.Load(*taintReport)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "polarlint:", err)
+			os.Exit(2)
+		}
+		dynTainted = pol.Targets
 	}
 
 	var gate analysis.Severity
@@ -57,14 +86,32 @@ func main() {
 		gate = sev
 	}
 
+	k := analysis.ContextInsensitive
+	if *contextK > 0 {
+		k = *contextK
+	}
 	reg := telemetry.NewRegistry()
 	failed := false
 	var jsonResults []*analysis.Result
 	for _, path := range flag.Args() {
-		res, err := lintFile(path, reg)
+		m, res, err := lintFile(path, analysis.Options{
+			Metrics: reg, ContextK: k, SiteFacts: *factsOut != "",
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "polarlint:", err)
 			os.Exit(2)
+		}
+		if *factsOut != "" {
+			data, err := res.Sites.EncodeJSON()
+			if err == nil {
+				err = os.WriteFile(*factsOut, data, 0o644)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "polarlint:", err)
+				os.Exit(2)
+			}
+			fmt.Fprintf(os.Stderr, "polarlint: wrote facts for %d sites to %s\n",
+				len(res.Sites.Sites), *factsOut)
 		}
 		if gate != 0 && res.Findings.CountAtLeast(gate) > 0 {
 			failed = true
@@ -79,6 +126,9 @@ func main() {
 		fmt.Print(res.Findings.Render())
 		if *taintOut {
 			printTaint(res)
+		}
+		if *suggest {
+			printSuggestions(m, res, dynTainted)
 		}
 		if *policyOut != "" {
 			pol := res.Taint.Policy("polarlint -policy")
@@ -106,16 +156,28 @@ func main() {
 	}
 }
 
-func lintFile(path string, reg *telemetry.Registry) (*analysis.Result, error) {
+func lintFile(path string, opts analysis.Options) (*ir.Module, *analysis.Result, error) {
 	src, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	m, err := polar.Parse(string(src))
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
 	}
-	return analysis.Analyze(m, analysis.Options{Metrics: reg}), nil
+	return m, analysis.Analyze(m, opts), nil
+}
+
+func printSuggestions(m *ir.Module, res *analysis.Result, dynTainted []string) {
+	sug := analysis.SuggestNoRandom(m, res, dynTainted)
+	if len(sug) == 0 {
+		fmt.Println("suggest: no norandom candidates")
+		return
+	}
+	for _, s := range sug {
+		fmt.Printf("suggest: norandom %%%s — %s [%s]\n",
+			s.Class, s.Reason, strings.Join(s.Rules, ", "))
+	}
 }
 
 func printTaint(res *analysis.Result) {

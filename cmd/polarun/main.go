@@ -58,6 +58,12 @@
 //	-pgo-record   write the run's hot-site weights as a JSON profile to
 //	              this file for later -pgo compilation (implies the
 //	              profiler)
+//	-facts        compile under a static site classification written by
+//	              polarlint -facts: proven-polymorphic olr_getptr sites
+//	              get no inline-cache slot, monomorphic sites proven to
+//	              address one runs-once object share a pre-seeded slot
+//	              (DESIGN.md §14). Observationally identical to an
+//	              unseeded compile — only IC hit rates change
 //	-cpuprofile   Go-level CPU profile of the interpreter itself
 //	-memprofile   Go-level allocation profile, written after the run
 //	-http         serve /debug/polar/{metrics,events,hotsites,
@@ -144,6 +150,7 @@ type runConfig struct {
 	pgoPath          string
 	pgoTopK          int
 	pgoRecord        string
+	factsPath        string
 }
 
 // outputConflict rejects two flags writing into the same file: the
@@ -218,6 +225,7 @@ func main() {
 	flag.StringVar(&c.pgoPath, "pgo", "", "compile under this hot-site profile (JSON written by -pgo-record)")
 	flag.IntVar(&c.pgoTopK, "pgo-topk", 0, "fuse only the K hottest candidate runs (0 = all, negative = classic pairs only)")
 	flag.StringVar(&c.pgoRecord, "pgo-record", "", "write the run's hot-site weights as a -pgo profile to this file")
+	flag.StringVar(&c.factsPath, "facts", "", "compile under this static site classification (JSON written by polarlint -facts)")
 	flag.Parse()
 	if err := outputConflict(c); err != nil {
 		fmt.Fprintln(os.Stderr, "polarun:", err)
@@ -238,6 +246,14 @@ func main() {
 			}
 		}
 		polar.SetDefaultPGO(prof, c.pgoTopK)
+	}
+	if c.factsPath != "" {
+		facts, err := polar.ReadFactsFile(c.factsPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "polarun:", err)
+			os.Exit(2)
+		}
+		polar.SetDefaultFacts(facts)
 	}
 	if _, err := polar.ParseLayoutMode(c.layoutMode); err != nil {
 		fmt.Fprintln(os.Stderr, "polarun:", err)

@@ -23,12 +23,29 @@ import (
 	"polar/internal/telemetry"
 )
 
+// ContextInsensitive is the Options.ContextK value that disables heap
+// cloning entirely (one region per allocation site, one summary per
+// function — the pre-context analysis).
+const ContextInsensitive = -1
+
 // Options configures Analyze.
 type Options struct {
 	// Taint, Lint, UAF select the passes; EnableAll turns on all
 	// three regardless.
 	Taint, Lint, UAF bool
 	EnableAll        bool
+	// SiteFacts additionally classifies every member-access site as
+	// monomorphic / polymorphic / unknown (Result.Sites) — the artifact
+	// vm.CompileOpts consumes for static inline-cache seeding.
+	SiteFacts bool
+	// ContextK is the call-string depth of the heap-cloning contexts:
+	// 0 selects the default (2), ContextInsensitive (-1) disables
+	// cloning, any positive k analyzes each function once per k-limited
+	// calling context.
+	ContextK int
+	// MaxContexts caps the enumerated contexts per function before the
+	// enumeration widens into the empty context (0 = default 64).
+	MaxContexts int
 	// Metrics, when non-nil, receives per-pass timing and finding
 	// counts (analysis.<pass>.seconds, analysis.<pass>.findings).
 	Metrics *telemetry.Registry
@@ -44,6 +61,9 @@ type Result struct {
 	// PassSeconds records wall time per pass (including "interp", the
 	// shared abstract-interpretation fixpoint).
 	PassSeconds map[string]float64 `json:"passSeconds,omitempty"`
+	// Sites is the member-access site classification (nil unless
+	// Options.SiteFacts was set).
+	Sites *SiteFacts `json:"sites,omitempty"`
 }
 
 // Analyze runs the selected passes over m. The module should be
@@ -69,7 +89,7 @@ func Analyze(m *ir.Module, opts Options) *Result {
 	mi := BuildModuleInfo(m)
 	var ip *interp
 	timed("interp", func() {
-		ip = newInterp(mi)
+		ip = newInterp(mi, opts)
 		ip.run()
 	})
 	if opts.Taint {
@@ -92,6 +112,12 @@ func Analyze(m *ir.Module, opts Options) *Result {
 		res.Findings = append(res.Findings, fs...)
 		if opts.Metrics != nil {
 			opts.Metrics.Counter("analysis.uaf.findings").Set(uint64(len(fs)))
+		}
+	}
+	if opts.SiteFacts {
+		timed("sitefacts", func() { res.Sites = siteFactsPass(ip) })
+		if opts.Metrics != nil {
+			opts.Metrics.Counter("analysis.sitefacts.sites").Set(uint64(len(res.Sites.Sites)))
 		}
 	}
 	res.Findings.Sort(m)

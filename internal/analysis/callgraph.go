@@ -19,7 +19,10 @@ type CallSite struct {
 // CallGraph records who calls whom, at which sites. Function-pointer
 // stores (&fn operands) are modeled as potential calls from the
 // function taking the address — the conservative treatment for
-// indirect calls through fptr members.
+// indirect calls through fptr members — and, for references stored
+// into module globals, additionally from every function that loads
+// that global, so a handler installed by one function and dispatched
+// by another stays reachable even when the installer is dead code.
 type CallGraph struct {
 	// Callees maps a function to the module functions it may invoke
 	// (direct calls plus any function whose address it takes), sorted
@@ -49,6 +52,13 @@ func BuildCallGraph(m *ir.Module) *CallGraph {
 		cg.Callees[caller] = append(cg.Callees[caller], callee)
 		cg.Callers[callee] = append(cg.Callers[callee], caller)
 	}
+	// First sweep: direct calls, local address-taken edges, and the set
+	// of globals a function reference is ever stored into. A function
+	// stored into a global in one function and called indirectly from
+	// another must get an edge from the LOADING function too — only
+	// crediting the storer silently drops the callee from Reachable()
+	// whenever the initializer itself is dead or unreachable.
+	fnsInGlobal := make(map[string][]string)
 	for _, f := range m.Funcs {
 		for bi, blk := range f.Blocks {
 			for ii := range blk.Instrs {
@@ -66,6 +76,28 @@ func BuildCallGraph(m *ir.Module) *CallGraph {
 				for _, a := range in.Args {
 					if a.Kind == ir.ValFunc && m.Func(a.Sym) != nil {
 						addEdge(f.Name, a.Sym)
+					}
+				}
+				if in.Op == ir.OpStore &&
+					in.Args[0].Kind == ir.ValFunc && m.Func(in.Args[0].Sym) != nil &&
+					in.Args[1].Kind == ir.ValGlobal {
+					fnsInGlobal[in.Args[1].Sym] = append(fnsInGlobal[in.Args[1].Sym], in.Args[0].Sym)
+				}
+			}
+		}
+	}
+	// Second sweep: any function that loads from such a global may
+	// invoke every function ref stored there.
+	if len(fnsInGlobal) > 0 {
+		for _, f := range m.Funcs {
+			for _, blk := range f.Blocks {
+				for ii := range blk.Instrs {
+					in := &blk.Instrs[ii]
+					if in.Op != ir.OpLoad || in.Args[0].Kind != ir.ValGlobal {
+						continue
+					}
+					for _, callee := range fnsInGlobal[in.Args[0].Sym] {
+						addEdge(f.Name, callee)
 					}
 				}
 			}

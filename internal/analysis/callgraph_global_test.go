@@ -1,0 +1,55 @@
+package analysis
+
+import (
+	"slices"
+	"testing"
+
+	"polar/internal/ir"
+)
+
+// Regression: a handler stored into a module global by one function
+// and dispatched by another must stay reachable from the DISPATCHING
+// side — even when the installer itself is dead code. The original
+// call graph only credited the storer, so Reachable("main") silently
+// dropped such handlers and every pass downstream of reachability
+// ignored their bodies.
+func TestCallGraphHandlerStoredInGlobalReachableFromLoader(t *testing.T) {
+	m := ir.NewModule("globalhandler")
+	if _, err := m.AddGlobal("slot", 8, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	b := ir.NewFunc(m, "handler", ir.I64)
+	b.Ret(ir.Const(1))
+
+	// install is never called: a dead initializer, the worst case.
+	b = ir.NewFunc(m, "install", ir.I64)
+	b.Store(ir.Fptr, ir.FuncRef("handler"), ir.Global("slot"))
+	b.Ret(ir.Const(0))
+
+	b = ir.NewFunc(m, "main", ir.I64)
+	h := b.Load(ir.Fptr, ir.Global("slot"))
+	b.Ret(b.Mov(h))
+
+	if err := ir.Validate(m); err != nil {
+		t.Fatal(err)
+	}
+
+	cg := BuildCallGraph(m)
+	if !slices.Contains(cg.Callees["main"], "handler") {
+		t.Errorf("main loads @slot but has no edge to handler: %v", cg.Callees["main"])
+	}
+	reach := cg.Reachable("main")
+	if !reach["handler"] {
+		t.Errorf("handler not reachable from main; reachable = %v", reach)
+	}
+	// The dead installer must NOT ride along: reachability is about who
+	// can run, and nothing calls install.
+	if reach["install"] {
+		t.Errorf("dead installer reported reachable from main")
+	}
+	// The installer keeps its own address-taken edge to the handler.
+	if !slices.Contains(cg.Callees["install"], "handler") {
+		t.Errorf("install's address-taken edge to handler missing: %v", cg.Callees["install"])
+	}
+}

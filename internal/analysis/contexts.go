@@ -1,0 +1,255 @@
+package analysis
+
+import (
+	"sort"
+
+	"polar/internal/ir"
+)
+
+// k-limited call-string contexts (heap cloning, DESIGN.md §14).
+//
+// The abstract interpreter in interp.go used to keep exactly one region
+// per allocation site and one summary per function — any object minted
+// through a factory or wrapper helper collapsed into a single region
+// shared by every caller, which is precisely where the paper's §V
+// breaking idioms hide. This file adds the classic remedy: every
+// function is analyzed once per abstract CALLING CONTEXT, a string of
+// the k most recent call sites, and allocation sites are cloned per
+// allocating context. The UAF and lint passes then see one region per
+// (site, context) pair, so a helper that frees its heap argument in one
+// caller no longer poisons (or, worse, silences) its other callers.
+//
+// Contexts are enumerated ahead of the fixpoint with a deterministic
+// breadth-first walk so region numbering — and therefore every finding
+// and every SiteFacts artifact — is a pure function of (module, k):
+//
+//   - Context 0 is always ε, the empty call string; k=0 reproduces the
+//     context-insensitive analysis exactly (one ε context everywhere).
+//   - The walk seeds every entry point (main plus any function without
+//     a direct caller) with ε and extends contexts across direct call
+//     sites: extend(c, s) = take_k(s · c).
+//   - A function whose context set would exceed the per-function cap
+//     is WIDENED: further contexts collapse into ε, which is then
+//     analyzed as the function's catch-all summary. This bounds the
+//     blowup on deep mutual recursion while staying monotone.
+//   - Functions the walk never reaches (members of a caller cycle with
+//     no external entry, or targets only ever reached through stored
+//     function pointers) still get ε so their bodies are analyzed —
+//     dropping them would lose findings the insensitive analysis had.
+//
+// At analysis time a call site resolves its callee context with the
+// same extend function, falling back to the callee's ε (or its first
+// enumerated context) when the extension was widened away. Argument
+// facts are always joined into the RESOLVED context's parameter
+// summary, so every concrete call remains covered by some analyzed
+// context — the refinement is sound by construction.
+
+// ctxID indexes ctxTable.ctxs. Context 0 is always ε, the empty call
+// string: the context-insensitive summary.
+type ctxID int32
+
+const epsilonCtx ctxID = 0
+
+// fnCtx keys one analysis unit: a function under one calling context.
+type fnCtx struct {
+	fn  string
+	ctx ctxID
+}
+
+// defaultContextK is the call-string depth used when Options.ContextK
+// is zero; defaultMaxContexts caps the enumerated contexts per function
+// before widening collapses the overflow into ε.
+const (
+	defaultContextK    = 2
+	defaultMaxContexts = 64
+)
+
+// ctxTable holds the interned call strings and the per-function context
+// sets the enumeration produced.
+type ctxTable struct {
+	k   int
+	cap int
+
+	// ctxs[id] is the call string, most recent call site first, at most
+	// k long. ctxs[0] is always nil (ε).
+	ctxs  [][]int32
+	index map[string]ctxID
+
+	// sites lists every direct module-function call instruction in
+	// module order; siteOf maps the instruction back to its index.
+	sites  []CallSite
+	siteOf map[*ir.Instr]int32
+
+	// fnCtxs lists the contexts each function is analyzed under, in
+	// ascending ctxID order; ctxSet is the membership index.
+	fnCtxs map[string][]ctxID
+	ctxSet map[fnCtx]bool
+
+	// widened marks functions whose context set hit the cap.
+	widened map[string]bool
+}
+
+// buildContexts enumerates the k-limited context sets for every
+// function of m. k < 0 is clamped to 0 (context-insensitive);
+// maxCtxs <= 0 selects the default per-function cap.
+func buildContexts(m *ir.Module, k, maxCtxs int) *ctxTable {
+	if k < 0 {
+		k = 0
+	}
+	if maxCtxs <= 0 {
+		maxCtxs = defaultMaxContexts
+	}
+	t := &ctxTable{
+		k:       k,
+		cap:     maxCtxs,
+		ctxs:    [][]int32{nil},
+		index:   map[string]ctxID{"": epsilonCtx},
+		siteOf:  make(map[*ir.Instr]int32),
+		fnCtxs:  make(map[string][]ctxID),
+		ctxSet:  make(map[fnCtx]bool),
+		widened: make(map[string]bool),
+	}
+	hasDirectCaller := make(map[string]bool)
+	callSitesOf := make(map[string][]int32)
+	for _, f := range m.Funcs {
+		for bi, blk := range f.Blocks {
+			for ii := range blk.Instrs {
+				in := &blk.Instrs[ii]
+				if in.Op != ir.OpCall || m.Func(in.Callee) == nil {
+					continue
+				}
+				id := int32(len(t.sites))
+				t.sites = append(t.sites, CallSite{
+					Caller: f.Name, Site: ir.SiteRef{Block: bi, Index: ii}, Callee: in.Callee,
+				})
+				t.siteOf[in] = id
+				callSitesOf[f.Name] = append(callSitesOf[f.Name], id)
+				hasDirectCaller[in.Callee] = true
+			}
+		}
+	}
+
+	type item struct {
+		fn  string
+		ctx ctxID
+	}
+	var queue []item
+	enqueue := func(fn string, cx ctxID) {
+		if t.ctxSet[fnCtx{fn, cx}] {
+			return
+		}
+		if len(t.fnCtxs[fn]) >= t.cap {
+			// Widen: the overflowing context collapses into ε, the
+			// function's catch-all summary.
+			t.widened[fn] = true
+			cx = epsilonCtx
+			if t.ctxSet[fnCtx{fn, cx}] {
+				return
+			}
+		}
+		t.ctxSet[fnCtx{fn, cx}] = true
+		t.fnCtxs[fn] = append(t.fnCtxs[fn], cx)
+		queue = append(queue, item{fn, cx})
+	}
+	for _, f := range m.Funcs {
+		if f.Name == "main" || !hasDirectCaller[f.Name] {
+			enqueue(f.Name, epsilonCtx)
+		}
+	}
+	for {
+		for len(queue) > 0 {
+			it := queue[0]
+			queue = queue[1:]
+			for _, sid := range callSitesOf[it.fn] {
+				enqueue(t.sites[sid].Callee, t.extend(it.ctx, sid))
+			}
+		}
+		// Caller cycles with no external entry (and functions reached
+		// only through stored function pointers) are never walked; give
+		// them ε and keep going until every function has a context.
+		progressed := false
+		for _, f := range m.Funcs {
+			if len(t.fnCtxs[f.Name]) == 0 {
+				enqueue(f.Name, epsilonCtx)
+				progressed = true
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	for _, cs := range t.fnCtxs {
+		sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
+	}
+	return t
+}
+
+// extend interns take_k(site · ctx) — the callee-side context of a call
+// at site under caller context cx.
+func (t *ctxTable) extend(cx ctxID, sid int32) ctxID {
+	if t.k == 0 {
+		return epsilonCtx
+	}
+	old := t.ctxs[cx]
+	n := len(old) + 1
+	if n > t.k {
+		n = t.k
+	}
+	s := make([]int32, n)
+	s[0] = sid
+	copy(s[1:], old[:n-1])
+	key := ctxKey(s)
+	if id, ok := t.index[key]; ok {
+		return id
+	}
+	id := ctxID(len(t.ctxs))
+	t.ctxs = append(t.ctxs, s)
+	t.index[key] = id
+	return id
+}
+
+func ctxKey(s []int32) string {
+	b := make([]byte, 0, len(s)*5)
+	for _, x := range s {
+		b = append(b, byte(x), byte(x>>8), byte(x>>16), byte(x>>24), '|')
+	}
+	return string(b)
+}
+
+// calleeCtx resolves the context a direct call executes its callee
+// under: the k-limited extension when it was enumerated, the callee's
+// widened ε otherwise, or — for callees only reachable through paths
+// the walk widened entirely — the callee's first enumerated context.
+// The result is always an analyzed context, so summary lookups never
+// dangle.
+func (t *ctxTable) calleeCtx(cx ctxID, in *ir.Instr) ctxID {
+	sid, ok := t.siteOf[in]
+	if !ok {
+		return epsilonCtx
+	}
+	callee := t.sites[sid].Callee
+	if cand := t.extend(cx, sid); t.ctxSet[fnCtx{callee, cand}] {
+		return cand
+	}
+	if t.ctxSet[fnCtx{callee, epsilonCtx}] {
+		return epsilonCtx
+	}
+	if cs := t.fnCtxs[callee]; len(cs) > 0 {
+		return cs[0]
+	}
+	return epsilonCtx
+}
+
+// contextsOf returns the analyzed contexts of fn (ascending, never
+// empty for module functions).
+func (t *ctxTable) contextsOf(fn string) []ctxID { return t.fnCtxs[fn] }
+
+// numContexts reports the total number of analysis units — Σ per
+// function |contexts| — for diagnostics and the explosion tests.
+func (t *ctxTable) numContexts() int {
+	n := 0
+	for _, cs := range t.fnCtxs {
+		n += len(cs)
+	}
+	return n
+}

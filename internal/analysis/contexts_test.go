@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"polar/internal/ir"
+)
+
+// mutualRecursion builds main plus n mutually recursive functions,
+// each calling the next one twice and the one after that once — three
+// call sites per function, so the k-limited context space grows
+// exponentially in k until the per-function cap widens it.
+func mutualRecursion(t *testing.T, n int) *ir.Module {
+	t.Helper()
+	m := ir.NewModule("mutrec")
+	name := func(i int) string { return "f" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) }
+	for i := 0; i < n; i++ {
+		b := ir.NewFunc(m, name(i), ir.I64)
+		x := b.Call(name((i + 1) % n))
+		y := b.Call(name((i + 1) % n))
+		z := b.Call(name((i + 2) % n))
+		b.Ret(b.Bin(ir.BinAdd, b.Bin(ir.BinAdd, x, y), z))
+	}
+	b := ir.NewFunc(m, "main", ir.I64)
+	b.Ret(b.Call(name(0)))
+	if err := ir.Validate(m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// Deep mutual recursion must terminate under every k with the context
+// count bounded by the per-function cap (+1 for the widened ε), every
+// function analyzed under at least one context, and — once the cap
+// bites — the widened set non-empty.
+func TestContextExplosionBounded(t *testing.T) {
+	m := mutualRecursion(t, 6)
+	for _, tc := range []struct {
+		k, cap int
+		// widen: each function has 3 incoming call sites, so ~3^k
+		// contexts per function — the cap must bite once that passes it.
+		widen bool
+	}{{2, 0, false}, {3, 0, false}, {5, 0, true}, {8, 16, true}, {16, 8, true}} {
+		cap := tc.cap
+		if cap == 0 {
+			cap = defaultMaxContexts
+		}
+		tab := buildContexts(m, tc.k, tc.cap)
+		if got, max := tab.numContexts(), len(m.Funcs)*(cap+1); got > max {
+			t.Errorf("k=%d cap=%d: numContexts = %d, want <= %d", tc.k, tc.cap, got, max)
+		}
+		if tc.widen && len(tab.widened) == 0 {
+			t.Errorf("k=%d cap=%d: deep mutual recursion did not widen any function", tc.k, tc.cap)
+		}
+		for _, f := range m.Funcs {
+			cs := tab.contextsOf(f.Name)
+			if len(cs) == 0 {
+				t.Fatalf("k=%d: %s analyzed under no context", tc.k, f.Name)
+			}
+			if len(cs) > cap+1 {
+				t.Errorf("k=%d: %s has %d contexts, cap is %d", tc.k, f.Name, len(cs), cap)
+			}
+			// A widened function must have its catch-all ε summary.
+			if tab.widened[f.Name] && !tab.ctxSet[fnCtx{f.Name, epsilonCtx}] {
+				t.Errorf("k=%d: widened %s lacks the ε context", tc.k, f.Name)
+			}
+		}
+	}
+}
+
+// k=0 must reproduce the context-insensitive analysis exactly: one ε
+// context per function, nothing else interned.
+func TestContextK0IsInsensitive(t *testing.T) {
+	m := mutualRecursion(t, 4)
+	tab := buildContexts(m, 0, 0)
+	if got := tab.numContexts(); got != len(m.Funcs) {
+		t.Fatalf("k=0 numContexts = %d, want %d (one ε per function)", got, len(m.Funcs))
+	}
+	for _, f := range m.Funcs {
+		if cs := tab.contextsOf(f.Name); len(cs) != 1 || cs[0] != epsilonCtx {
+			t.Errorf("k=0: %s contexts = %v, want [ε]", f.Name, cs)
+		}
+	}
+	if len(tab.ctxs) != 1 {
+		t.Errorf("k=0 interned %d call strings, want just ε", len(tab.ctxs))
+	}
+}
+
+// Context enumeration is a pure function of (module, k): repeated and
+// concurrent builds must produce identical tables — region numbering,
+// and with it every finding and SiteFacts artifact, depends on it.
+func TestContextEnumerationDeterministic(t *testing.T) {
+	m := mutualRecursion(t, 6)
+	base := buildContexts(m, 3, 0)
+	check := func(tab *ctxTable) {
+		t.Helper()
+		if !reflect.DeepEqual(tab.ctxs, base.ctxs) {
+			t.Errorf("interned call strings differ across runs")
+		}
+		if !reflect.DeepEqual(tab.fnCtxs, base.fnCtxs) {
+			t.Errorf("per-function context sets differ across runs")
+		}
+	}
+	for i := 0; i < 3; i++ {
+		check(buildContexts(m, 3, 0))
+	}
+	var wg sync.WaitGroup
+	tabs := make([]*ctxTable, 8)
+	for i := range tabs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Each goroutine parses its own module? No — buildContexts
+			// only reads m, so sharing is the realistic evalrun shape
+			// (worker pools analyze one shared module).
+			tabs[i] = buildContexts(m, 3, 0)
+		}(i)
+	}
+	wg.Wait()
+	for _, tab := range tabs {
+		check(tab)
+	}
+}
+
+// The full analysis must be deterministic across repeated runs and
+// worker-pool-style concurrency: identical findings and an identical
+// serialized SiteFacts artifact every time.
+func TestAnalyzeDeterministicUnderConcurrency(t *testing.T) {
+	m := mutualRecursion(t, 5)
+	run := func() ([]byte, string) {
+		res := Analyze(m, Options{EnableAll: true, SiteFacts: true})
+		js, err := res.Sites.EncodeJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return js, res.Findings.Render()
+	}
+	baseJS, baseFindings := run()
+	type out struct {
+		js       []byte
+		findings string
+	}
+	outs := make([]out, 6)
+	var wg sync.WaitGroup
+	for i := range outs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			js, f := run()
+			outs[i] = out{js, f}
+		}(i)
+	}
+	wg.Wait()
+	for i, o := range outs {
+		if string(o.js) != string(baseJS) {
+			t.Errorf("run %d: SiteFacts JSON differs across concurrent runs", i)
+		}
+		if o.findings != baseFindings {
+			t.Errorf("run %d: findings differ across concurrent runs", i)
+		}
+	}
+}

@@ -105,6 +105,10 @@ type Finding struct {
 	Site  Site   `json:"site"`
 	// Message is the human-readable explanation.
 	Message string `json:"message"`
+	// Contexts counts the distinct calling contexts the heap-cloning
+	// analysis re-derived this finding under (omitted when 1): one
+	// diagnostic line stands for that many context-cloned derivations.
+	Contexts int `json:"contexts,omitempty"`
 }
 
 // String renders one line: pos: severity: [pass/rule] message.
@@ -113,11 +117,45 @@ func (f Finding) String() string {
 	if f.Class != "" {
 		cls = " class=" + f.Class
 	}
-	return fmt.Sprintf("%s: %s: [%s/%s]%s %s", f.Site.Pos(), f.Severity, f.Pass, f.Rule, cls, f.Message)
+	ctxs := ""
+	if f.Contexts > 1 {
+		ctxs = fmt.Sprintf(" [%d contexts]", f.Contexts)
+	}
+	return fmt.Sprintf("%s: %s: [%s/%s]%s %s%s", f.Site.Pos(), f.Severity, f.Pass, f.Rule, cls, f.Message, ctxs)
 }
 
 // Findings is an ordered diagnostic list.
 type Findings []Finding
+
+// dedupeFindings merges findings that are identical up to the calling
+// context they were derived under — same pass, rule, severity, class,
+// site and message — into one finding carrying the context count. The
+// first occurrence's position in the list is kept, so pass-internal
+// emission order survives (Analyze sorts afterwards anyway).
+func dedupeFindings(fs Findings) Findings {
+	type key struct {
+		pass, rule string
+		sev        Severity
+		class      string
+		site       Site
+		msg        string
+	}
+	idx := make(map[key]int)
+	out := fs[:0]
+	for _, f := range fs {
+		k := key{f.Pass, f.Rule, f.Severity, f.Class, f.Site, f.Message}
+		if i, ok := idx[k]; ok {
+			if out[i].Contexts == 0 {
+				out[i].Contexts = 1
+			}
+			out[i].Contexts++
+			continue
+		}
+		idx[k] = len(out)
+		out = append(out, f)
+	}
+	return out
+}
 
 // Sort orders findings by function, block, instruction index, pass,
 // rule — a stable, module-order presentation that makes reports and

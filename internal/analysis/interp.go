@@ -199,14 +199,18 @@ const (
 	regGlobal
 )
 
-// region is one abstract memory object: an allocation site or a
-// module global. All pointers derived from the same site share it.
+// region is one abstract memory object: an allocation site under one
+// calling context, or a module global. Heap cloning means pointers
+// derived from the same syntactic site in different contexts get
+// DIFFERENT regions; the context-insensitive k=0 mode degenerates to
+// one region per site.
 type region struct {
 	kind   regionKind
 	class  *ir.StructType // non-nil for struct allocations
 	size   int            // byte size when statically known, else -1
 	fn     string         // owning function, for alloc sites
 	site   ir.SiteRef     // alloc instruction, for alloc sites
+	ctx    ctxID          // allocating context, for alloc sites
 	global string
 }
 
@@ -318,17 +322,19 @@ func joinFacts(a, b *regFacts) *regFacts {
 // ---------------------------------------------------------------------
 // the interpreter
 
-type siteKey struct {
-	fn   string
-	b, i int
+// instrCtx keys a per-context fact about one instruction (an alloc
+// site's cloned region).
+type instrCtx struct {
+	in  *ir.Instr
+	ctx ctxID
 }
 
 type interp struct {
-	mi *ModuleInfo
+	mi   *ModuleInfo
+	ctxs *ctxTable
 
 	regions     []*region
-	siteRegion  map[siteKey]int
-	instrRegion map[*ir.Instr]int
+	instrRegion map[instrCtx]int
 	globalReg   map[string]int
 
 	// Flow-insensitive, monotonic memory state.
@@ -337,10 +343,10 @@ type interp struct {
 	regFieldW [][]bool // class regions: per-field ever-written
 	regPts    []bitset // pointers that may be stored in the region
 
-	// Interprocedural summaries.
-	params map[string][]absVal
-	rets   map[string]absVal
-	ctlIn  map[string]bool
+	// Interprocedural summaries, one per (function, context).
+	params map[fnCtx][]absVal
+	rets   map[fnCtx]absVal
+	ctlIn  map[fnCtx]bool
 
 	// Class verdicts (the static TaintClass output).
 	classContent map[string]bool
@@ -348,28 +354,35 @@ type interp struct {
 	classFree    map[string]bool
 	classFields  map[string]map[int]bool
 
-	// Converged per-block entry facts, per function.
-	blockIn map[string][]*regFacts
+	// Converged per-block entry facts, per (function, context).
+	blockIn map[fnCtx][]*regFacts
 
 	// version counts monotonic state growth; the outer fixpoint stops
 	// on a sweep that leaves it unchanged.
 	version int
 }
 
-func newInterp(mi *ModuleInfo) *interp {
+func newInterp(mi *ModuleInfo, opts Options) *interp {
+	k := opts.ContextK
+	switch {
+	case k == 0:
+		k = defaultContextK
+	case k < 0: // ContextInsensitive
+		k = 0
+	}
 	ip := &interp{
 		mi:           mi,
-		siteRegion:   make(map[siteKey]int),
-		instrRegion:  make(map[*ir.Instr]int),
+		ctxs:         buildContexts(mi.M, k, opts.MaxContexts),
+		instrRegion:  make(map[instrCtx]int),
 		globalReg:    make(map[string]int),
-		params:       make(map[string][]absVal),
-		rets:         make(map[string]absVal),
-		ctlIn:        make(map[string]bool),
+		params:       make(map[fnCtx][]absVal),
+		rets:         make(map[fnCtx]absVal),
+		ctlIn:        make(map[fnCtx]bool),
 		classContent: make(map[string]bool),
 		classAlloc:   make(map[string]bool),
 		classFree:    make(map[string]bool),
 		classFields:  make(map[string]map[int]bool),
-		blockIn:      make(map[string][]*regFacts),
+		blockIn:      make(map[fnCtx][]*regFacts),
 	}
 	for _, f := range mi.M.Funcs {
 		for bi, blk := range f.Blocks {
@@ -378,24 +391,26 @@ func newInterp(mi *ModuleInfo) *interp {
 				if in.Op != ir.OpAlloc && in.Op != ir.OpLocal {
 					continue
 				}
-				r := &region{fn: f.Name, site: ir.SiteRef{Block: bi, Index: ii}, class: in.Struct}
-				if in.Op == ir.OpAlloc {
-					r.kind = regHeap
-					r.size = in.Type.Size()
-					if len(in.Args) == 1 { // alloc N instances
-						if c, ok := constOf(in.Args[0]); ok && c > 0 {
-							r.size *= int(c)
-						} else {
-							r.size = -1
+				// Heap cloning: one region per (site, calling context).
+				for _, cx := range ip.ctxs.contextsOf(f.Name) {
+					r := &region{fn: f.Name, site: ir.SiteRef{Block: bi, Index: ii}, ctx: cx, class: in.Struct}
+					if in.Op == ir.OpAlloc {
+						r.kind = regHeap
+						r.size = in.Type.Size()
+						if len(in.Args) == 1 { // alloc N instances
+							if c, ok := constOf(in.Args[0]); ok && c > 0 {
+								r.size *= int(c)
+							} else {
+								r.size = -1
+							}
 						}
+					} else {
+						r.kind = regStack
+						r.size = in.Type.Size()
 					}
-				} else {
-					r.kind = regStack
-					r.size = in.Type.Size()
+					ip.instrRegion[instrCtx{in, cx}] = len(ip.regions)
+					ip.regions = append(ip.regions, r)
 				}
-				ip.siteRegion[siteKey{f.Name, bi, ii}] = len(ip.regions)
-				ip.instrRegion[in] = len(ip.regions)
-				ip.regions = append(ip.regions, r)
 			}
 		}
 	}
@@ -415,15 +430,19 @@ func newInterp(mi *ModuleInfo) *interp {
 		}
 		ip.regPts[i] = newBitset(n)
 	}
-	// Seed the taint sources: the entry function's parameters.
+	// Seed the taint sources: the entry function's parameters, in every
+	// context main is analyzed under (the static analysis cannot know
+	// how the host invokes main).
 	for _, f := range mi.M.Funcs {
-		ps := make([]absVal, len(f.Params))
-		if f.Name == "main" {
-			for i := range ps {
-				ps[i].taint = true
+		for _, cx := range ip.ctxs.contextsOf(f.Name) {
+			ps := make([]absVal, len(f.Params))
+			if f.Name == "main" {
+				for i := range ps {
+					ps[i].taint = true
+				}
 			}
+			ip.params[fnCtx{f.Name, cx}] = ps
 		}
-		ip.params[f.Name] = ps
 	}
 	return ip
 }
@@ -435,17 +454,21 @@ func constOf(v ir.Value) (int64, bool) {
 	return 0, false
 }
 
-// run iterates all functions to a global fixed point. Memory, summary
-// and class state only ever grow, so termination is guaranteed; the
-// sweep bound is a safety valve for the fuzzer.
+// run iterates all (function, context) units to a global fixed point.
+// Memory, summary and class state only ever grow, so termination is
+// guaranteed; the sweep bound is a safety valve for the fuzzer, scaled
+// with the module since summary chains now traverse context-cloned
+// units.
 func (ip *interp) run() {
-	const maxSweeps = 64
+	maxSweeps := 64 + 4*len(ip.mi.Funcs)
 	for sweep := 0; sweep < maxSweeps; sweep++ {
 		before := ip.version
 		factsChanged := false
 		for _, fi := range ip.mi.Funcs {
-			if ip.solveFunc(fi) {
-				factsChanged = true
+			for _, cx := range ip.ctxs.contextsOf(fi.Fn.Name) {
+				if ip.solveFunc(fi, cx) {
+					factsChanged = true
+				}
 			}
 		}
 		if ip.version == before && !factsChanged {
@@ -455,12 +478,14 @@ func (ip *interp) run() {
 }
 
 // solveFunc runs the flow-sensitive register analysis for one function
-// against the current memory/summary state and stores the per-block
-// entry facts. Reports whether any stored fact changed.
-func (ip *interp) solveFunc(fi *FuncInfo) bool {
+// under one calling context, against the current memory/summary state,
+// and stores the per-block entry facts. Reports whether any stored fact
+// changed.
+func (ip *interp) solveFunc(fi *FuncInfo, cx ctxID) bool {
 	f := fi.Fn
-	boundary := &regFacts{regs: make([]absVal, f.NumRegs), ctl: ip.ctlIn[f.Name]}
-	copy(boundary.regs, ip.params[f.Name])
+	key := fnCtx{f.Name, cx}
+	boundary := &regFacts{regs: make([]absVal, f.NumRegs), ctl: ip.ctlIn[key]}
+	copy(boundary.regs, ip.params[key])
 	in, _ := FixedPoint(fi, Problem[*regFacts]{
 		Dir:      Forward,
 		Boundary: boundary,
@@ -472,29 +497,29 @@ func (ip *interp) solveFunc(fi *FuncInfo) bool {
 			}
 			fx := in.clone()
 			for ii := range f.Blocks[b].Instrs {
-				ip.step(f, &f.Blocks[b].Instrs[ii], fx)
+				ip.step(f, cx, &f.Blocks[b].Instrs[ii], fx)
 			}
 			return fx
 		},
 		Equal: factsEq,
 	})
-	old := ip.blockIn[f.Name]
+	old := ip.blockIn[key]
 	changed := old == nil
 	for b := range in {
 		if old != nil && !factsEq(old[b], in[b]) {
 			changed = true
 		}
 	}
-	ip.blockIn[f.Name] = in
+	ip.blockIn[key] = in
 	return changed
 }
 
-// replay walks every reachable block of fi with the converged facts,
-// invoking visit with the fact state in force BEFORE each instruction.
-// The passes build their reports on top of this.
-func (ip *interp) replay(fi *FuncInfo, visit func(b, i int, in *ir.Instr, fx *regFacts)) {
+// replay walks every reachable block of fi under context cx with the
+// converged facts, invoking visit with the fact state in force BEFORE
+// each instruction. The passes build their reports on top of this.
+func (ip *interp) replay(fi *FuncInfo, cx ctxID, visit func(b, i int, in *ir.Instr, fx *regFacts)) {
 	f := fi.Fn
-	blockIn := ip.blockIn[f.Name]
+	blockIn := ip.blockIn[fnCtx{f.Name, cx}]
 	if blockIn == nil {
 		return
 	}
@@ -506,7 +531,7 @@ func (ip *interp) replay(fi *FuncInfo, visit func(b, i int, in *ir.Instr, fx *re
 		for ii := range f.Blocks[b].Instrs {
 			in := &f.Blocks[b].Instrs[ii]
 			visit(b, ii, in, fx)
-			ip.step(f, in, fx)
+			ip.step(f, cx, in, fx)
 		}
 	}
 }
@@ -534,13 +559,14 @@ func (ip *interp) setReg(fx *regFacts, dest int, v absVal) {
 	}
 }
 
-// step applies one instruction's transfer function: updates fx's
-// register facts and folds memory effects into the global state.
-func (ip *interp) step(f *ir.Func, in *ir.Instr, fx *regFacts) {
+// step applies one instruction's transfer function under context cx:
+// updates fx's register facts and folds memory effects into the global
+// state.
+func (ip *interp) step(f *ir.Func, cx ctxID, in *ir.Instr, fx *regFacts) {
 	switch in.Op {
 	case ir.OpAlloc, ir.OpLocal:
 		pts := newBitset(len(ip.regions))
-		if ri, ok := ip.instrRegion[in]; ok {
+		if ri, ok := ip.instrRegion[instrCtx{in, cx}]; ok {
 			pts.set(ri)
 		}
 		ip.setReg(fx, in.Dest, absVal{pts: pts, off: 0})
@@ -629,20 +655,21 @@ func (ip *interp) step(f *ir.Func, in *ir.Instr, fx *regFacts) {
 			fx.ctl = true
 		}
 	case ir.OpCall:
-		ip.stepCall(f, in, fx)
+		ip.stepCall(f, cx, in, fx)
 	case ir.OpRet:
 		if len(in.Args) == 1 {
-			old := ip.rets[f.Name]
+			key := fnCtx{f.Name, cx}
+			old := ip.rets[key]
 			nv := joinVal(old, ip.val(fx, in.Args[0]))
 			if !nv.eq(old) {
-				ip.rets[f.Name] = nv
+				ip.rets[key] = nv
 				ip.version++
 			}
 		}
 	}
 }
 
-func (ip *interp) stepCall(f *ir.Func, in *ir.Instr, fx *regFacts) {
+func (ip *interp) stepCall(f *ir.Func, cx ctxID, in *ir.Instr, fx *regFacts) {
 	callee := ip.mi.M.Func(in.Callee)
 	if callee == nil { // builtin, resolved by the VM
 		switch in.Callee {
@@ -669,9 +696,12 @@ func (ip *interp) stepCall(f *ir.Func, in *ir.Instr, fx *regFacts) {
 		}
 		return
 	}
-	// Module call: join arguments into the callee's parameter summary,
-	// inherit control taint, read back the return summary.
-	ps := ip.params[callee.Name]
+	// Module call: join arguments into the callee's parameter summary
+	// UNDER THE EXTENDED CONTEXT, inherit control taint, read back that
+	// context's return summary. This is the heap-cloning step: distinct
+	// callers stop sharing one merged summary.
+	key := fnCtx{callee.Name, ip.ctxs.calleeCtx(cx, in)}
+	ps := ip.params[key]
 	for i := range ps {
 		if i >= len(in.Args) {
 			break
@@ -682,11 +712,11 @@ func (ip *interp) stepCall(f *ir.Func, in *ir.Instr, fx *regFacts) {
 			ip.version++
 		}
 	}
-	if fx.ctl && !ip.ctlIn[callee.Name] {
-		ip.ctlIn[callee.Name] = true
+	if fx.ctl && !ip.ctlIn[key] {
+		ip.ctlIn[key] = true
 		ip.version++
 	}
-	ip.setReg(fx, in.Dest, ip.rets[callee.Name])
+	ip.setReg(fx, in.Dest, ip.rets[key])
 }
 
 // loadFrom abstracts a read of size bytes through pointer av: the

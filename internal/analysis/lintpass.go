@@ -32,14 +32,17 @@ const (
 	RuleFieldPtrPastFree  = "fieldptr-live-across-free"
 )
 
-// lintPassRun walks every function with the converged facts and
-// applies the rules.
+// lintPassRun walks every function, under each of its analyzed calling
+// contexts, with the converged facts and applies the rules. Findings
+// that repeat across contexts are reported once with a context count.
 func lintPassRun(ip *interp) Findings {
 	var out Findings
 	for _, fi := range ip.mi.Funcs {
-		out = append(out, lintFunc(ip, fi)...)
+		for _, cx := range ip.ctxs.contextsOf(fi.Fn.Name) {
+			out = append(out, lintFunc(ip, fi, cx)...)
+		}
 	}
-	return out
+	return dedupeFindings(out)
 }
 
 type freeSite struct {
@@ -47,7 +50,7 @@ type freeSite struct {
 	pts        bitset
 }
 
-func lintFunc(ip *interp, fi *FuncInfo) Findings {
+func lintFunc(ip *interp, fi *FuncInfo, cx ctxID) Findings {
 	var out Findings
 	f := fi.Fn
 	add := func(b, i int, rule string, sev Severity, class, msg string) {
@@ -68,7 +71,7 @@ func lintFunc(ip *interp, fi *FuncInfo) Findings {
 	var fptrDefs []fptrDef
 	var frees []freeSite
 
-	ip.replay(fi, func(b, i int, in *ir.Instr, fx *regFacts) {
+	ip.replay(fi, cx, func(b, i int, in *ir.Instr, fx *regFacts) {
 		switch in.Op {
 		case ir.OpPtrAdd:
 			base := ip.val(fx, in.Args[0])

@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"polar/internal/ir"
+)
+
+// The norandom advisor (polarlint -suggest). A class whose ONLY
+// findings are wire-format copies — whole-struct exchanges with other
+// classes or fixed-prefix partial copies — is being treated as an
+// externally-defined layout: randomizing it breaks the copy, and the
+// copy is the only thing the analysis holds against it. For such
+// classes the right fix is usually the paper's __no_randomize_layout
+// analogue (the IR's `norandom` struct tag), not a rewrite.
+//
+// The advisor is deliberately one-sided: a class that untrusted input
+// may reach is NEVER suggested, no matter what its findings look like
+// — exempting a tainted class from randomization trades away exactly
+// the protection POLaR exists to provide. Both the static TaintClass
+// verdict and (when supplied) the dynamic campaign's report are
+// consulted; either one vetoes.
+
+// wireFormatRules are the lint rules that read as "this struct is a
+// wire format": raw copies that only make sense against a fixed,
+// externally-agreed layout.
+var wireFormatRules = map[string]bool{
+	RuleMemcpyCrossClass: true,
+	RuleMemcpyPartial:    true,
+}
+
+// Suggestion proposes the norandom tag for one class.
+type Suggestion struct {
+	Class string `json:"class"`
+	// Rules lists the distinct wire-format rules observed, sorted.
+	Rules []string `json:"rules"`
+	// Findings counts the supporting findings.
+	Findings int    `json:"findings"`
+	Reason   string `json:"reason"`
+}
+
+// SuggestNoRandom proposes norandom tags for classes of m whose only
+// findings in res are wire-format copies. dynTainted is the dynamic
+// TaintClass verdict (class names; nil when no report is available);
+// any class it names — like any class the static taint pass marks —
+// is vetoed. Classes already tagged norandom are skipped.
+func SuggestNoRandom(m *ir.Module, res *Result, dynTainted []string) []Suggestion {
+	type acc struct {
+		rules    map[string]bool
+		findings int
+		other    bool // a non-wire-format finding names the class
+	}
+	byClass := make(map[string]*acc)
+	for _, f := range res.Findings {
+		if f.Class == "" {
+			continue
+		}
+		a := byClass[f.Class]
+		if a == nil {
+			a = &acc{rules: make(map[string]bool)}
+			byClass[f.Class] = a
+		}
+		if wireFormatRules[f.Rule] {
+			a.rules[f.Rule] = true
+			a.findings++
+		} else {
+			a.other = true
+		}
+	}
+	tainted := make(map[string]bool)
+	if res.Taint != nil {
+		for _, c := range res.Taint.TaintedClasses() {
+			tainted[c] = true
+		}
+	}
+	dyn := make(map[string]bool, len(dynTainted))
+	for _, c := range dynTainted {
+		dyn[c] = true
+	}
+
+	var out []Suggestion
+	for name, a := range byClass {
+		if a.other || a.findings == 0 {
+			continue
+		}
+		if st := m.Structs[name]; st == nil || st.NoRandom {
+			continue
+		}
+		if tainted[name] || dyn[name] {
+			continue
+		}
+		rules := make([]string, 0, len(a.rules))
+		for r := range a.rules {
+			rules = append(rules, r)
+		}
+		sort.Strings(rules)
+		out = append(out, Suggestion{
+			Class: name, Rules: rules, Findings: a.findings,
+			Reason: fmt.Sprintf(
+				"all %d finding(s) are wire-format copies and no input taint reaches the class",
+				a.findings),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Class < out[j].Class })
+	return out
+}

@@ -1,0 +1,71 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"polar/internal/analysis"
+	"polar/internal/workload"
+)
+
+// The norandom advisor on the shipped example: WireHeader's only
+// findings are fixed-prefix wire copies and no input reaches it, so it
+// is suggested; Packet carries the same copy findings but IS tainted,
+// so it must never appear.
+func TestSuggestWireHeaderNotPacket(t *testing.T) {
+	m := mustParseFile(t, "../../examples/norandom/wire.ir")
+	res := analysis.Analyze(m, analysis.Options{EnableAll: true})
+	sugg := analysis.SuggestNoRandom(m, res, nil)
+	byClass := map[string]analysis.Suggestion{}
+	for _, s := range sugg {
+		byClass[s.Class] = s
+	}
+	if _, ok := byClass["WireHeader"]; !ok {
+		t.Errorf("WireHeader not suggested; got %+v\nfindings:\n%s", sugg, res.Findings.Render())
+	}
+	if _, ok := byClass["Packet"]; ok {
+		t.Errorf("tainted class Packet suggested for norandom — the veto failed")
+	}
+	for _, s := range sugg {
+		if s.Findings == 0 || len(s.Rules) == 0 {
+			t.Errorf("suggestion without supporting findings: %+v", s)
+		}
+	}
+}
+
+// A dynamic TaintClass report vetoes even when the static pass sees no
+// taint: the advisor must drop any class the campaign names.
+func TestSuggestDynamicReportVetoes(t *testing.T) {
+	m := mustParseFile(t, "../../examples/norandom/wire.ir")
+	res := analysis.Analyze(m, analysis.Options{EnableAll: true})
+	for _, s := range analysis.SuggestNoRandom(m, res, []string{"WireHeader"}) {
+		if s.Class == "WireHeader" {
+			t.Fatalf("dynamically-reported class still suggested: %+v", s)
+		}
+	}
+}
+
+// Self-host property over the whole corpus: across every workload, no
+// suggestion may ever name a class that static taint marks or the
+// workload's dynamic expectation lists — suggesting norandom for a
+// tainted class would trade away exactly the protection POLaR provides.
+func TestSuggestNeverNamesTaintedClass(t *testing.T) {
+	for _, w := range workload.All() {
+		res := analysis.Analyze(w.Module, analysis.Options{EnableAll: true})
+		static := map[string]bool{}
+		for _, c := range res.Taint.TaintedClasses() {
+			static[c] = true
+		}
+		dyn := map[string]bool{}
+		for _, c := range w.ExpectedTainted {
+			dyn[c] = true
+		}
+		for _, s := range analysis.SuggestNoRandom(w.Module, res, w.ExpectedTainted) {
+			if static[s.Class] || dyn[s.Class] {
+				t.Errorf("%s: tainted class %q suggested for norandom", w.Name, s.Class)
+			}
+			if st := w.Module.Structs[s.Class]; st == nil || st.NoRandom {
+				t.Errorf("%s: suggestion for missing or already-tagged class %q", w.Name, s.Class)
+			}
+		}
+	}
+}

@@ -73,17 +73,22 @@ type uafEvent struct {
 func uafPassRun(ip *interp) Findings {
 	var out Findings
 	for _, fi := range ip.mi.Funcs {
-		out = append(out, uafFunc(ip, fi)...)
+		for _, cx := range ip.ctxs.contextsOf(fi.Fn.Name) {
+			out = append(out, uafFunc(ip, fi, cx)...)
+		}
 	}
 	out = append(out, uninitFptrReads(ip)...)
-	return out
+	// One function analyzed under many contexts re-derives the same
+	// diagnostic once per context; report each distinct finding once
+	// with a context count instead.
+	return dedupeFindings(out)
 }
 
-func uafFunc(ip *interp, fi *FuncInfo) Findings {
+func uafFunc(ip *interp, fi *FuncInfo, cx ctxID) Findings {
 	f := fi.Fn
 	events := make([][]uafEvent, len(f.Blocks))
-	ip.replay(fi, func(b, i int, in *ir.Instr, fx *regFacts) {
-		if ev, ok := ip.uafEventFor(in, fx); ok {
+	ip.replay(fi, cx, func(b, i int, in *ir.Instr, fx *regFacts) {
+		if ev, ok := ip.uafEventFor(in, cx, fx); ok {
 			ev.idx = i
 			events[b] = append(events[b], ev)
 		}
@@ -161,9 +166,10 @@ func applyUAFEvent(st *freedFact, ev uafEvent) {
 	}
 }
 
-// uafEventFor classifies one instruction. Only heap allocation-site
-// regions participate: globals and stack locals cannot be freed.
-func (ip *interp) uafEventFor(in *ir.Instr, fx *regFacts) (uafEvent, bool) {
+// uafEventFor classifies one instruction under context cx. Only heap
+// allocation-site regions participate: globals and stack locals cannot
+// be freed.
+func (ip *interp) uafEventFor(in *ir.Instr, cx ctxID, fx *regFacts) (uafEvent, bool) {
 	heapOnly := func(pts bitset) bitset {
 		var out bitset
 		pts.forEach(func(ri int) {
@@ -185,7 +191,7 @@ func (ip *interp) uafEventFor(in *ir.Instr, fx *regFacts) (uafEvent, bool) {
 	ev := uafEvent{alloc: -1}
 	switch in.Op {
 	case ir.OpAlloc:
-		if ri, ok := ip.instrRegion[in]; ok {
+		if ri, ok := ip.instrRegion[instrCtx{in, cx}]; ok {
 			ev.alloc = ri
 			return ev, true
 		}
@@ -234,37 +240,39 @@ func uninitFptrReads(ip *interp) Findings {
 	var out Findings
 	for _, fi := range ip.mi.Funcs {
 		f := fi.Fn
-		ip.replay(fi, func(b, i int, in *ir.Instr, fx *regFacts) {
-			if in.Op != ir.OpLoad {
-				return
-			}
-			av := ip.val(fx, in.Args[0])
-			ri := av.pts.single()
-			if ri < 0 || av.off < 0 {
-				return
-			}
-			r := ip.regions[ri]
-			if r.kind != regHeap || r.class == nil {
-				return
-			}
-			for fidx, fd := range r.class.Fields {
-				if r.class.Offset(fidx) != av.off {
-					continue
+		for _, cx := range ip.ctxs.contextsOf(f.Name) {
+			ip.replay(fi, cx, func(b, i int, in *ir.Instr, fx *regFacts) {
+				if in.Op != ir.OpLoad {
+					return
 				}
-				if _, isFptr := fd.Type.(ir.FuncPtrType); !isFptr {
-					continue
+				av := ip.val(fx, in.Args[0])
+				ri := av.pts.single()
+				if ri < 0 || av.off < 0 {
+					return
 				}
-				if !ip.regFieldW[ri][fidx] {
-					out = append(out, Finding{
-						Pass: uafPass, Rule: RuleUninitFptrRead, Severity: SevError,
-						Class: r.class.Name, Site: SiteOf(f, b, i),
-						Message: fmt.Sprintf(
-							"function-pointer member %s.%s is read but never written for %s; the slot holds stale heap bytes",
-							r.class.Name, fd.Name, r.describe()),
-					})
+				r := ip.regions[ri]
+				if r.kind != regHeap || r.class == nil {
+					return
 				}
-			}
-		})
+				for fidx, fd := range r.class.Fields {
+					if r.class.Offset(fidx) != av.off {
+						continue
+					}
+					if _, isFptr := fd.Type.(ir.FuncPtrType); !isFptr {
+						continue
+					}
+					if !ip.regFieldW[ri][fidx] {
+						out = append(out, Finding{
+							Pass: uafPass, Rule: RuleUninitFptrRead, Severity: SevError,
+							Class: r.class.Name, Site: SiteOf(f, b, i),
+							Message: fmt.Sprintf(
+								"function-pointer member %s.%s is read but never written for %s; the slot holds stale heap bytes",
+								r.class.Name, fd.Name, r.describe()),
+						})
+					}
+				}
+			})
+		}
 	}
 	return out
 }

@@ -161,8 +161,8 @@ func TestSecurityReportStructure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Matrix) != 20 { // 5 scenarios × 4 defenses
-		t.Fatalf("matrix cells = %d, want 20", len(rep.Matrix))
+	if len(rep.Matrix) != 24 { // 6 scenarios × 4 defenses
+		t.Fatalf("matrix cells = %d, want 24", len(rep.Matrix))
 	}
 	if len(rep.Repeats) != 4 {
 		t.Fatalf("repeat rows = %d, want 4", len(rep.Repeats))

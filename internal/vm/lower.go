@@ -32,6 +32,7 @@ import (
 // fusion plan derived from opts.
 func (p *Program) lowerModule(opts CompileOpts) error {
 	plan := buildFusionPlan(p.mod, opts)
+	p.planICSites(opts.Facts)
 	p.bcFuncs = make([]*bcFunc, len(p.mod.Funcs))
 	for i, f := range p.mod.Funcs {
 		bf, err := p.lowerFunc(f, plan.runsFor(i))
@@ -201,9 +202,18 @@ func (p *Program) lowerOne(in *ir.Instr) bcInstr {
 				// Per-call-site inline layout cache slot. The Program
 				// only numbers the sites; the entries live per instance
 				// and the legacy engine finds its slot via icSlotOf.
-				out.ic = int32(p.numICSites)
-				p.icSlotOf[in] = out.ic
-				p.numICSites++
+				// Under static facts the precomputed plan decides the
+				// slot instead — possibly shared, possibly none.
+				if p.icPlan != nil {
+					if slot, ok := p.icPlan[in]; ok && slot >= 0 {
+						out.ic = slot
+						p.icSlotOf[in] = out.ic
+					}
+				} else {
+					out.ic = int32(p.numICSites)
+					p.icSlotOf[in] = out.ic
+					p.numICSites++
+				}
 			}
 		}
 	case ir.OpRet:

@@ -35,6 +35,11 @@ type CompileOpts struct {
 	// applies elsewhere), and K<0 disables generalized fusion entirely,
 	// reproducing the historical three-pair peephole.
 	FusionTopK int
+	// Facts carries the static site classification for inline-cache
+	// seeding (facts.go): churned sites lose their IC slot, proven
+	// single-object monomorphic sites share one. Nil keeps the default
+	// one-fresh-slot-per-site numbering.
+	Facts *StaticFacts
 }
 
 // defaultOpts holds the process-wide compile options Compile() uses,

@@ -47,12 +47,15 @@ type Program struct {
 	funcIdx     map[string]int
 	builtinSlot map[string]int
 
-	// numICSites counts the olr_getptr call sites the lowering numbered
-	// with inline layout-cache slots; icSlotOf maps each such source
-	// instruction to its slot so the tree-walker shares the per-instance
-	// cache (VM.icSlots) with the bytecode engine.
+	// numICSites counts the inline layout-cache slots the lowering
+	// allocated; icSlotOf maps each olr_getptr source instruction to
+	// its slot so the tree-walker shares the per-instance cache
+	// (VM.icSlots) with the bytecode engine. icPlan, when non-nil, is
+	// the fact-driven slot assignment planICSites precomputed (facts.go)
+	// — sites may then share a slot or carry none at all.
 	numICSites int
 	icSlotOf   map[*ir.Instr]int32
+	icPlan     map[*ir.Instr]int32
 }
 
 type globalInit struct {

@@ -20,7 +20,9 @@ package polar
 import (
 	"fmt"
 	"io"
+	"os"
 
+	"polar/internal/analysis"
 	"polar/internal/classinfo"
 	"polar/internal/core"
 	"polar/internal/fuzz"
@@ -128,8 +130,42 @@ func WritePGOFile(path string, p *SiteProfiler) error {
 // profile and a top-K bound — used by every subsequent compilation that
 // does not pass explicit options (what the CLIs' -pgo/-pgo-topk flags
 // call). A nil profile with topK 0 restores the static default.
+// IC-seeding facts installed by SetDefaultFacts are preserved.
 func SetDefaultPGO(p *PGOProfile, topK int) {
-	vm.SetDefaultPGO(vm.CompileOpts{Profile: p, FusionTopK: topK})
+	opts := vm.DefaultPGO()
+	opts.Profile, opts.FusionTopK = p, topK
+	vm.SetDefaultPGO(opts)
+}
+
+// CompileFacts is the static olr_getptr site classification consumed at
+// compile time for inline-cache seeding (DESIGN.md §14): sites proven
+// polymorphic lose their IC slot, monomorphic sites proven to address
+// one runs-once object share a single slot. Produced by polarlint
+// -facts, loaded with ReadFactsFile.
+type CompileFacts = vm.StaticFacts
+
+// ReadFactsFile loads a polarlint -facts artifact and converts it into
+// the compiler-facing seeding form.
+func ReadFactsFile(path string) (*CompileFacts, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	sf, err := analysis.DecodeSiteFacts(data)
+	if err != nil {
+		return nil, err
+	}
+	return sf.CompileFacts(), nil
+}
+
+// SetDefaultFacts merges static IC-seeding facts into the process-wide
+// compile options used by compilations that do not pass explicit
+// options (what the CLIs' -facts flag calls). Nil clears the facts;
+// PGO options installed by SetDefaultPGO are preserved.
+func SetDefaultFacts(f *CompileFacts) {
+	opts := vm.DefaultPGO()
+	opts.Facts = f
+	vm.SetDefaultPGO(opts)
 }
 
 // Parse reads the textual IR form (see internal/ir: Print/Parse).
